@@ -1,0 +1,24 @@
+//! Analytical models from the Sprinklers paper (no simulation involved).
+//!
+//! * [`chernoff`] — the worst-case large-deviation (Chernoff) bound on the
+//!   probability that a single input-port → intermediate-port queue is
+//!   overloaded (Theorem 2 and Table 1 of the paper).
+//! * [`theorem1`] — the zero-overload load threshold `2/3 + 1/(3N²)`
+//!   (Theorem 1) and the worst-case rate vector that attains it.
+//! * [`markov`] — the batch-arrival Markov chain that models the expected
+//!   queue length (and hence clearance delay) at the intermediate stage under
+//!   maximum burstiness (§5, Figure 5).
+//! * [`optimize`] — the small numerical optimizer (golden-section search) used
+//!   to minimize the Chernoff exponent over θ.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chernoff;
+pub mod markov;
+pub mod optimize;
+pub mod theorem1;
+
+pub use chernoff::{overload_bound, switch_wide_bound, OverloadBound};
+pub use markov::{expected_queue_length, IntermediateDelayModel};
+pub use theorem1::{worst_case_rate_vector, zero_overload_threshold};

@@ -1,0 +1,98 @@
+//! The deterministic periodic connection patterns shared by every
+//! load-balanced switch in this workspace (Fig. 1 of the paper).
+//!
+//! * First fabric: at slot `t`, input `i` is connected to intermediate port
+//!   `(i + t) mod N` (the "increasing" sequence).
+//! * Second fabric: at slot `t`, intermediate port `ℓ` is connected to output
+//!   `(ℓ − t) mod N` (the "decreasing" sequence), so output `j` receives from
+//!   intermediate port `(j + t) mod N`.
+
+/// Intermediate port connected to `input` at slot `t` by the first fabric.
+pub fn first_fabric(input: usize, slot: u64, n: usize) -> usize {
+    (input + (slot % n as u64) as usize) % n
+}
+
+/// Output port connected to `intermediate` at slot `t` by the second fabric.
+pub fn second_fabric_output(intermediate: usize, slot: u64, n: usize) -> usize {
+    let t = (slot % n as u64) as usize;
+    (intermediate + n - t) % n
+}
+
+/// Intermediate port from which `output` receives at slot `t`.
+pub fn output_sweep_port(output: usize, slot: u64, n: usize) -> usize {
+    (output + (slot % n as u64) as usize) % n
+}
+
+/// The slot offset within a frame at which `input` is connected to
+/// intermediate port 0; frame-aligned schemes (UFS, PF) start frame
+/// transmission only at slots `t` with `t mod N == frame_start_offset`.
+pub fn frame_start_offset(input: usize, n: usize) -> u64 {
+    ((n - input % n) % n) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabrics_are_permutations_every_slot() {
+        let n = 8;
+        for slot in 0..32u64 {
+            let mut seen_mid = vec![false; n];
+            let mut seen_out = vec![false; n];
+            for i in 0..n {
+                let l = first_fabric(i, slot, n);
+                assert!(!seen_mid[l]);
+                seen_mid[l] = true;
+                let j = second_fabric_output(i, slot, n);
+                assert!(!seen_out[j]);
+                seen_out[j] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn fabrics_are_consistent_with_each_other() {
+        let n = 16;
+        for slot in 0..64u64 {
+            for j in 0..n {
+                let l = output_sweep_port(j, slot, n);
+                assert_eq!(second_fabric_output(l, slot, n), j);
+            }
+        }
+    }
+
+    #[test]
+    fn every_input_reaches_every_intermediate_once_per_frame() {
+        let n = 8;
+        for i in 0..n {
+            let mut seen = vec![false; n];
+            for t in 0..n as u64 {
+                seen[first_fabric(i, t, n)] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn frame_start_offset_connects_to_port_zero() {
+        let n = 8;
+        for i in 0..n {
+            let t = frame_start_offset(i, n);
+            assert_eq!(first_fabric(i, t, n), 0, "input {i}");
+            assert_eq!(first_fabric(i, t + n as u64, n), 0);
+        }
+    }
+
+    #[test]
+    fn output_sweep_visits_ports_in_increasing_order() {
+        let n = 8;
+        for j in 0..n {
+            for t in 0..32u64 {
+                let a = output_sweep_port(j, t, n);
+                let b = output_sweep_port(j, t + 1, n);
+                assert_eq!((a + 1) % n, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Frame accumulation and frame transmission state shared by the
+//! aggregation-based baselines (UFS, FOFF, PF).
+//!
+//! A *frame* is a group of exactly N packets of the same VOQ (padded with fake
+//! packets in the PF scheme).  Frame-based schemes transmit one frame at a
+//! time: packet `k` of the frame goes to intermediate port `k`, which — given
+//! the first fabric's increasing connection pattern — means transmission must
+//! start in a slot where the input is connected to intermediate port 0 and
+//! then proceeds for N consecutive slots.
+
+use sprinklers_core::packet::Packet;
+use std::collections::VecDeque;
+
+/// Per-VOQ packet accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct FrameVoq {
+    buffer: VecDeque<Packet>,
+}
+
+impl FrameVoq {
+    /// Create an empty VOQ.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an arriving packet.
+    pub fn push(&mut self, packet: Packet) {
+        self.buffer.push_back(packet);
+    }
+
+    /// Number of buffered packets.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// True if no packets are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Pop a full frame of `frame_size` packets if available.
+    pub fn pop_full_frame(&mut self, frame_size: usize) -> Option<Vec<Packet>> {
+        if self.buffer.len() >= frame_size {
+            Some(self.buffer.drain(..frame_size).collect())
+        } else {
+            None
+        }
+    }
+
+    /// Pop everything that is buffered and pad with fake packets up to
+    /// `frame_size` (the Padded Frames operation).  Returns `None` if the VOQ
+    /// is empty.
+    pub fn pop_padded_frame(
+        &mut self,
+        frame_size: usize,
+        input: usize,
+        output: usize,
+        now: u64,
+    ) -> Option<Vec<Packet>> {
+        if self.buffer.is_empty() {
+            return None;
+        }
+        let take = self.buffer.len().min(frame_size);
+        let mut frame: Vec<Packet> = self.buffer.drain(..take).collect();
+        while frame.len() < frame_size {
+            frame.push(Packet::padding(input, output, now));
+        }
+        Some(frame)
+    }
+
+    /// Pop the oldest buffered packet (used by FOFF's round-robin service of
+    /// partial frames).
+    pub fn pop_one(&mut self) -> Option<Packet> {
+        self.buffer.pop_front()
+    }
+}
+
+/// A frame in the middle of being spread across the intermediate ports.
+#[derive(Debug, Clone)]
+pub struct FrameInService {
+    packets: Vec<Packet>,
+    next: usize,
+}
+
+impl FrameInService {
+    /// Start transmitting a frame.  Packet `k` is stamped for intermediate
+    /// port `k` and with frame (stripe) metadata.
+    pub fn new(mut packets: Vec<Packet>) -> Self {
+        let size = packets.len();
+        for (k, p) in packets.iter_mut().enumerate() {
+            p.stripe_size = size;
+            p.stripe_index = k;
+            p.intermediate = k;
+        }
+        FrameInService { packets, next: 0 }
+    }
+
+    /// The next packet to transmit (to intermediate port `self.next_port()`),
+    /// advancing the cursor.
+    pub fn serve_next(&mut self) -> Packet {
+        let p = self.packets[self.next].clone();
+        self.next += 1;
+        p
+    }
+
+    /// Intermediate port the next packet must go to.
+    pub fn next_port(&self) -> usize {
+        self.next
+    }
+
+    /// True when every packet of the frame has been transmitted.
+    pub fn finished(&self) -> bool {
+        self.next >= self.packets.len()
+    }
+
+    /// Packets not yet transmitted.
+    pub fn remaining(&self) -> usize {
+        self.packets.len() - self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(seq: u64) -> Packet {
+        Packet::new(0, 1, seq, 0).with_voq_seq(seq)
+    }
+
+    #[test]
+    fn full_frame_requires_enough_packets() {
+        let mut voq = FrameVoq::new();
+        for i in 0..3 {
+            voq.push(pkt(i));
+        }
+        assert!(voq.pop_full_frame(4).is_none());
+        voq.push(pkt(3));
+        let frame = voq.pop_full_frame(4).unwrap();
+        assert_eq!(frame.len(), 4);
+        assert!(voq.is_empty());
+        // Arrival order is preserved.
+        assert!(frame.windows(2).all(|w| w[0].voq_seq < w[1].voq_seq));
+    }
+
+    #[test]
+    fn padded_frame_fills_with_fakes() {
+        let mut voq = FrameVoq::new();
+        voq.push(pkt(0));
+        voq.push(pkt(1));
+        let frame = voq.pop_padded_frame(4, 0, 1, 99).unwrap();
+        assert_eq!(frame.len(), 4);
+        assert_eq!(frame.iter().filter(|p| p.is_padding).count(), 2);
+        assert!(voq.is_empty());
+        assert!(voq.pop_padded_frame(4, 0, 1, 99).is_none());
+    }
+
+    #[test]
+    fn frame_in_service_stamps_ports_and_metadata() {
+        let mut svc = FrameInService::new((0..4).map(pkt).collect());
+        for k in 0..4 {
+            assert!(!svc.finished());
+            assert_eq!(svc.next_port(), k);
+            let p = svc.serve_next();
+            assert_eq!(p.intermediate, k);
+            assert_eq!(p.stripe_index, k);
+            assert_eq!(p.stripe_size, 4);
+        }
+        assert!(svc.finished());
+        assert_eq!(svc.remaining(), 0);
+    }
+
+    #[test]
+    fn pop_one_serves_in_fifo_order() {
+        let mut voq = FrameVoq::new();
+        voq.push(pkt(5));
+        voq.push(pkt(6));
+        assert_eq!(voq.pop_one().unwrap().voq_seq, 5);
+        assert_eq!(voq.pop_one().unwrap().voq_seq, 6);
+        assert!(voq.pop_one().is_none());
+    }
+}

@@ -1,0 +1,90 @@
+//! The simple intermediate-port stage used by the frame-based baselines.
+//!
+//! Unlike Sprinklers, the baselines do not need Largest-Stripe-First
+//! scheduling at the intermediate stage: the baseline load-balanced switch
+//! makes no ordering promise at all, and the frame-based schemes (UFS, FOFF,
+//! PF) rely on frame alignment or output resequencing instead.  Every
+//! intermediate port therefore just keeps one FIFO per output.
+
+use sprinklers_core::packet::Packet;
+use std::collections::VecDeque;
+
+/// One intermediate port with per-output FIFO queues.
+#[derive(Debug, Clone)]
+pub struct SimpleIntermediate {
+    port_id: usize,
+    queues: Vec<VecDeque<Packet>>,
+    queued: usize,
+}
+
+impl SimpleIntermediate {
+    /// Create intermediate port `port_id` of an `n`-port switch.
+    pub fn new(port_id: usize, n: usize) -> Self {
+        SimpleIntermediate {
+            port_id,
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            queued: 0,
+        }
+    }
+
+    /// This port's index.
+    pub fn port_id(&self) -> usize {
+        self.port_id
+    }
+
+    /// Accept a packet from the first fabric.
+    pub fn receive(&mut self, packet: Packet) {
+        debug_assert!(packet.output < self.queues.len());
+        self.queues[packet.output].push_back(packet);
+        self.queued += 1;
+    }
+
+    /// Serve the output the second fabric currently connects this port to.
+    pub fn dequeue(&mut self, output: usize) -> Option<Packet> {
+        let p = self.queues[output].pop_front();
+        if p.is_some() {
+            self.queued -= 1;
+        }
+        p
+    }
+
+    /// Total packets buffered at this port.
+    pub fn queued_packets(&self) -> usize {
+        self.queued
+    }
+
+    /// Packets buffered for one output.
+    pub fn queued_for_output(&self, output: usize) -> usize {
+        self.queues[output].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(output: usize, id: u64) -> Packet {
+        Packet::new(0, output, id, 0)
+    }
+
+    #[test]
+    fn fifo_per_output() {
+        let mut port = SimpleIntermediate::new(3, 4);
+        port.receive(pkt(1, 10));
+        port.receive(pkt(1, 11));
+        port.receive(pkt(2, 12));
+        assert_eq!(port.queued_packets(), 3);
+        assert_eq!(port.queued_for_output(1), 2);
+        assert_eq!(port.dequeue(1).unwrap().id, 10);
+        assert_eq!(port.dequeue(2).unwrap().id, 12);
+        assert_eq!(port.dequeue(1).unwrap().id, 11);
+        assert!(port.dequeue(1).is_none());
+        assert_eq!(port.queued_packets(), 0);
+    }
+
+    #[test]
+    fn empty_output_returns_none() {
+        let mut port = SimpleIntermediate::new(0, 4);
+        assert!(port.dequeue(0).is_none());
+    }
+}

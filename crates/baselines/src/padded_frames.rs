@@ -1,0 +1,260 @@
+//! Padded Frames (PF), reference [9] of the paper.
+//!
+//! PF behaves like UFS whenever a full frame is available.  When no full
+//! frame exists, it looks at the longest VOQ at the input; if that VOQ holds
+//! at least `threshold` packets, PF pads it with fake packets up to a full
+//! frame of N and transmits the padded frame immediately.  The fake packets
+//! consume switch capacity but are discarded at the output; in exchange, a
+//! VOQ never waits longer than it takes to reach the threshold, which removes
+//! UFS's frame-accumulation delay at light load while preserving packet
+//! order (padding does not disturb the equal-queue-length invariant).
+
+use crate::fabric::{first_fabric, second_fabric_output};
+use crate::frame::{FrameInService, FrameVoq};
+use crate::intermediate::SimpleIntermediate;
+use sprinklers_core::packet::{DeliveredPacket, Packet};
+use sprinklers_core::switch::{Switch, SwitchStats};
+use std::collections::VecDeque;
+
+/// One PF input port.
+struct PfInput {
+    voqs: Vec<FrameVoq>,
+    ready_frames: VecDeque<Vec<Packet>>,
+    in_service: Option<FrameInService>,
+}
+
+impl PfInput {
+    fn new(n: usize) -> Self {
+        PfInput {
+            voqs: (0..n).map(|_| FrameVoq::new()).collect(),
+            ready_frames: VecDeque::new(),
+            in_service: None,
+        }
+    }
+
+    fn queued_packets(&self) -> usize {
+        self.voqs.iter().map(FrameVoq::len).sum::<usize>()
+            + self
+                .ready_frames
+                .iter()
+                .map(|f| f.iter().filter(|p| !p.is_padding).count())
+                .sum::<usize>()
+            + self.in_service.as_ref().map_or(0, FrameInService::remaining)
+    }
+
+    /// Index and length of the longest VOQ.
+    fn longest_voq(&self) -> (usize, usize) {
+        self.voqs
+            .iter()
+            .enumerate()
+            .map(|(j, v)| (j, v.len()))
+            .max_by_key(|&(_, len)| len)
+            .unwrap_or((0, 0))
+    }
+}
+
+/// The Padded Frames switch.
+pub struct PaddedFramesSwitch {
+    n: usize,
+    threshold: usize,
+    inputs: Vec<PfInput>,
+    intermediates: Vec<SimpleIntermediate>,
+    arrivals: u64,
+    departures: u64,
+    padding_sent: u64,
+}
+
+impl PaddedFramesSwitch {
+    /// Create an `n`-port PF switch with the given padding threshold
+    /// (a frame is padded only if the longest VOQ holds at least `threshold`
+    /// packets).
+    pub fn new(n: usize, threshold: usize) -> Self {
+        assert!(n >= 2);
+        assert!(threshold >= 1 && threshold <= n, "threshold must be in 1..=N");
+        PaddedFramesSwitch {
+            n,
+            threshold,
+            inputs: (0..n).map(|_| PfInput::new(n)).collect(),
+            intermediates: (0..n).map(|l| SimpleIntermediate::new(l, n)).collect(),
+            arrivals: 0,
+            departures: 0,
+            padding_sent: 0,
+        }
+    }
+
+    /// The default padding threshold used by the experiments: `N/2`.
+    pub fn default_threshold(n: usize) -> usize {
+        (n / 2).max(1)
+    }
+
+    /// Number of fake packets transmitted so far.
+    pub fn padding_sent(&self) -> u64 {
+        self.padding_sent
+    }
+}
+
+impl Switch for PaddedFramesSwitch {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> &'static str {
+        "padded-frames"
+    }
+
+    fn arrive(&mut self, packet: Packet) {
+        debug_assert!(packet.input < self.n && packet.output < self.n);
+        self.arrivals += 1;
+        let input = &mut self.inputs[packet.input];
+        let output = packet.output;
+        input.voqs[output].push(packet);
+        if let Some(frame) = input.voqs[output].pop_full_frame(self.n) {
+            input.ready_frames.push_back(frame);
+        }
+    }
+
+    fn tick(&mut self, slot: u64) -> Vec<DeliveredPacket> {
+        let mut delivered = Vec::new();
+        for l in 0..self.n {
+            let output = second_fabric_output(l, slot, self.n);
+            if let Some(packet) = self.intermediates[l].dequeue(output) {
+                if !packet.is_padding {
+                    self.departures += 1;
+                }
+                delivered.push(DeliveredPacket::new(packet, slot));
+            }
+        }
+        for i in 0..self.n {
+            let connected = first_fabric(i, slot, self.n);
+            let input = &mut self.inputs[i];
+            if input.in_service.is_none() && connected == 0 {
+                // Full frames first; otherwise pad the longest VOQ if it has
+                // reached the threshold.
+                if let Some(frame) = input.ready_frames.pop_front() {
+                    input.in_service = Some(FrameInService::new(frame));
+                } else {
+                    let (longest, len) = input.longest_voq();
+                    if len >= self.threshold {
+                        if let Some(frame) =
+                            input.voqs[longest].pop_padded_frame(self.n, i, longest, slot)
+                        {
+                            self.padding_sent +=
+                                frame.iter().filter(|p| p.is_padding).count() as u64;
+                            input.in_service = Some(FrameInService::new(frame));
+                        }
+                    }
+                }
+            }
+            if let Some(svc) = &mut input.in_service {
+                debug_assert_eq!(svc.next_port(), connected);
+                let packet = svc.serve_next();
+                self.intermediates[connected].receive(packet);
+                if svc.finished() {
+                    input.in_service = None;
+                }
+            }
+        }
+        delivered
+    }
+
+    fn stats(&self) -> SwitchStats {
+        SwitchStats {
+            queued_at_inputs: self.inputs.iter().map(PfInput::queued_packets).sum(),
+            queued_at_intermediates: self
+                .intermediates
+                .iter()
+                .map(|p| p.queued_packets())
+                .sum(),
+            queued_at_outputs: 0,
+            total_arrivals: self.arrivals,
+            total_departures: self.departures,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(input: usize, output: usize, seq: u64, slot: u64) -> Packet {
+        Packet::new(input, output, seq, slot).with_voq_seq(seq)
+    }
+
+    #[test]
+    fn short_voq_below_threshold_waits() {
+        let n = 8;
+        let mut sw = PaddedFramesSwitch::new(n, 4);
+        sw.arrive(pkt(0, 1, 0, 0));
+        let mut delivered = Vec::new();
+        for slot in 0..64 {
+            delivered.extend(sw.tick(slot));
+        }
+        assert!(delivered.is_empty());
+    }
+
+    #[test]
+    fn voq_reaching_threshold_is_padded_and_delivered() {
+        let n = 8;
+        let mut sw = PaddedFramesSwitch::new(n, 3);
+        for k in 0..3 {
+            sw.arrive(pkt(0, 1, k, 0));
+        }
+        let mut delivered = Vec::new();
+        for slot in 0..64 {
+            delivered.extend(sw.tick(slot));
+        }
+        let data: Vec<&DeliveredPacket> = delivered.iter().filter(|d| !d.packet.is_padding).collect();
+        let padding = delivered.len() - data.len();
+        assert_eq!(data.len(), 3);
+        assert_eq!(padding, n - 3);
+        assert_eq!(sw.padding_sent(), (n - 3) as u64);
+        // In order.
+        let seqs: Vec<u64> = data.iter().map(|d| d.packet.voq_seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn full_frames_take_priority_over_padding() {
+        let n = 4;
+        let mut sw = PaddedFramesSwitch::new(n, 1);
+        // A full frame to output 2 and a single packet to output 3.
+        for k in 0..n as u64 {
+            sw.arrive(pkt(0, 2, k, 0));
+        }
+        sw.arrive(pkt(0, 3, 0, 0));
+        let mut delivered = Vec::new();
+        for slot in 0..64 {
+            delivered.extend(sw.tick(slot));
+        }
+        // The full frame to output 2 starts departing before the padded
+        // single packet to output 3 does.
+        let first_frame_dep = delivered
+            .iter()
+            .filter(|d| !d.packet.is_padding && d.packet.output == 2)
+            .map(|d| d.departure_slot)
+            .min()
+            .unwrap();
+        let padded_dep = delivered
+            .iter()
+            .filter(|d| !d.packet.is_padding && d.packet.output == 3)
+            .map(|d| d.departure_slot)
+            .min()
+            .unwrap();
+        assert!(first_frame_dep < padded_dep, "the full frame departs first");
+        // Everything, including the padded single packet, eventually departs.
+        let data_count = delivered.iter().filter(|d| !d.packet.is_padding).count();
+        assert_eq!(data_count, n + 1);
+    }
+
+    #[test]
+    fn default_threshold_is_half_the_ports() {
+        assert_eq!(PaddedFramesSwitch::default_threshold(32), 16);
+        assert_eq!(PaddedFramesSwitch::default_threshold(2), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn threshold_above_n_is_rejected() {
+        let _ = PaddedFramesSwitch::new(4, 5);
+    }
+}

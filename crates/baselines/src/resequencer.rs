@@ -1,0 +1,165 @@
+//! Output-side resequencing buffers (used by FOFF).
+//!
+//! FOFF lets packets of incomplete frames race ahead of each other through
+//! the switch, bounding — but not preventing — reordering.  Each output port
+//! therefore keeps a resequencing buffer: packets are held until every
+//! earlier packet of the same VOQ has departed, and the output releases at
+//! most one packet per time slot (its line rate).
+
+use sprinklers_core::packet::Packet;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// A per-output resequencer.
+///
+/// Packets of each VOQ must carry strictly increasing `voq_seq` values in
+/// arrival order (the simulation harness guarantees this); the resequencer
+/// releases them in exactly that order.
+#[derive(Debug, Clone, Default)]
+pub struct Resequencer {
+    /// Buffered out-of-order packets per input, keyed by sequence number.
+    pending: HashMap<usize, BTreeMap<u64, Packet>>,
+    /// Next expected sequence per input (populated lazily from the arrival
+    /// log the switch feeds us).
+    expected: HashMap<usize, VecDeque<u64>>,
+    /// Packets ready to depart, in the order they became ready.
+    ready: VecDeque<Packet>,
+    buffered: usize,
+}
+
+impl Resequencer {
+    /// Create an empty resequencer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that a packet with this `(input, voq_seq)` was accepted by the
+    /// switch, so the resequencer knows the order in which to release packets
+    /// of that VOQ.  Must be called in arrival order.
+    pub fn note_arrival(&mut self, input: usize, voq_seq: u64) {
+        self.expected.entry(input).or_default().push_back(voq_seq);
+    }
+
+    /// Accept a (possibly out-of-order) packet from the second fabric.
+    pub fn receive(&mut self, packet: Packet) {
+        if packet.is_padding {
+            // Padding never reaches a FOFF resequencer, but be permissive.
+            self.ready.push_back(packet);
+            return;
+        }
+        let input = packet.input;
+        self.pending
+            .entry(input)
+            .or_default()
+            .insert(packet.voq_seq, packet);
+        self.buffered += 1;
+        self.promote(input);
+    }
+
+    /// Release at most one packet (the output line transmits one packet per
+    /// slot).
+    pub fn release_one(&mut self) -> Option<Packet> {
+        self.ready.pop_front()
+    }
+
+    /// Packets currently buffered (pending plus ready).
+    pub fn buffered_packets(&self) -> usize {
+        self.buffered + self.ready.len()
+    }
+
+    fn promote(&mut self, input: usize) {
+        let Some(expected) = self.expected.get_mut(&input) else {
+            return;
+        };
+        let Some(pending) = self.pending.get_mut(&input) else {
+            return;
+        };
+        while let Some(&next_seq) = expected.front() {
+            if let Some(packet) = pending.remove(&next_seq) {
+                expected.pop_front();
+                self.buffered -= 1;
+                self.ready.push_back(packet);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(input: usize, seq: u64) -> Packet {
+        Packet::new(input, 0, seq, 0).with_voq_seq(seq)
+    }
+
+    #[test]
+    fn in_order_packets_flow_straight_through() {
+        let mut r = Resequencer::new();
+        for seq in 0..5 {
+            r.note_arrival(0, seq);
+        }
+        for seq in 0..5 {
+            r.receive(pkt(0, seq));
+            assert_eq!(r.release_one().unwrap().voq_seq, seq);
+        }
+        assert_eq!(r.buffered_packets(), 0);
+    }
+
+    #[test]
+    fn out_of_order_packets_are_held_back() {
+        let mut r = Resequencer::new();
+        for seq in 0..3 {
+            r.note_arrival(4, seq);
+        }
+        r.receive(pkt(4, 1));
+        r.receive(pkt(4, 2));
+        assert!(r.release_one().is_none(), "seq 0 has not arrived yet");
+        assert_eq!(r.buffered_packets(), 2);
+        r.receive(pkt(4, 0));
+        assert_eq!(r.release_one().unwrap().voq_seq, 0);
+        assert_eq!(r.release_one().unwrap().voq_seq, 1);
+        assert_eq!(r.release_one().unwrap().voq_seq, 2);
+        assert!(r.release_one().is_none());
+    }
+
+    #[test]
+    fn one_release_per_call_models_the_line_rate() {
+        let mut r = Resequencer::new();
+        for seq in 0..4 {
+            r.note_arrival(1, seq);
+        }
+        for seq in [3u64, 2, 1, 0] {
+            r.receive(pkt(1, seq));
+        }
+        // Everything became ready at once, but departures happen one per slot.
+        let mut released = Vec::new();
+        while let Some(p) = r.release_one() {
+            released.push(p.voq_seq);
+        }
+        assert_eq!(released, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn inputs_are_independent() {
+        let mut r = Resequencer::new();
+        r.note_arrival(0, 0);
+        r.note_arrival(1, 0);
+        r.receive(pkt(1, 0));
+        assert_eq!(r.release_one().unwrap().input, 1);
+    }
+
+    #[test]
+    fn non_contiguous_sequence_numbers_are_handled() {
+        // FOFF only needs relative order; the harness's voq_seq values are
+        // contiguous, but the resequencer must not assume that.
+        let mut r = Resequencer::new();
+        r.note_arrival(0, 10);
+        r.note_arrival(0, 20);
+        r.receive(pkt(0, 20));
+        assert!(r.release_one().is_none());
+        r.receive(pkt(0, 10));
+        assert_eq!(r.release_one().unwrap().voq_seq, 10);
+        assert_eq!(r.release_one().unwrap().voq_seq, 20);
+    }
+}

@@ -1,0 +1,208 @@
+//! TCP hashing / Application Flow Based Routing (AFBR), §2.1 of the paper.
+//!
+//! Every packet of an application flow is sent through the same intermediate
+//! port, chosen by hashing the flow identifier.  Packets of a flow therefore
+//! experience FIFO queueing along a single path and can never be reordered —
+//! but two heavy flows that hash to the same intermediate port overload it,
+//! so the scheme cannot guarantee stability (the motivation for Sprinklers'
+//! load-aware, variable-size striping).  Per-VOQ order is *not* preserved:
+//! different flows of the same VOQ may take different paths.
+
+use crate::fabric::{first_fabric, second_fabric_output};
+use crate::intermediate::SimpleIntermediate;
+use sprinklers_core::packet::{DeliveredPacket, Packet};
+use sprinklers_core::switch::{Switch, SwitchStats};
+use std::collections::VecDeque;
+
+/// One TCP-hashing input port: a FIFO per intermediate port.
+struct HashInput {
+    per_intermediate: Vec<VecDeque<Packet>>,
+}
+
+impl HashInput {
+    fn new(n: usize) -> Self {
+        HashInput {
+            per_intermediate: (0..n).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    fn queued_packets(&self) -> usize {
+        self.per_intermediate.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// The TCP-hashing (AFBR) switch.
+pub struct TcpHashSwitch {
+    n: usize,
+    seed: u64,
+    inputs: Vec<HashInput>,
+    intermediates: Vec<SimpleIntermediate>,
+    arrivals: u64,
+    departures: u64,
+}
+
+impl TcpHashSwitch {
+    /// Create an `n`-port TCP-hashing switch; `seed` perturbs the flow hash.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n >= 2);
+        TcpHashSwitch {
+            n,
+            seed,
+            inputs: (0..n).map(|_| HashInput::new(n)).collect(),
+            intermediates: (0..n).map(|l| SimpleIntermediate::new(l, n)).collect(),
+            arrivals: 0,
+            departures: 0,
+        }
+    }
+
+    /// The intermediate port a flow is pinned to.
+    pub fn hash_flow(&self, flow: u64) -> usize {
+        // SplitMix64-style avalanche; good enough to spread flow ids evenly.
+        let mut x = flow ^ self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x % self.n as u64) as usize
+    }
+}
+
+impl Switch for TcpHashSwitch {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> &'static str {
+        "tcp-hash"
+    }
+
+    fn arrive(&mut self, packet: Packet) {
+        debug_assert!(packet.input < self.n && packet.output < self.n);
+        self.arrivals += 1;
+        let l = self.hash_flow(packet.flow);
+        self.inputs[packet.input].per_intermediate[l].push_back(packet);
+    }
+
+    fn tick(&mut self, slot: u64) -> Vec<DeliveredPacket> {
+        let mut delivered = Vec::new();
+        for l in 0..self.n {
+            let output = second_fabric_output(l, slot, self.n);
+            if let Some(packet) = self.intermediates[l].dequeue(output) {
+                self.departures += 1;
+                delivered.push(DeliveredPacket::new(packet, slot));
+            }
+        }
+        for i in 0..self.n {
+            let l = first_fabric(i, slot, self.n);
+            if let Some(mut packet) = self.inputs[i].per_intermediate[l].pop_front() {
+                packet.intermediate = l;
+                packet.stripe_size = 1;
+                self.intermediates[l].receive(packet);
+            }
+        }
+        delivered
+    }
+
+    fn stats(&self) -> SwitchStats {
+        SwitchStats {
+            queued_at_inputs: self.inputs.iter().map(HashInput::queued_packets).sum(),
+            queued_at_intermediates: self
+                .intermediates
+                .iter()
+                .map(|p| p.queued_packets())
+                .sum(),
+            queued_at_outputs: 0,
+            total_arrivals: self.arrivals,
+            total_departures: self.departures,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(input: usize, output: usize, flow: u64, seq: u64) -> Packet {
+        Packet::new(input, output, seq, 0)
+            .with_flow(flow)
+            .with_voq_seq(seq)
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_in_range() {
+        let sw = TcpHashSwitch::new(16, 7);
+        for flow in 0..1000u64 {
+            let a = sw.hash_flow(flow);
+            let b = sw.hash_flow(flow);
+            assert_eq!(a, b);
+            assert!(a < 16);
+        }
+    }
+
+    #[test]
+    fn hash_spreads_flows_reasonably_evenly() {
+        let n = 8;
+        let sw = TcpHashSwitch::new(n, 3);
+        let mut counts = vec![0usize; n];
+        for flow in 0..8000u64 {
+            counts[sw.hash_flow(flow)] += 1;
+        }
+        for (port, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 700 && c < 1300,
+                "port {port} got {c} of 8000 flows — the hash is badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn packets_of_one_flow_use_one_intermediate_port() {
+        let n = 8;
+        let mut sw = TcpHashSwitch::new(n, 1);
+        for k in 0..16u64 {
+            sw.arrive(pkt(2, 5, 42, k));
+        }
+        let mut delivered = Vec::new();
+        for slot in 0..512 {
+            delivered.extend(sw.tick(slot));
+        }
+        assert_eq!(delivered.len(), 16);
+        let ports: std::collections::HashSet<usize> =
+            delivered.iter().map(|d| d.packet.intermediate).collect();
+        assert_eq!(ports.len(), 1, "a flow must stick to a single intermediate port");
+        // Per-flow order is preserved.
+        let seqs: Vec<u64> = delivered.iter().map(|d| d.packet.voq_seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted);
+    }
+
+    #[test]
+    fn different_flows_can_use_different_paths() {
+        let n = 16;
+        let sw = TcpHashSwitch::new(n, 9);
+        let ports: std::collections::HashSet<usize> =
+            (0..64u64).map(|flow| sw.hash_flow(flow)).collect();
+        assert!(ports.len() > 1);
+    }
+
+    #[test]
+    fn conserves_packets() {
+        let n = 4;
+        let mut sw = TcpHashSwitch::new(n, 5);
+        let mut sent = 0u64;
+        for slot in 0..200u64 {
+            for i in 0..n {
+                sw.arrive(pkt(i, (i + 1) % n, slot % 7, slot));
+                sent += 1;
+            }
+            sw.tick(slot);
+        }
+        let mut got = sw.stats().total_departures;
+        for slot in 200..4000u64 {
+            got += sw.tick(slot).len() as u64;
+        }
+        assert_eq!(got, sent);
+    }
+}

@@ -1,0 +1,220 @@
+//! Uniform Frame Spreading (UFS), reference [11] of the paper.
+//!
+//! Each input accumulates packets in per-output VOQs and only transmits
+//! *full frames* of N packets, all destined to the same output.  A frame is
+//! transmitted over N consecutive slots with packet `k` going to intermediate
+//! port `k`, which (given the increasing connection pattern of the first
+//! fabric) means transmission starts in the slot where the input is connected
+//! to intermediate port 0.  Because every frame deposits exactly one packet
+//! at every intermediate port, the per-output queues at all intermediate
+//! ports stay equal in length and packets of a VOQ depart in order without
+//! any resequencing.
+//!
+//! The price is delay: at light load a VOQ takes a long time to accumulate N
+//! packets (the O(N³) worst case the paper cites), which is exactly the
+//! behaviour Figures 6 and 7 show and Sprinklers is designed to avoid.
+
+use crate::fabric::{first_fabric, second_fabric_output};
+use crate::frame::{FrameInService, FrameVoq};
+use crate::intermediate::SimpleIntermediate;
+use sprinklers_core::packet::{DeliveredPacket, Packet};
+use sprinklers_core::switch::{Switch, SwitchStats};
+use std::collections::VecDeque;
+
+/// One UFS input port.
+struct UfsInput {
+    voqs: Vec<FrameVoq>,
+    /// Full frames ready to transmit, FCFS.
+    ready_frames: VecDeque<Vec<Packet>>,
+    in_service: Option<FrameInService>,
+}
+
+impl UfsInput {
+    fn new(n: usize) -> Self {
+        UfsInput {
+            voqs: (0..n).map(|_| FrameVoq::new()).collect(),
+            ready_frames: VecDeque::new(),
+            in_service: None,
+        }
+    }
+
+    fn queued_packets(&self) -> usize {
+        self.voqs.iter().map(FrameVoq::len).sum::<usize>()
+            + self.ready_frames.iter().map(Vec::len).sum::<usize>()
+            + self.in_service.as_ref().map_or(0, FrameInService::remaining)
+    }
+}
+
+/// The Uniform Frame Spreading switch.
+pub struct UfsSwitch {
+    n: usize,
+    inputs: Vec<UfsInput>,
+    intermediates: Vec<SimpleIntermediate>,
+    arrivals: u64,
+    departures: u64,
+}
+
+impl UfsSwitch {
+    /// Create an `n`-port UFS switch.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2);
+        UfsSwitch {
+            n,
+            inputs: (0..n).map(|_| UfsInput::new(n)).collect(),
+            intermediates: (0..n).map(|l| SimpleIntermediate::new(l, n)).collect(),
+            arrivals: 0,
+            departures: 0,
+        }
+    }
+}
+
+impl Switch for UfsSwitch {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> &'static str {
+        "ufs"
+    }
+
+    fn arrive(&mut self, packet: Packet) {
+        debug_assert!(packet.input < self.n && packet.output < self.n);
+        self.arrivals += 1;
+        let input = &mut self.inputs[packet.input];
+        let output = packet.output;
+        input.voqs[output].push(packet);
+        if let Some(frame) = input.voqs[output].pop_full_frame(self.n) {
+            input.ready_frames.push_back(frame);
+        }
+    }
+
+    fn tick(&mut self, slot: u64) -> Vec<DeliveredPacket> {
+        let mut delivered = Vec::new();
+        for l in 0..self.n {
+            let output = second_fabric_output(l, slot, self.n);
+            if let Some(packet) = self.intermediates[l].dequeue(output) {
+                self.departures += 1;
+                delivered.push(DeliveredPacket::new(packet, slot));
+            }
+        }
+        for i in 0..self.n {
+            let connected = first_fabric(i, slot, self.n);
+            let input = &mut self.inputs[i];
+            // Start a new frame only when connected to intermediate port 0, so
+            // that packet k of every frame lands on intermediate port k.
+            if input.in_service.is_none() && connected == 0 {
+                if let Some(frame) = input.ready_frames.pop_front() {
+                    input.in_service = Some(FrameInService::new(frame));
+                }
+            }
+            if let Some(svc) = &mut input.in_service {
+                debug_assert_eq!(svc.next_port(), connected);
+                let packet = svc.serve_next();
+                self.intermediates[connected].receive(packet);
+                if svc.finished() {
+                    input.in_service = None;
+                }
+            }
+        }
+        delivered
+    }
+
+    fn stats(&self) -> SwitchStats {
+        SwitchStats {
+            queued_at_inputs: self.inputs.iter().map(UfsInput::queued_packets).sum(),
+            queued_at_intermediates: self.intermediates.iter().map(|p| p.queued_packets()).sum(),
+            queued_at_outputs: 0,
+            total_arrivals: self.arrivals,
+            total_departures: self.departures,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(input: usize, output: usize, seq: u64, slot: u64) -> Packet {
+        Packet::new(input, output, seq, slot).with_voq_seq(seq)
+    }
+
+    #[test]
+    fn incomplete_frames_are_never_transmitted() {
+        let n = 4;
+        let mut sw = UfsSwitch::new(n);
+        for k in 0..3 {
+            sw.arrive(pkt(0, 1, k, 0));
+        }
+        let mut delivered = Vec::new();
+        for slot in 0..64 {
+            delivered.extend(sw.tick(slot));
+        }
+        assert!(delivered.is_empty(), "UFS must hold packets until a full frame forms");
+        assert_eq!(sw.stats().queued_at_inputs, 3);
+    }
+
+    #[test]
+    fn a_full_frame_is_delivered_in_order_and_in_a_burst() {
+        let n = 4;
+        let mut sw = UfsSwitch::new(n);
+        for k in 0..n as u64 {
+            sw.arrive(pkt(2, 1, k, 0));
+        }
+        let mut delivered = Vec::new();
+        for slot in 0..64 {
+            delivered.extend(sw.tick(slot));
+        }
+        assert_eq!(delivered.len(), n);
+        let seqs: Vec<u64> = delivered.iter().map(|d| d.packet.voq_seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3], "frame departs in order");
+        // The frame reaches the output in consecutive slots.
+        for w in delivered.windows(2) {
+            assert_eq!(w[1].departure_slot, w[0].departure_slot + 1);
+        }
+        assert_eq!(sw.stats().total_queued(), 0);
+    }
+
+    #[test]
+    fn frames_of_different_voqs_are_serviced_fcfs() {
+        let n = 4;
+        let mut sw = UfsSwitch::new(n);
+        for k in 0..n as u64 {
+            sw.arrive(pkt(0, 1, k, 0));
+        }
+        for k in 0..n as u64 {
+            sw.arrive(pkt(0, 2, k, 0));
+        }
+        let mut delivered = Vec::new();
+        for slot in 0..64 {
+            delivered.extend(sw.tick(slot));
+        }
+        assert_eq!(delivered.len(), 2 * n);
+        // The frame to output 1 was completed first, so it starts departing
+        // before the frame to output 2 does.
+        let first_dep = |out: usize| {
+            delivered
+                .iter()
+                .filter(|d| d.packet.output == out)
+                .map(|d| d.departure_slot)
+                .min()
+                .unwrap()
+        };
+        assert!(first_dep(1) < first_dep(2));
+    }
+
+    #[test]
+    fn frame_packets_land_on_distinct_intermediate_ports() {
+        let n = 8;
+        let mut sw = UfsSwitch::new(n);
+        for k in 0..n as u64 {
+            sw.arrive(pkt(3, 6, k, 0));
+        }
+        let mut delivered = Vec::new();
+        for slot in 0..96 {
+            delivered.extend(sw.tick(slot));
+        }
+        let mut ports: Vec<usize> = delivered.iter().map(|d| d.packet.intermediate).collect();
+        ports.sort_unstable();
+        assert_eq!(ports, (0..n).collect::<Vec<_>>());
+    }
+}

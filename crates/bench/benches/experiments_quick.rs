@@ -1,0 +1,99 @@
+//! Quick-mode regeneration of every paper artifact, run as part of
+//! `cargo bench`.  This is not a criterion benchmark (harness = false): it
+//! executes reduced-size versions of Table 1, Figure 5, Figure 6, Figure 7
+//! and the two ablations, prints their CSVs, and asserts the headline
+//! qualitative claims (zero reordering for the ordered schemes, UFS ≫
+//! Sprinklers delay at light load, delay bound shapes).
+
+use sprinklers_bench::experiments;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+
+    println!("==== Table 1 (quick == full; pure numerics) ====");
+    print!("{}", experiments::table1_csv());
+
+    println!("\n==== Figure 5 (quick) ====");
+    print!("{}", experiments::figure5_csv(true));
+
+    println!("\n==== Figure 6: uniform traffic (quick) ====");
+    let fig6 = experiments::figure6(true);
+    print!("{}", experiments::points_to_csv(&fig6));
+    check_figure(&fig6, "figure 6");
+
+    println!("\n==== Figure 7: quasi-diagonal traffic (quick) ====");
+    let fig7 = experiments::figure7(true);
+    print!("{}", experiments::points_to_csv(&fig7));
+    check_figure(&fig7, "figure 7");
+
+    println!("\n==== Ablation: scheduling variants (quick) ====");
+    let ab = experiments::ablation_alignment(true);
+    print!("{}", experiments::points_to_csv(&ab));
+    // Only the default variant (stripe-atomic input + immediate eligibility)
+    // guarantees zero reordering; the ablation exists precisely to show that
+    // the simplified row-scan discipline and naive frame-aligned staging do
+    // reorder under concurrent traffic (see EXPERIMENTS.md).
+    for p in &ab {
+        if p.scheme == "sprinklers" {
+            assert!(
+                p.report.reordering.voq_reorder_events == 0,
+                "{} reordered at load {}",
+                p.scheme,
+                p.load
+            );
+        }
+    }
+
+    println!("\n==== Ablation: stripe sizing (quick) ====");
+    let ab = experiments::ablation_sizing(true);
+    print!("{}", experiments::points_to_csv(&ab));
+
+    println!(
+        "\nall quick experiments completed in {:.1} s",
+        t0.elapsed().as_secs_f64()
+    );
+}
+
+fn check_figure(points: &[experiments::SchemePoint], what: &str) {
+    // Ordered schemes must not reorder.
+    for p in points {
+        if p.scheme != "baseline-lb" {
+            assert_eq!(
+                p.report.reordering.voq_reorder_events, 0,
+                "{what}: {} reordered at load {}",
+                p.scheme, p.load
+            );
+        }
+    }
+    // At the lightest load, UFS's frame-accumulation delay dwarfs Sprinklers'.
+    let delay = |scheme: &str, load: f64| {
+        points
+            .iter()
+            .find(|p| p.scheme == scheme && (p.load - load).abs() < 1e-9)
+            .map(|p| p.report.delay.mean())
+            .unwrap_or(f64::NAN)
+    };
+    let light = points
+        .iter()
+        .map(|p| p.load)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        delay("ufs", light) > delay("sprinklers", light),
+        "{what}: UFS ({}) should have a larger delay than Sprinklers ({}) at load {light}",
+        delay("ufs", light),
+        delay("sprinklers", light)
+    );
+    // The baseline (unordered) switch is the delay lower bound.
+    for p in points {
+        if p.scheme == "baseline-lb" {
+            continue;
+        }
+        let base = delay("baseline-lb", p.load);
+        assert!(
+            p.report.delay.mean() + 1e-9 >= base,
+            "{what}: {} at load {} is below the baseline lower bound",
+            p.scheme,
+            p.load
+        );
+    }
+}

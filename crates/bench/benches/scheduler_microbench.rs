@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks of the Sprinklers fast path: stripe-interval
+//! generation, the two LSF scheduler implementations, and the analytical
+//! bound computation.  These quantify the "constant time per slot" claim the
+//! paper makes about the scheduler (§1.2).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sprinklers_analysis::chernoff::overload_bound;
+use sprinklers_core::dyadic::DyadicInterval;
+use sprinklers_core::lsf::{AtomicLsf, RowScanLsf, StripeScheduler};
+use sprinklers_core::ols::WeaklyUniformOls;
+use sprinklers_core::packet::Packet;
+use sprinklers_core::sizing::stripe_size;
+use sprinklers_core::stripe::Stripe;
+
+fn mk_stripe(n: usize, start: usize, size: usize, seq: u64) -> Stripe {
+    assert!(start + size <= n);
+    let interval = DyadicInterval::new(start, size);
+    let packets = (0..size)
+        .map(|k| Packet::new(0, 1, seq * 1000 + k as u64, 0).with_voq_seq(seq * 1000 + k as u64))
+        .collect();
+    Stripe::assemble(interval, 0, 1, seq, packets)
+}
+
+fn bench_ols_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ols_generation");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for n in [64usize, 256, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| WeaklyUniformOls::random(black_box(n), &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_stripe_size_rule(c: &mut Criterion) {
+    c.bench_function("stripe_size_rule", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for k in 1..1000u32 {
+                acc += stripe_size(black_box(f64::from(k) * 1e-5), 1024);
+            }
+            acc
+        });
+    });
+}
+
+fn bench_lsf_insert_serve(c: &mut Criterion) {
+    let n = 64usize;
+    let mut group = c.benchmark_group("lsf_insert_serve_cycle");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("row_scan", |b| {
+        b.iter(|| {
+            let mut s = RowScanLsf::new(n);
+            for seq in 0..64u64 {
+                let size = 1 << (seq % 7);
+                let start = ((seq as usize * 13) % n / size) * size;
+                s.insert(mk_stripe(n, start, size, seq));
+            }
+            let mut served = 0usize;
+            let mut slot = 0usize;
+            while !s.is_empty() {
+                if s.serve(slot % n).is_some() {
+                    served += 1;
+                }
+                slot += 1;
+            }
+            black_box(served)
+        });
+    });
+    group.bench_function("stripe_atomic", |b| {
+        b.iter(|| {
+            let mut s = AtomicLsf::new(n);
+            for seq in 0..64u64 {
+                let size = 1 << (seq % 7);
+                let start = ((seq as usize * 13) % n / size) * size;
+                s.insert(mk_stripe(n, start, size, seq));
+            }
+            let mut served = 0usize;
+            let mut slot = 0usize;
+            while !s.is_empty() {
+                if s.serve(slot % n).is_some() {
+                    served += 1;
+                }
+                slot += 1;
+            }
+            black_box(served)
+        });
+    });
+    group.finish();
+}
+
+fn bench_chernoff_bound(c: &mut Criterion) {
+    c.bench_function("chernoff_overload_bound", |b| {
+        b.iter(|| overload_bound(black_box(2048), black_box(0.93)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ols_generation,
+    bench_stripe_size_rule,
+    bench_lsf_insert_serve,
+    bench_chernoff_bound
+);
+criterion_main!(benches);

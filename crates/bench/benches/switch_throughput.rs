@@ -1,0 +1,76 @@
+//! Criterion benchmarks of whole-switch simulation throughput: how many
+//! simulated slots per second each scheme sustains at N = 32 under 90% load.
+//! This is a property of the simulator (not of the paper), but it bounds how
+//! large the figure experiments can be made and catches accidental
+//! complexity regressions in the per-slot fast path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sprinklers_bench::experiments::{build_switch, TrafficKind};
+use sprinklers_core::switch::Switch;
+use sprinklers_sim::traffic::TrafficGenerator;
+
+fn bench_switch_tick(c: &mut Criterion) {
+    let n = 32;
+    let load = 0.9;
+    let slots_per_iter = 2_000u64;
+    let mut group = c.benchmark_group("switch_tick_throughput");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.throughput(Throughput::Elements(slots_per_iter));
+    for scheme in ["baseline-lb", "ufs", "foff", "padded-frames", "sprinklers"] {
+        group.bench_with_input(BenchmarkId::from_parameter(scheme), &scheme, |b, &scheme| {
+            b.iter(|| {
+                let matrix = TrafficKind::Uniform.matrix(n, load);
+                let mut switch = build_switch(scheme, n, &matrix, 11);
+                let mut traffic = TrafficKind::Uniform.generator(n, load, 17);
+                let mut voq_seq = vec![0u64; n * n];
+                let mut delivered = 0u64;
+                for slot in 0..slots_per_iter {
+                    for mut p in traffic.arrivals(slot) {
+                        let key = p.input * n + p.output;
+                        p.voq_seq = voq_seq[key];
+                        voq_seq[key] += 1;
+                        switch.arrive(p);
+                    }
+                    delivered += switch.tick(slot).len() as u64;
+                }
+                black_box(delivered)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sprinklers_scaling(c: &mut Criterion) {
+    let load = 0.8;
+    let slots_per_iter = 1_000u64;
+    let mut group = c.benchmark_group("sprinklers_tick_vs_n");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.throughput(Throughput::Elements(slots_per_iter));
+    for n in [16usize, 32, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let matrix = TrafficKind::Uniform.matrix(n, load);
+                let mut switch = build_switch("sprinklers", n, &matrix, 3);
+                let mut traffic = TrafficKind::Uniform.generator(n, load, 5);
+                let mut voq_seq = vec![0u64; n * n];
+                let mut delivered = 0u64;
+                for slot in 0..slots_per_iter {
+                    for mut p in traffic.arrivals(slot) {
+                        let key = p.input * n + p.output;
+                        p.voq_seq = voq_seq[key];
+                        voq_seq[key] += 1;
+                        switch.arrive(p);
+                    }
+                    delivered += switch.tick(slot).len() as u64;
+                }
+                black_box(delivered)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_switch_tick, bench_sprinklers_scaling);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Ablation: stripe sizing policy (matrix-driven, adaptive, fixed 1, fixed N).
+//!
+//! Fixed size 1 degenerates to single-path per-VOQ routing (TCP-hash-like
+//! load balancing with a deterministic hash); fixed size N degenerates to
+//! full-frame spreading (UFS-like accumulation delay).  The rate-proportional
+//! rule of the paper sits between the two.
+//!
+//! Usage: `cargo run --release -p sprinklers-bench --bin ablation_sizing [--quick]`
+
+use sprinklers_bench::experiments::{ablation_sizing, points_to_csv};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    eprintln!("running stripe-sizing ablation, quick = {quick} ...");
+    let points = ablation_sizing(quick);
+    println!("# Ablation: stripe sizing policies (uniform traffic, N = 32)");
+    print!("{}", points_to_csv(&points));
+}

@@ -1,0 +1,10 @@
+//! Regenerate Figure 5 of the paper: expected intermediate-stage delay (in
+//! service periods) versus switch size at ρ = 0.9.
+//!
+//! Usage: `cargo run --release -p sprinklers-bench --bin figure5 [--quick]`
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("# Figure 5: expected delay at the intermediate stage, rho = 0.9");
+    print!("{}", sprinklers_bench::experiments::figure5_csv(quick));
+}

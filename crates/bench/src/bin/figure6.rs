@@ -1,0 +1,19 @@
+//! Regenerate Figure 6 of the paper: average delay versus load under uniform
+//! Bernoulli traffic, N = 32, for the baseline load-balanced switch, UFS,
+//! FOFF, Padded Frames and Sprinklers.
+//!
+//! Usage: `cargo run --release -p sprinklers-bench --bin figure6 [--quick]`
+
+use sprinklers_bench::chart::{log_y_chart, points_to_series};
+use sprinklers_bench::experiments::{figure6, points_to_csv};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    eprintln!("running figure 6 (uniform traffic), quick = {quick} ...");
+    let points = figure6(quick);
+    println!("# Figure 6: average delay vs load, uniform traffic, N = 32");
+    print!("{}", points_to_csv(&points));
+    println!();
+    println!("# mean delay (slots, log scale) vs offered load:");
+    print!("{}", log_y_chart(&points_to_series(&points), 60, 18));
+}

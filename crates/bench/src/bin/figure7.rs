@@ -1,0 +1,18 @@
+//! Regenerate Figure 7 of the paper: average delay versus load under
+//! quasi-diagonal Bernoulli traffic, N = 32.
+//!
+//! Usage: `cargo run --release -p sprinklers-bench --bin figure7 [--quick]`
+
+use sprinklers_bench::chart::{log_y_chart, points_to_series};
+use sprinklers_bench::experiments::{figure7, points_to_csv};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    eprintln!("running figure 7 (quasi-diagonal traffic), quick = {quick} ...");
+    let points = figure7(quick);
+    println!("# Figure 7: average delay vs load, quasi-diagonal traffic, N = 32");
+    print!("{}", points_to_csv(&points));
+    println!();
+    println!("# mean delay (slots, log scale) vs offered load:");
+    print!("{}", log_y_chart(&points_to_series(&points), 60, 18));
+}

@@ -1,0 +1,378 @@
+//! The experiment implementations behind every table and figure.
+
+use sprinklers_analysis::chernoff;
+use sprinklers_analysis::markov;
+use sprinklers_baselines::{
+    BaselineLbSwitch, FoffSwitch, PaddedFramesSwitch, TcpHashSwitch, UfsSwitch,
+};
+use sprinklers_core::config::{AlignmentMode, InputDiscipline, SizingMode, SprinklersConfig};
+use sprinklers_core::matrix::TrafficMatrix;
+use sprinklers_core::sprinklers::SprinklersSwitch;
+use sprinklers_core::switch::Switch;
+use sprinklers_sim::harness::{RunConfig, Simulator};
+use sprinklers_sim::report::SimReport;
+use sprinklers_sim::traffic::bernoulli::BernoulliTraffic;
+
+/// Switch size used by the paper's delay simulations (§6).
+pub const PAPER_N: usize = 32;
+
+/// The traffic patterns of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficKind {
+    /// Uniform destinations (Figure 6).
+    Uniform,
+    /// Quasi-diagonal destinations (Figure 7).
+    Diagonal,
+}
+
+impl TrafficKind {
+    /// The rate matrix of this pattern at load `rho`.
+    pub fn matrix(&self, n: usize, rho: f64) -> TrafficMatrix {
+        match self {
+            TrafficKind::Uniform => TrafficMatrix::uniform(n, rho),
+            TrafficKind::Diagonal => TrafficMatrix::diagonal(n, rho),
+        }
+    }
+
+    /// A Bernoulli traffic generator for this pattern.
+    pub fn generator(&self, n: usize, rho: f64, seed: u64) -> BernoulliTraffic {
+        match self {
+            TrafficKind::Uniform => BernoulliTraffic::uniform(n, rho, seed),
+            TrafficKind::Diagonal => BernoulliTraffic::diagonal(n, rho, seed),
+        }
+    }
+}
+
+/// The five schemes compared in Figures 6 and 7.
+pub const PAPER_SCHEMES: [&str; 5] = ["baseline-lb", "ufs", "foff", "padded-frames", "sprinklers"];
+
+/// Build a switch by scheme name.  The traffic matrix is used by Sprinklers
+/// for stripe sizing; the other schemes ignore it.
+pub fn build_switch(scheme: &str, n: usize, matrix: &TrafficMatrix, seed: u64) -> Box<dyn Switch> {
+    match scheme {
+        "baseline-lb" => Box::new(BaselineLbSwitch::new(n)),
+        "ufs" => Box::new(UfsSwitch::new(n)),
+        "foff" => Box::new(FoffSwitch::new(n)),
+        "padded-frames" => Box::new(PaddedFramesSwitch::new(
+            n,
+            PaddedFramesSwitch::default_threshold(n),
+        )),
+        "tcp-hash" => Box::new(TcpHashSwitch::new(n, seed)),
+        "sprinklers" => Box::new(SprinklersSwitch::new(
+            SprinklersConfig::new(n).with_sizing(SizingMode::FromMatrix(matrix.clone())),
+            seed,
+        )),
+        "sprinklers-adaptive" => Box::new(SprinklersSwitch::new(SprinklersConfig::new(n), seed)),
+        "sprinklers-rowscan" => Box::new(SprinklersSwitch::new(
+            SprinklersConfig::new(n)
+                .with_sizing(SizingMode::FromMatrix(matrix.clone()))
+                .with_input_discipline(InputDiscipline::RowScan),
+            seed,
+        )),
+        "sprinklers-aligned" => Box::new(SprinklersSwitch::new(
+            SprinklersConfig::new(n)
+                .with_sizing(SizingMode::FromMatrix(matrix.clone()))
+                .with_alignment(AlignmentMode::StripeComplete),
+            seed,
+        )),
+        other => panic!("unknown scheme {other}"),
+    }
+}
+
+/// One data point of a delay-vs-load experiment.
+#[derive(Debug, Clone)]
+pub struct SchemePoint {
+    /// Scheme name.
+    pub scheme: String,
+    /// Offered load.
+    pub load: f64,
+    /// The full simulation report.
+    pub report: SimReport,
+}
+
+impl SchemePoint {
+    /// CSV header shared by the figure binaries.
+    pub fn csv_header() -> &'static str {
+        "scheme,load,mean_delay,p50_delay,p99_delay,max_delay,voq_reorders,flow_reorders,\
+         delivered,offered,padding"
+    }
+
+    /// One CSV row.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{:.2},{:.2},{},{},{},{},{},{},{},{}",
+            self.scheme,
+            self.load,
+            self.report.delay.mean(),
+            self.report.delay.percentile(0.5),
+            self.report.delay.percentile(0.99),
+            self.report.delay.max(),
+            self.report.reordering.voq_reorder_events,
+            self.report.reordering.flow_reorder_events,
+            self.report.delivered_packets,
+            self.report.offered_packets,
+            self.report.padding_packets,
+        )
+    }
+}
+
+/// Run one scheme at one load against one traffic pattern.
+pub fn run_point(
+    scheme: &str,
+    n: usize,
+    load: f64,
+    kind: TrafficKind,
+    run: RunConfig,
+    seed: u64,
+) -> SchemePoint {
+    let matrix = kind.matrix(n, load);
+    let switch = build_switch(scheme, n, &matrix, seed);
+    let traffic = kind.generator(n, load, seed.wrapping_add(1));
+    let report = Simulator::new(switch, traffic).run(run);
+    SchemePoint {
+        scheme: scheme.to_string(),
+        load,
+        report,
+    }
+}
+
+/// Delay-vs-load sweep across a set of schemes.
+pub fn delay_vs_load(
+    schemes: &[&str],
+    n: usize,
+    loads: &[f64],
+    kind: TrafficKind,
+    run: RunConfig,
+    seed: u64,
+) -> Vec<SchemePoint> {
+    let mut out = Vec::new();
+    for &scheme in schemes {
+        for &load in loads {
+            out.push(run_point(scheme, n, load, kind, run, seed));
+        }
+    }
+    out
+}
+
+/// The load grid of Figures 6 and 7.
+pub fn paper_loads(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![0.1, 0.3, 0.5, 0.7, 0.9]
+    } else {
+        vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95]
+    }
+}
+
+/// Simulation length used by the figure experiments.
+pub fn paper_run_config(quick: bool) -> RunConfig {
+    if quick {
+        RunConfig {
+            slots: 30_000,
+            warmup_slots: 5_000,
+            drain_slots: 30_000,
+        }
+    } else {
+        RunConfig {
+            slots: 200_000,
+            warmup_slots: 30_000,
+            drain_slots: 120_000,
+        }
+    }
+}
+
+/// Figure 6: average delay versus load under uniform traffic, N = 32.
+pub fn figure6(quick: bool) -> Vec<SchemePoint> {
+    delay_vs_load(
+        &PAPER_SCHEMES,
+        PAPER_N,
+        &paper_loads(quick),
+        TrafficKind::Uniform,
+        paper_run_config(quick),
+        2014,
+    )
+}
+
+/// Figure 7: average delay versus load under quasi-diagonal traffic, N = 32.
+pub fn figure7(quick: bool) -> Vec<SchemePoint> {
+    delay_vs_load(
+        &PAPER_SCHEMES,
+        PAPER_N,
+        &paper_loads(quick),
+        TrafficKind::Diagonal,
+        paper_run_config(quick),
+        2014,
+    )
+}
+
+/// Ablation: every combination of input discipline and intermediate alignment
+/// for the Sprinklers switch, checking ordering and delay impact.
+pub fn ablation_alignment(quick: bool) -> Vec<SchemePoint> {
+    let variants = ["sprinklers", "sprinklers-rowscan", "sprinklers-aligned"];
+    delay_vs_load(
+        &variants,
+        PAPER_N,
+        &paper_loads(quick),
+        TrafficKind::Uniform,
+        paper_run_config(quick),
+        99,
+    )
+}
+
+/// Ablation: matrix-driven sizing vs adaptive (measured-rate) sizing vs the
+/// degenerate fixed sizes 1 and N.
+pub fn ablation_sizing(quick: bool) -> Vec<SchemePoint> {
+    let n = PAPER_N;
+    let loads = paper_loads(quick);
+    let run = paper_run_config(quick);
+    let mut out = Vec::new();
+    for &load in &loads {
+        let matrix = TrafficMatrix::uniform(n, load);
+        let configs: Vec<(&str, SprinklersConfig)> = vec![
+            (
+                "sizing-matrix",
+                SprinklersConfig::new(n).with_sizing(SizingMode::FromMatrix(matrix.clone())),
+            ),
+            ("sizing-adaptive", SprinklersConfig::new(n)),
+            (
+                "sizing-fixed-1",
+                SprinklersConfig::new(n).with_sizing(SizingMode::FixedSize(1)),
+            ),
+            (
+                "sizing-fixed-n",
+                SprinklersConfig::new(n).with_sizing(SizingMode::FixedSize(n)),
+            ),
+        ];
+        for (name, config) in configs {
+            let switch = SprinklersSwitch::new(config, 7);
+            let traffic = BernoulliTraffic::uniform(n, load, 13);
+            let report = Simulator::new(switch, traffic).run(run);
+            out.push(SchemePoint {
+                scheme: name.to_string(),
+                load,
+                report,
+            });
+        }
+    }
+    out
+}
+
+/// Table 1 as CSV: the single-queue overload bound for the paper's grid of
+/// loads and switch sizes, plus the switch-wide union bound.
+pub fn table1_csv() -> String {
+    let mut out = String::from("rho,n,log10_bound,bound,log10_switch_wide,switch_wide\n");
+    for row in chernoff::table1() {
+        out.push_str(&format!(
+            "{:.2},{},{:.3},{:.3e},{:.3},{:.3e}\n",
+            row.rho,
+            row.n,
+            row.log_bound / std::f64::consts::LN_10,
+            row.bound,
+            row.log_switch_wide / std::f64::consts::LN_10,
+            row.switch_wide,
+        ));
+    }
+    out
+}
+
+/// Figure 5 as CSV: expected intermediate-stage delay (in periods) versus
+/// switch size at ρ = 0.9, from both the closed form and the numerical
+/// stationary distribution.
+pub fn figure5_csv(quick: bool) -> String {
+    let sizes: Vec<usize> = if quick {
+        vec![8, 32, 128, 512]
+    } else {
+        vec![8, 16, 32, 64, 128, 256, 384, 512, 640, 768, 896, 1024]
+    };
+    let rho = 0.9;
+    let mut out = String::from("n,expected_delay_closed_form,expected_delay_numeric,p99_numeric\n");
+    for &n in &sizes {
+        let closed = markov::expected_queue_length(n, rho);
+        // The numerical chain gets expensive for very large N; cap it.
+        let (numeric, p99) = if n <= 512 {
+            let model = markov::IntermediateDelayModel::solve(n, rho);
+            (model.mean_queue_length(), model.percentile(0.99) as f64)
+        } else {
+            (f64::NAN, f64::NAN)
+        };
+        out.push_str(&format!("{n},{closed:.1},{numeric:.1},{p99:.0}\n"));
+    }
+    out
+}
+
+/// Render a set of [`SchemePoint`]s as CSV.
+pub fn points_to_csv(points: &[SchemePoint]) -> String {
+    let mut out = String::from(SchemePoint::csv_header());
+    out.push('\n');
+    for p in points {
+        out.push_str(&p.csv_row());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_csv_has_24_data_rows() {
+        let csv = table1_csv();
+        assert_eq!(csv.lines().count(), 25);
+        assert!(csv.contains("0.93,2048"));
+    }
+
+    #[test]
+    fn figure5_csv_matches_closed_form_shape() {
+        let csv = figure5_csv(true);
+        assert!(csv.lines().count() >= 4);
+        // Delay grows with N.
+        let rows: Vec<f64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert!(rows.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn build_switch_knows_every_scheme() {
+        let m = TrafficMatrix::uniform(8, 0.5);
+        for scheme in PAPER_SCHEMES {
+            let sw = build_switch(scheme, 8, &m, 1);
+            assert_eq!(sw.n(), 8);
+        }
+        let sw = build_switch("tcp-hash", 8, &m, 1);
+        assert_eq!(sw.name(), "tcp-hash");
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_scheme_panics() {
+        let m = TrafficMatrix::uniform(8, 0.5);
+        let _ = build_switch("does-not-exist", 8, &m, 1);
+    }
+
+    #[test]
+    fn run_point_produces_a_consistent_report() {
+        let p = run_point(
+            "sprinklers",
+            16,
+            0.4,
+            TrafficKind::Uniform,
+            RunConfig {
+                slots: 4_000,
+                warmup_slots: 500,
+                drain_slots: 4_000,
+            },
+            5,
+        );
+        assert_eq!(p.report.n, 16);
+        assert!(p.report.reordering.is_ordered());
+        assert!(p.report.delivery_ratio() > 0.9);
+        // CSV row matches the header's column count.
+        assert_eq!(
+            p.csv_row().split(',').count(),
+            SchemePoint::csv_header().split(',').count()
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! | Paper artifact | Function | Binary |
+//! |---|---|---|
+//! | Table 1 (overload probability bounds) | [`experiments::table1_csv`] | `table1` |
+//! | Figure 5 (intermediate-stage delay vs N) | [`experiments::figure5_csv`] | `figure5` |
+//! | Figure 6 (delay vs load, uniform traffic) | [`experiments::figure6`] | `figure6` |
+//! | Figure 7 (delay vs load, diagonal traffic) | [`experiments::figure7`] | `figure7` |
+//! | Ablation: input discipline × alignment | [`experiments::ablation_alignment`] | `ablation_alignment` |
+//! | Ablation: stripe sizing policy | [`experiments::ablation_sizing`] | `ablation_sizing` |
+//!
+//! Each binary prints a CSV to stdout; `cargo bench` (the `experiments_quick`
+//! bench target) runs reduced-size versions of all of them so the whole
+//! evaluation can be smoke-tested in one command.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod experiments;

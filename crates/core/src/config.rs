@@ -1,0 +1,238 @@
+//! Configuration of a Sprinklers switch.
+
+use crate::error::SwitchError;
+use crate::matrix::TrafficMatrix;
+use serde::{Deserialize, Serialize};
+
+/// How each VOQ's stripe size is determined.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SizingMode {
+    /// Derive stripe sizes from a known traffic matrix using the paper's rule
+    /// `F(r) = min(N, 2^⌈log₂(r·N²)⌉)` (Eq. (1)).  This matches the assumption
+    /// of the stability analysis (§4) and is the mode used for the paper's
+    /// delay simulations, where the traffic matrix is known.
+    FromMatrix(TrafficMatrix),
+    /// Measure each VOQ's rate online and adapt the stripe size, with
+    /// hysteresis and a clearance (drain) phase before a size change takes
+    /// effect (§3.3.2, §5).
+    Adaptive(AdaptiveSizing),
+    /// Use the same fixed stripe size for every VOQ (must be a power of two).
+    /// Useful for ablations: size 1 degenerates to per-VOQ single-path
+    /// routing, size N degenerates to frame-based uniform spreading.
+    FixedSize(usize),
+}
+
+/// Parameters of the adaptive (measured-rate) sizing mode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveSizing {
+    /// Measurement window in slots.
+    pub window: u64,
+    /// EWMA weight of the newest window, in `(0, 1]`.
+    pub gamma: f64,
+    /// Number of consecutive disagreeing windows required before a stripe-size
+    /// change is committed (thrash damping, §3.3.2).
+    pub patience: u32,
+    /// Stripe size used before the first measurement window completes.
+    pub initial_size: usize,
+}
+
+impl Default for AdaptiveSizing {
+    fn default() -> Self {
+        AdaptiveSizing {
+            window: 2048,
+            gamma: 0.5,
+            patience: 2,
+            initial_size: 1,
+        }
+    }
+}
+
+/// Stripe scheduling discipline used at the input ports.
+///
+/// Both are Largest-Stripe-First policies; they differ in how literally they
+/// follow the paper's Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InputDiscipline {
+    /// Algorithm 1 of the paper, taken literally: a stripe may only *start*
+    /// service in the slot in which the input port is connected to the first
+    /// intermediate port of the stripe's interval, and once started it is
+    /// served to completion in consecutive slots.  This guarantees that every
+    /// stripe departs the input port in one contiguous burst.
+    StripeAtomic,
+    /// The simplified implementation of §3.4.2: at every slot, scan the
+    /// connected row of the FIFO grid from the largest stripe-size column to
+    /// the smallest and serve the head of the first non-empty queue.  This is
+    /// strictly work-conserving (never idles while a queued packet wants the
+    /// connected intermediate port).
+    RowScan,
+}
+
+/// When packets received by an intermediate port become eligible for the
+/// second switching fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlignmentMode {
+    /// A packet is eligible in the slot after it arrives (plain store-and-forward).
+    Immediate,
+    /// A packet becomes eligible only once its entire stripe has reached the
+    /// intermediate stage, at the next frame boundary.  Every intermediate
+    /// port can compute this locally from the stripe size carried in the
+    /// packet header, so no extra coordination is needed.  This is a stricter
+    /// alignment that trades a little delay for extra robustness of the
+    /// no-reordering guarantee; it is benchmarked as an ablation.
+    StripeComplete,
+}
+
+/// Full configuration of a Sprinklers switch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SprinklersConfig {
+    /// Number of ports N (must be a power of two, at least 2).
+    pub n: usize,
+    /// Stripe sizing mode.
+    pub sizing: SizingMode,
+    /// Input-port scheduling discipline.
+    pub input_discipline: InputDiscipline,
+    /// Intermediate-port eligibility rule.
+    pub alignment: AlignmentMode,
+}
+
+impl SprinklersConfig {
+    /// A default configuration for an `n`-port switch: adaptive sizing,
+    /// stripe-atomic input scheduling, immediate intermediate eligibility.
+    pub fn new(n: usize) -> Self {
+        SprinklersConfig {
+            n,
+            sizing: SizingMode::Adaptive(AdaptiveSizing::default()),
+            input_discipline: InputDiscipline::StripeAtomic,
+            alignment: AlignmentMode::Immediate,
+        }
+    }
+
+    /// Set the sizing mode.
+    #[must_use]
+    pub fn with_sizing(mut self, sizing: SizingMode) -> Self {
+        self.sizing = sizing;
+        self
+    }
+
+    /// Set the input-port scheduling discipline.
+    #[must_use]
+    pub fn with_input_discipline(mut self, d: InputDiscipline) -> Self {
+        self.input_discipline = d;
+        self
+    }
+
+    /// Set the intermediate-port alignment mode.
+    #[must_use]
+    pub fn with_alignment(mut self, a: AlignmentMode) -> Self {
+        self.alignment = a;
+        self
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), SwitchError> {
+        if self.n < 2 {
+            return Err(SwitchError::PortCountTooSmall { n: self.n });
+        }
+        if !self.n.is_power_of_two() {
+            return Err(SwitchError::PortCountNotPowerOfTwo { n: self.n });
+        }
+        match &self.sizing {
+            SizingMode::FromMatrix(m) => {
+                if m.n() != self.n {
+                    return Err(SwitchError::MatrixDimensionMismatch {
+                        got: m.n(),
+                        expected: self.n,
+                    });
+                }
+                for (_, _, r) in m.iter_nonzero() {
+                    if !r.is_finite() || r < 0.0 {
+                        return Err(SwitchError::InvalidRate { rate: r });
+                    }
+                }
+            }
+            SizingMode::FixedSize(s) => {
+                if !s.is_power_of_two() || *s > self.n {
+                    return Err(SwitchError::PortCountNotPowerOfTwo { n: *s });
+                }
+            }
+            SizingMode::Adaptive(a) => {
+                if a.window == 0 || !(a.gamma > 0.0 && a.gamma <= 1.0) {
+                    return Err(SwitchError::InvalidRate { rate: a.gamma });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(SprinklersConfig::new(32).validate().is_ok());
+    }
+
+    #[test]
+    fn non_power_of_two_is_rejected() {
+        assert!(matches!(
+            SprinklersConfig::new(12).validate(),
+            Err(SwitchError::PortCountNotPowerOfTwo { n: 12 })
+        ));
+    }
+
+    #[test]
+    fn too_small_switch_is_rejected() {
+        assert!(matches!(
+            SprinklersConfig::new(1).validate(),
+            Err(SwitchError::PortCountTooSmall { n: 1 })
+        ));
+    }
+
+    #[test]
+    fn matrix_dimension_must_match() {
+        let cfg = SprinklersConfig::new(8).with_sizing(SizingMode::FromMatrix(
+            TrafficMatrix::uniform(16, 0.5),
+        ));
+        assert!(matches!(
+            cfg.validate(),
+            Err(SwitchError::MatrixDimensionMismatch { got: 16, expected: 8 })
+        ));
+    }
+
+    #[test]
+    fn fixed_size_must_be_power_of_two_within_n() {
+        let cfg = SprinklersConfig::new(8).with_sizing(SizingMode::FixedSize(3));
+        assert!(cfg.validate().is_err());
+        let cfg = SprinklersConfig::new(8).with_sizing(SizingMode::FixedSize(16));
+        assert!(cfg.validate().is_err());
+        let cfg = SprinklersConfig::new(8).with_sizing(SizingMode::FixedSize(4));
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn adaptive_parameters_are_validated() {
+        let cfg = SprinklersConfig::new(8).with_sizing(SizingMode::Adaptive(AdaptiveSizing {
+            window: 0,
+            ..Default::default()
+        }));
+        assert!(cfg.validate().is_err());
+        let cfg = SprinklersConfig::new(8).with_sizing(SizingMode::Adaptive(AdaptiveSizing {
+            gamma: 1.5,
+            ..Default::default()
+        }));
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn builder_methods_set_fields() {
+        let cfg = SprinklersConfig::new(16)
+            .with_input_discipline(InputDiscipline::RowScan)
+            .with_alignment(AlignmentMode::StripeComplete)
+            .with_sizing(SizingMode::FixedSize(4));
+        assert_eq!(cfg.input_discipline, InputDiscipline::RowScan);
+        assert_eq!(cfg.alignment, AlignmentMode::StripeComplete);
+        assert_eq!(cfg.sizing, SizingMode::FixedSize(4));
+    }
+}

@@ -1,0 +1,93 @@
+//! Error types for switch construction and configuration.
+
+use std::fmt;
+
+/// Errors that can arise when constructing or configuring a switch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SwitchError {
+    /// The requested port count is not a power of two.
+    ///
+    /// The Sprinklers design requires `N` to be a power of two so that every
+    /// stripe interval can be a dyadic interval (§3.1).
+    PortCountNotPowerOfTwo {
+        /// The offending port count.
+        n: usize,
+    },
+    /// The requested port count is zero or too small to be meaningful.
+    PortCountTooSmall {
+        /// The offending port count.
+        n: usize,
+    },
+    /// A packet referenced a port index outside `0..N`.
+    PortOutOfRange {
+        /// The offending port index.
+        port: usize,
+        /// The switch size.
+        n: usize,
+    },
+    /// A traffic matrix had the wrong dimensions for the switch.
+    MatrixDimensionMismatch {
+        /// Dimension of the supplied matrix.
+        got: usize,
+        /// Dimension required by the switch.
+        expected: usize,
+    },
+    /// A rate was negative or otherwise not a valid probability/rate.
+    InvalidRate {
+        /// The offending rate.
+        rate: f64,
+    },
+}
+
+impl fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwitchError::PortCountNotPowerOfTwo { n } => {
+                write!(f, "switch size {n} is not a power of two")
+            }
+            SwitchError::PortCountTooSmall { n } => {
+                write!(f, "switch size {n} is too small (need at least 2 ports)")
+            }
+            SwitchError::PortOutOfRange { port, n } => {
+                write!(f, "port index {port} is out of range for an {n}-port switch")
+            }
+            SwitchError::MatrixDimensionMismatch { got, expected } => {
+                write!(
+                    f,
+                    "traffic matrix is {got}x{got} but the switch has {expected} ports"
+                )
+            }
+            SwitchError::InvalidRate { rate } => {
+                write!(f, "rate {rate} is not a valid non-negative finite rate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwitchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SwitchError::PortCountNotPowerOfTwo { n: 12 };
+        assert!(e.to_string().contains("12"));
+        let e = SwitchError::PortOutOfRange { port: 9, n: 8 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('8'));
+        let e = SwitchError::MatrixDimensionMismatch { got: 4, expected: 8 };
+        assert!(e.to_string().contains('4'));
+        let e = SwitchError::InvalidRate { rate: -1.0 };
+        assert!(e.to_string().contains("-1"));
+        let e = SwitchError::PortCountTooSmall { n: 0 };
+        assert!(e.to_string().contains('0'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<SwitchError>();
+    }
+}

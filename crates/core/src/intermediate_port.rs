@@ -1,0 +1,244 @@
+//! A Sprinklers intermediate port: one physical row of every output's
+//! distributed virtual LSF schedule grid (§3.4.3).
+//!
+//! Each intermediate port keeps, for every output `j`, one FIFO queue per
+//! stripe-size level.  Together with the identical structures at the other
+//! `N − 1` intermediate ports these form the *virtual schedule grid* for
+//! output `j`; the only coordination the paper requires is that every packet
+//! carries its stripe size in an internal header, which the [`crate::packet::Packet`]
+//! type models with its `stripe_size` field.
+//!
+//! When the second fabric connects this port to output `j`, the port scans
+//! output `j`'s queues from the largest stripe-size level down and sends the
+//! head of the first non-empty queue — the same Largest-Stripe-First rule the
+//! input ports use.
+
+use crate::config::AlignmentMode;
+use crate::lsf::levels;
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+/// A packet staged until its whole stripe has reached the intermediate stage
+/// (only used in [`AlignmentMode::StripeComplete`]).
+#[derive(Debug, Clone)]
+struct StagedPacket {
+    packet: Packet,
+    /// Slot at which the packet becomes eligible for the second fabric.
+    eligible_at: u64,
+    /// Canonical key that orders stripes identically at every intermediate
+    /// port: the VOQ sequence number of the *first* packet of the stripe.
+    stripe_key: (usize, usize, u64),
+}
+
+/// One Sprinklers intermediate port.
+pub struct SprinklersIntermediatePort {
+    port_id: usize,
+    n: usize,
+    levels: usize,
+    alignment: AlignmentMode,
+    /// `queues[output][level]`: eligible packets destined to `output` that
+    /// belong to stripes of size `2^level`, in arrival (FIFO) order.
+    queues: Vec<Vec<VecDeque<Packet>>>,
+    /// Packets waiting for stripe-completion alignment.
+    staged: Vec<StagedPacket>,
+    queued: usize,
+}
+
+impl SprinklersIntermediatePort {
+    /// Create intermediate port `port_id` of an `n`-port switch.
+    pub fn new(port_id: usize, n: usize, alignment: AlignmentMode) -> Self {
+        assert!(n.is_power_of_two());
+        let lv = levels(n);
+        SprinklersIntermediatePort {
+            port_id,
+            n,
+            levels: lv,
+            alignment,
+            queues: (0..n)
+                .map(|_| (0..lv).map(|_| VecDeque::new()).collect())
+                .collect(),
+            staged: Vec::new(),
+            queued: 0,
+        }
+    }
+
+    /// This port's index.
+    pub fn port_id(&self) -> usize {
+        self.port_id
+    }
+
+    /// Total packets buffered at this port (eligible + staged).
+    pub fn queued_packets(&self) -> usize {
+        self.queued + self.staged.len()
+    }
+
+    /// Packets buffered for a particular output.
+    pub fn queued_for_output(&self, output: usize) -> usize {
+        self.queues[output].iter().map(VecDeque::len).sum::<usize>()
+            + self
+                .staged
+                .iter()
+                .filter(|s| s.packet.output == output)
+                .count()
+    }
+
+    /// Accept a packet from the first fabric at slot `now`.
+    pub fn receive(&mut self, packet: Packet, now: u64) {
+        debug_assert_eq!(packet.intermediate, self.port_id);
+        debug_assert!(packet.output < self.n);
+        debug_assert!(packet.stripe_size >= 1 && packet.stripe_size.is_power_of_two());
+        match self.alignment {
+            AlignmentMode::Immediate => self.enqueue(packet),
+            AlignmentMode::StripeComplete => {
+                // The last packet of this stripe reaches the intermediate
+                // stage `stripe_size - 1 - stripe_index` slots after this one
+                // (stripes leave the input port in consecutive slots).  The
+                // stripe becomes eligible at the next frame boundary after
+                // that, a value every port of the stripe computes identically.
+                let last_arrival = now + (packet.stripe_size - 1 - packet.stripe_index) as u64;
+                let eligible_at = (last_arrival / self.n as u64 + 1) * self.n as u64;
+                let stripe_key = (
+                    packet.input,
+                    packet.output,
+                    packet.voq_seq.saturating_sub(packet.stripe_index as u64),
+                );
+                self.staged.push(StagedPacket {
+                    packet,
+                    eligible_at,
+                    stripe_key,
+                });
+            }
+        }
+    }
+
+    /// Move staged packets whose stripes are complete into the eligible
+    /// queues.  Must be called once per slot (before [`Self::dequeue`]) when
+    /// stripe-complete alignment is enabled; it is a no-op otherwise.
+    pub fn release_eligible(&mut self, now: u64) {
+        if self.alignment == AlignmentMode::Immediate || self.staged.is_empty() {
+            return;
+        }
+        let mut ready: Vec<StagedPacket> = Vec::new();
+        let mut waiting: Vec<StagedPacket> = Vec::new();
+        for s in self.staged.drain(..) {
+            if s.eligible_at <= now {
+                ready.push(s);
+            } else {
+                waiting.push(s);
+            }
+        }
+        self.staged = waiting;
+        // Insert in a canonical order so every intermediate port builds its
+        // FIFOs in the same stripe order.
+        ready.sort_by_key(|s| (s.eligible_at, s.stripe_key));
+        for s in ready {
+            self.enqueue(s.packet);
+        }
+    }
+
+    /// Serve output `output`: return the packet to send over the second
+    /// fabric in this slot, or `None` if nothing is eligible for that output.
+    pub fn dequeue(&mut self, output: usize) -> Option<Packet> {
+        for level in (0..self.levels).rev() {
+            if let Some(p) = self.queues[output][level].pop_front() {
+                self.queued -= 1;
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    fn enqueue(&mut self, packet: Packet) {
+        let level = packet.stripe_size.trailing_zeros() as usize;
+        debug_assert!(level < self.levels);
+        self.queues[packet.output][level].push_back(packet);
+        self.queued += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(output: usize, stripe_size: usize, stripe_index: usize, intermediate: usize) -> Packet {
+        let mut p = Packet::new(0, output, 0, 0);
+        p.stripe_size = stripe_size;
+        p.stripe_index = stripe_index;
+        p.intermediate = intermediate;
+        p
+    }
+
+    #[test]
+    fn immediate_mode_serves_largest_stripe_first() {
+        let mut port = SprinklersIntermediatePort::new(2, 8, AlignmentMode::Immediate);
+        port.receive(pkt(5, 1, 0, 2), 0);
+        port.receive(pkt(5, 8, 2, 2), 1);
+        assert_eq!(port.queued_packets(), 2);
+        assert_eq!(port.queued_for_output(5), 2);
+        assert_eq!(port.queued_for_output(4), 0);
+        let first = port.dequeue(5).unwrap();
+        assert_eq!(first.stripe_size, 8, "LSF serves the larger stripe first");
+        let second = port.dequeue(5).unwrap();
+        assert_eq!(second.stripe_size, 1);
+        assert!(port.dequeue(5).is_none());
+    }
+
+    #[test]
+    fn packets_are_fifo_within_a_level() {
+        let mut port = SprinklersIntermediatePort::new(0, 4, AlignmentMode::Immediate);
+        let mut a = pkt(1, 2, 0, 0);
+        a.voq_seq = 10;
+        let mut b = pkt(1, 2, 0, 0);
+        b.voq_seq = 20;
+        port.receive(a, 0);
+        port.receive(b, 4);
+        assert_eq!(port.dequeue(1).unwrap().voq_seq, 10);
+        assert_eq!(port.dequeue(1).unwrap().voq_seq, 20);
+    }
+
+    #[test]
+    fn stripe_complete_mode_stages_until_frame_boundary() {
+        let n = 8;
+        let mut port = SprinklersIntermediatePort::new(3, n, AlignmentMode::StripeComplete);
+        // A packet with stripe_index 0 of a size-4 stripe arriving at slot 10:
+        // the last packet arrives at slot 13, so the stripe becomes eligible
+        // at the next frame boundary after 13, i.e. slot 16.
+        port.receive(pkt(6, 4, 0, 3), 10);
+        assert_eq!(port.queued_packets(), 1);
+        port.release_eligible(12);
+        assert!(port.dequeue(6).is_none(), "not eligible before the stripe completes");
+        port.release_eligible(15);
+        assert!(port.dequeue(6).is_none(), "not eligible before the frame boundary");
+        port.release_eligible(16);
+        assert!(port.dequeue(6).is_some());
+    }
+
+    #[test]
+    fn stripe_complete_release_orders_by_eligibility_then_key() {
+        let n = 4;
+        let mut port = SprinklersIntermediatePort::new(0, n, AlignmentMode::StripeComplete);
+        // Two size-1 stripes (same level) from different inputs, both eligible
+        // at the same boundary; ordering must follow the canonical key.
+        let mut late = pkt(2, 1, 0, 0);
+        late.input = 3;
+        late.voq_seq = 7;
+        let mut early = pkt(2, 1, 0, 0);
+        early.input = 1;
+        early.voq_seq = 9;
+        port.receive(late, 1);
+        port.receive(early, 2);
+        port.release_eligible(4);
+        let first = port.dequeue(2).unwrap();
+        assert_eq!(first.input, 1, "canonical order is by (input, output, stripe seq)");
+        let second = port.dequeue(2).unwrap();
+        assert_eq!(second.input, 3);
+    }
+
+    #[test]
+    fn immediate_mode_release_is_a_noop() {
+        let mut port = SprinklersIntermediatePort::new(0, 4, AlignmentMode::Immediate);
+        port.receive(pkt(1, 1, 0, 0), 0);
+        port.release_eligible(100);
+        assert_eq!(port.queued_packets(), 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! # Sprinklers: reordering-free load-balanced switching
+//!
+//! This crate implements the *Sprinklers* switch architecture from
+//! "Sprinklers: A Randomized Variable-Size Striping Approach to Reordering-Free
+//! Load-Balanced Switching" (Ding, Xu, Dai, Song, Lin — CoNEXT 2014), together
+//! with every building block it relies on:
+//!
+//! * [`dyadic`] — dyadic (power-of-two aligned) intervals of intermediate ports.
+//!   Two dyadic intervals either nest or are disjoint, which is what lets the
+//!   Largest-Stripe-First scheduler serve stripes without interleaving.
+//! * [`sizing`] — the stripe-size rule `F(r) = min(N, 2^⌈log₂(r·N²)⌉)` that maps
+//!   a VOQ's rate to a power-of-two stripe size (Eq. (1) of the paper).
+//! * [`perm`] / [`ols`] — uniform random permutations and the *weakly uniform
+//!   random Orthogonal Latin Square* used to pick a primary intermediate port
+//!   for every one of the N² VOQs, so that both the row (per input) and the
+//!   column (per output) mappings are uniform random permutations.
+//! * [`stripe`] / [`voq`] — chronological grouping of a VOQ's packets into
+//!   stripes, and the per-VOQ state machine (including adaptive resizing with a
+//!   clearance phase).
+//! * [`lsf`] — the N×(log₂N+1) grid of FIFO queues that implements the
+//!   Largest Stripe First policy in constant time per slot (§3.4.2, Fig. 4).
+//! * [`input_port`] / [`intermediate_port`] — the two scheduling stages.
+//! * [`sprinklers`] — the full two-stage switch, wiring the periodic connection
+//!   patterns of both fabrics to the per-port schedulers.
+//! * [`switch`] — the [`switch::Switch`] trait shared by Sprinklers and all the
+//!   baseline switches in `sprinklers-baselines`, so the simulator in
+//!   `sprinklers-sim` can drive any of them interchangeably.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use sprinklers_core::prelude::*;
+//!
+//! // A 16-port Sprinklers switch with stripe sizes derived from a lightly
+//! // loaded uniform traffic matrix (every VOQ gets a unit stripe).
+//! let n = 16;
+//! let matrix = TrafficMatrix::uniform(n, 0.03);
+//! let config = SprinklersConfig::new(n).with_sizing(SizingMode::FromMatrix(matrix));
+//! let mut sw = SprinklersSwitch::new(config, 42);
+//!
+//! // Inject one packet and run the switch until it pops out at the output.
+//! use sprinklers_core::switch::Switch;
+//! sw.arrive(Packet::new(0, 3, 0, 0));
+//! let mut delivered = Vec::new();
+//! for slot in 0..(4 * n as u64) {
+//!     delivered.extend(sw.tick(slot));
+//! }
+//! assert_eq!(delivered.len(), 1);
+//! assert_eq!(delivered[0].packet.output, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dyadic;
+pub mod error;
+pub mod input_port;
+pub mod intermediate_port;
+pub mod lsf;
+pub mod matrix;
+pub mod ols;
+pub mod packet;
+pub mod perm;
+pub mod rate_estimator;
+pub mod schedule_view;
+pub mod sizing;
+pub mod sprinklers;
+pub mod stripe;
+pub mod switch;
+pub mod voq;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::config::{AlignmentMode, SizingMode, SprinklersConfig};
+    pub use crate::dyadic::DyadicInterval;
+    pub use crate::matrix::TrafficMatrix;
+    pub use crate::ols::WeaklyUniformOls;
+    pub use crate::packet::{DeliveredPacket, Packet};
+    pub use crate::sizing::stripe_size;
+    pub use crate::sprinklers::SprinklersSwitch;
+    pub use crate::switch::{Switch, SwitchStats};
+}
+
+pub use config::{AlignmentMode, SizingMode, SprinklersConfig};
+pub use dyadic::DyadicInterval;
+pub use matrix::TrafficMatrix;
+pub use packet::{DeliveredPacket, Packet};
+pub use sprinklers::SprinklersSwitch;
+pub use switch::{Switch, SwitchStats};

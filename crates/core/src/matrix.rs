@@ -1,0 +1,270 @@
+//! Traffic (rate) matrices.
+//!
+//! An `N×N` matrix of normalized arrival rates: entry `(i, j)` is the rate of
+//! the VOQ at input `i` destined to output `j`, in packets per time slot.  A
+//! matrix is *admissible* when no row sum (input load) and no column sum
+//! (output load) exceeds 1.
+//!
+//! Traffic matrices serve two purposes: traffic generators expose the matrix
+//! they draw from, and the Sprinklers switch can derive its stripe sizes
+//! directly from a known matrix (the assumption made by the paper's analysis).
+
+use crate::error::SwitchError;
+use serde::{Deserialize, Serialize};
+
+/// An `N×N` matrix of normalized VOQ arrival rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    n: usize,
+    /// Row-major rates: `rates[i * n + j]` is the rate from input `i` to output `j`.
+    rates: Vec<f64>,
+}
+
+impl TrafficMatrix {
+    /// An all-zero matrix for an `n`-port switch.
+    pub fn zero(n: usize) -> Self {
+        TrafficMatrix {
+            n,
+            rates: vec![0.0; n * n],
+        }
+    }
+
+    /// Uniform traffic at total input load `rho`: every VOQ has rate `rho / N`.
+    ///
+    /// This is the paper's first simulation scenario (§6).
+    pub fn uniform(n: usize, rho: f64) -> Self {
+        let mut m = Self::zero(n);
+        let r = rho / n as f64;
+        for i in 0..n {
+            for j in 0..n {
+                m.set(i, j, r);
+            }
+        }
+        m
+    }
+
+    /// Quasi-diagonal traffic at total input load `rho`: a packet arriving at
+    /// input `i` goes to output `i` with probability 1/2 and to every other
+    /// output with probability `1/(2(N−1))` (§6, second scenario).
+    pub fn diagonal(n: usize, rho: f64) -> Self {
+        let mut m = Self::zero(n);
+        for i in 0..n {
+            for j in 0..n {
+                let p = if i == j {
+                    0.5
+                } else {
+                    0.5 / (n as f64 - 1.0)
+                };
+                m.set(i, j, rho * p);
+            }
+        }
+        m
+    }
+
+    /// Hot-spot traffic: a fraction `hot_fraction` of each input's load goes to
+    /// a single "hot" output (`(i + 1) mod N` to keep the matrix admissible),
+    /// the rest is spread uniformly.
+    pub fn hotspot(n: usize, rho: f64, hot_fraction: f64) -> Self {
+        let mut m = Self::zero(n);
+        for i in 0..n {
+            let hot = (i + 1) % n;
+            for j in 0..n {
+                let base = rho * (1.0 - hot_fraction) / n as f64;
+                let extra = if j == hot { rho * hot_fraction } else { 0.0 };
+                m.set(i, j, base + extra);
+            }
+        }
+        m
+    }
+
+    /// Build a matrix from explicit row-major rates.
+    pub fn from_rates(n: usize, rates: Vec<f64>) -> Result<Self, SwitchError> {
+        if rates.len() != n * n {
+            return Err(SwitchError::MatrixDimensionMismatch {
+                got: (rates.len() as f64).sqrt() as usize,
+                expected: n,
+            });
+        }
+        for &r in &rates {
+            if !r.is_finite() || r < 0.0 {
+                return Err(SwitchError::InvalidRate { rate: r });
+            }
+        }
+        Ok(TrafficMatrix { n, rates })
+    }
+
+    /// Switch size N.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Rate of the VOQ from input `i` to output `j`.
+    pub fn rate(&self, input: usize, output: usize) -> f64 {
+        self.rates[input * self.n + output]
+    }
+
+    /// Set the rate of the VOQ from input `i` to output `j`.
+    pub fn set(&mut self, input: usize, output: usize, rate: f64) {
+        self.rates[input * self.n + output] = rate;
+    }
+
+    /// Total load offered to input `i` (row sum).
+    pub fn input_load(&self, input: usize) -> f64 {
+        (0..self.n).map(|j| self.rate(input, j)).sum()
+    }
+
+    /// Total load destined to output `j` (column sum).
+    pub fn output_load(&self, output: usize) -> f64 {
+        (0..self.n).map(|i| self.rate(i, output)).sum()
+    }
+
+    /// Largest row or column sum.
+    pub fn max_load(&self) -> f64 {
+        let row = (0..self.n)
+            .map(|i| self.input_load(i))
+            .fold(0.0f64, f64::max);
+        let col = (0..self.n)
+            .map(|j| self.output_load(j))
+            .fold(0.0f64, f64::max);
+        row.max(col)
+    }
+
+    /// Is the matrix admissible (no input or output oversubscribed)?
+    ///
+    /// A small tolerance absorbs floating-point accumulation error.
+    pub fn is_admissible(&self) -> bool {
+        self.max_load() <= 1.0 + 1e-9
+    }
+
+    /// Scale every rate by `factor`.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        TrafficMatrix {
+            n: self.n,
+            rates: self.rates.iter().map(|r| r * factor).collect(),
+        }
+    }
+
+    /// Iterate over `(input, output, rate)` triples with nonzero rate.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            (0..self.n).filter_map(move |j| {
+                let r = self.rate(i, j);
+                if r > 0.0 {
+                    Some((i, j, r))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_matrix_loads() {
+        let m = TrafficMatrix::uniform(16, 0.8);
+        for i in 0..16 {
+            assert!((m.input_load(i) - 0.8).abs() < 1e-12);
+            assert!((m.output_load(i) - 0.8).abs() < 1e-12);
+        }
+        assert!(m.is_admissible());
+    }
+
+    #[test]
+    fn diagonal_matrix_matches_paper_definition() {
+        let n = 32;
+        let rho = 0.9;
+        let m = TrafficMatrix::diagonal(n, rho);
+        assert!((m.rate(3, 3) - rho * 0.5).abs() < 1e-12);
+        assert!((m.rate(3, 4) - rho * 0.5 / 31.0).abs() < 1e-12);
+        for i in 0..n {
+            assert!((m.input_load(i) - rho).abs() < 1e-9);
+        }
+        // Quasi-diagonal traffic is admissible: every output load also equals rho.
+        for j in 0..n {
+            assert!((m.output_load(j) - rho).abs() < 1e-9);
+        }
+        assert!(m.is_admissible());
+    }
+
+    #[test]
+    fn hotspot_matrix_is_admissible_and_concentrated() {
+        let n = 16;
+        let m = TrafficMatrix::hotspot(n, 0.9, 0.5);
+        assert!(m.is_admissible());
+        for i in 0..n {
+            assert!((m.input_load(i) - 0.9).abs() < 1e-9);
+            let hot = (i + 1) % n;
+            assert!(m.rate(i, hot) > m.rate(i, (i + 2) % n));
+        }
+    }
+
+    #[test]
+    fn from_rates_validates() {
+        assert!(TrafficMatrix::from_rates(2, vec![0.1; 4]).is_ok());
+        assert!(matches!(
+            TrafficMatrix::from_rates(2, vec![0.1; 3]),
+            Err(SwitchError::MatrixDimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            TrafficMatrix::from_rates(2, vec![0.1, -0.5, 0.0, 0.0]),
+            Err(SwitchError::InvalidRate { .. })
+        ));
+    }
+
+    #[test]
+    fn overloaded_matrix_is_not_admissible() {
+        let mut m = TrafficMatrix::uniform(4, 0.9);
+        m.set(0, 0, 0.9);
+        assert!(!m.is_admissible());
+    }
+
+    #[test]
+    fn scaled_multiplies_every_rate() {
+        let m = TrafficMatrix::uniform(4, 0.8).scaled(0.5);
+        for i in 0..4 {
+            assert!((m.input_load(i) - 0.4).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn iter_nonzero_skips_zero_entries() {
+        let mut m = TrafficMatrix::zero(4);
+        m.set(1, 2, 0.3);
+        m.set(3, 0, 0.1);
+        let entries: Vec<_> = m.iter_nonzero().collect();
+        assert_eq!(entries.len(), 2);
+        assert!(entries.contains(&(1, 2, 0.3)));
+        assert!(entries.contains(&(3, 0, 0.1)));
+    }
+
+    proptest! {
+        /// Uniform and diagonal matrices are admissible for any load in [0, 1].
+        #[test]
+        fn canonical_matrices_are_admissible(rho in 0.0f64..1.0, n_exp in 1usize..7) {
+            let n = 1usize << n_exp;
+            prop_assert!(TrafficMatrix::uniform(n, rho).is_admissible());
+            if n > 1 {
+                prop_assert!(TrafficMatrix::diagonal(n, rho).is_admissible());
+            }
+            prop_assert!(TrafficMatrix::hotspot(n, rho, 0.3).is_admissible());
+        }
+
+        /// Sum of all entries equals the sum of input loads and the sum of
+        /// output loads.
+        #[test]
+        fn load_accounting_is_consistent(rho in 0.0f64..1.0, n_exp in 1usize..6) {
+            let n = 1usize << n_exp;
+            let m = TrafficMatrix::diagonal(n.max(2), rho);
+            let n = m.n();
+            let total: f64 = (0..n).map(|i| m.input_load(i)).sum();
+            let total_out: f64 = (0..n).map(|j| m.output_load(j)).sum();
+            prop_assert!((total - total_out).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Packet representation shared by every switch in the workspace.
+//!
+//! The simulator works at packet granularity: every packet is a fixed-size
+//! cell (one packet per port per time slot, the standard cell-switch model
+//! used throughout the load-balanced switching literature and in the paper's
+//! evaluation).
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-size packet (cell) flowing through a switch.
+///
+/// The identity fields (`input`, `output`, `flow`, `voq_seq`) are assigned at
+/// arrival time and never change.  The routing fields (`stripe_size`,
+/// `stripe_index`, `intermediate`) are filled in by the switch as the packet
+/// is grouped into a stripe and forwarded across the two fabrics; they model
+/// the small internal-use header the paper attaches to every packet
+/// (log₂log₂N bits for the stripe size, §3.4.3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Globally unique packet identifier (assigned by the traffic generator).
+    pub id: u64,
+    /// Input port at which the packet arrived (`0..N`).
+    pub input: usize,
+    /// Output port the packet is destined to (`0..N`).
+    pub output: usize,
+    /// Application-flow identifier.  Packets of the same flow always share the
+    /// same `(input, output)` pair; the TCP-hashing baseline additionally uses
+    /// this to pick an intermediate port.
+    pub flow: u64,
+    /// Time slot at which the packet arrived at its input port.
+    pub arrival_slot: u64,
+    /// Sequence number within the packet's VOQ, i.e. within its
+    /// `(input, output)` pair, assigned in arrival order starting from 0.
+    ///
+    /// Packet order is preserved if and only if, at every output, packets of
+    /// the same VOQ depart in increasing `voq_seq` order.  Per-flow order
+    /// follows because a flow is a subsequence of its VOQ.
+    pub voq_seq: u64,
+    /// Size of the stripe (or frame) this packet was grouped into.
+    /// Zero until the packet is assigned to a stripe.
+    pub stripe_size: usize,
+    /// Index of this packet inside its stripe (`0..stripe_size`).
+    pub stripe_index: usize,
+    /// Intermediate port the packet was (or will be) routed through.
+    /// Meaningful once the packet has crossed the first fabric.
+    pub intermediate: usize,
+    /// True for padding packets injected by schedulers that pad partial frames
+    /// (the Padded Frames baseline).  Padding packets occupy switch capacity
+    /// but are discarded at the output and never counted in delay or
+    /// reordering statistics.
+    pub is_padding: bool,
+}
+
+impl Packet {
+    /// Create a new data packet with the given identity.
+    ///
+    /// Routing fields start zeroed; `voq_seq` is expected to be assigned by
+    /// the traffic generator or the test harness (it defaults to 0 here).
+    pub fn new(input: usize, output: usize, id: u64, arrival_slot: u64) -> Self {
+        Packet {
+            id,
+            input,
+            output,
+            flow: 0,
+            arrival_slot,
+            voq_seq: 0,
+            stripe_size: 0,
+            stripe_index: 0,
+            intermediate: 0,
+            is_padding: false,
+        }
+    }
+
+    /// Create a padding (fake) packet for schedulers that pad partial frames.
+    pub fn padding(input: usize, output: usize, arrival_slot: u64) -> Self {
+        Packet {
+            id: u64::MAX,
+            input,
+            output,
+            flow: u64::MAX,
+            arrival_slot,
+            voq_seq: u64::MAX,
+            stripe_size: 0,
+            stripe_index: 0,
+            intermediate: 0,
+            is_padding: true,
+        }
+    }
+
+    /// Builder-style helper to set the flow identifier.
+    #[must_use]
+    pub fn with_flow(mut self, flow: u64) -> Self {
+        self.flow = flow;
+        self
+    }
+
+    /// Builder-style helper to set the VOQ sequence number.
+    #[must_use]
+    pub fn with_voq_seq(mut self, seq: u64) -> Self {
+        self.voq_seq = seq;
+        self
+    }
+
+    /// The VOQ this packet belongs to, as an `(input, output)` pair.
+    pub fn voq(&self) -> (usize, usize) {
+        (self.input, self.output)
+    }
+}
+
+/// A packet together with the time slot at which it reached its output port.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveredPacket {
+    /// The delivered packet.
+    pub packet: Packet,
+    /// Slot at which the packet crossed the second fabric into its output.
+    pub departure_slot: u64,
+}
+
+impl DeliveredPacket {
+    /// Create a delivery record.
+    pub fn new(packet: Packet, departure_slot: u64) -> Self {
+        DeliveredPacket {
+            packet,
+            departure_slot,
+        }
+    }
+
+    /// End-to-end delay of the packet in time slots (departure − arrival).
+    ///
+    /// Padding packets report a delay of 0.
+    pub fn delay(&self) -> u64 {
+        if self.packet.is_padding {
+            return 0;
+        }
+        self.departure_slot.saturating_sub(self.packet.arrival_slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_packet_has_expected_identity() {
+        let p = Packet::new(3, 7, 42, 100);
+        assert_eq!(p.input, 3);
+        assert_eq!(p.output, 7);
+        assert_eq!(p.id, 42);
+        assert_eq!(p.arrival_slot, 100);
+        assert_eq!(p.voq(), (3, 7));
+        assert!(!p.is_padding);
+        assert_eq!(p.stripe_size, 0);
+    }
+
+    #[test]
+    fn builder_helpers_set_fields() {
+        let p = Packet::new(0, 1, 0, 0).with_flow(9).with_voq_seq(5);
+        assert_eq!(p.flow, 9);
+        assert_eq!(p.voq_seq, 5);
+    }
+
+    #[test]
+    fn padding_packet_is_marked() {
+        let p = Packet::padding(2, 4, 10);
+        assert!(p.is_padding);
+        assert_eq!(p.voq(), (2, 4));
+    }
+
+    #[test]
+    fn delay_is_departure_minus_arrival() {
+        let p = Packet::new(0, 0, 1, 10);
+        let d = DeliveredPacket::new(p, 25);
+        assert_eq!(d.delay(), 15);
+    }
+
+    #[test]
+    fn delay_of_padding_packet_is_zero() {
+        let p = Packet::padding(0, 0, 10);
+        let d = DeliveredPacket::new(p, 25);
+        assert_eq!(d.delay(), 0);
+    }
+
+    #[test]
+    fn delay_saturates_rather_than_underflowing() {
+        // Deliveries can never precede arrivals in a correct switch, but the
+        // metric must not panic if a buggy scheduler produces one.
+        let p = Packet::new(0, 0, 1, 50);
+        let d = DeliveredPacket::new(p, 25);
+        assert_eq!(d.delay(), 0);
+    }
+}

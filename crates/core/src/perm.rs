@@ -1,0 +1,174 @@
+//! Uniform random permutations (Fisher–Yates / Durstenfeld).
+//!
+//! The paper's stripe-interval generation requires sampling permutations of
+//! `{0, …, N−1}` uniformly at random (reference [7] of the paper, Durstenfeld's
+//! Algorithm 235).  This module provides that plus a small `Permutation`
+//! wrapper with inverse lookup, which the Orthogonal Latin Square and the
+//! Sprinklers switch both use.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A permutation of `{0, 1, …, n−1}` with O(1) forward and inverse lookup.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Permutation {
+    forward: Vec<usize>,
+    inverse: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` elements.
+    pub fn identity(n: usize) -> Self {
+        let forward: Vec<usize> = (0..n).collect();
+        let inverse = forward.clone();
+        Permutation { forward, inverse }
+    }
+
+    /// Sample a permutation of `n` elements uniformly at random using the
+    /// Fisher–Yates shuffle.
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let mut forward: Vec<usize> = (0..n).collect();
+        // Durstenfeld's in-place variant: O(n) time, n-1 random draws.
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            forward.swap(i, j);
+        }
+        Self::from_mapping(forward).expect("shuffle of 0..n is a permutation")
+    }
+
+    /// Build a permutation from an explicit mapping `i → mapping[i]`.
+    ///
+    /// Returns `None` if `mapping` is not a permutation of `0..mapping.len()`.
+    pub fn from_mapping(mapping: Vec<usize>) -> Option<Self> {
+        let n = mapping.len();
+        let mut inverse = vec![usize::MAX; n];
+        for (i, &v) in mapping.iter().enumerate() {
+            if v >= n || inverse[v] != usize::MAX {
+                return None;
+            }
+            inverse[v] = i;
+        }
+        Some(Permutation {
+            forward: mapping,
+            inverse,
+        })
+    }
+
+    /// Number of elements the permutation acts on.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// True if the permutation acts on zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Apply the permutation: `σ(i)`.
+    pub fn apply(&self, i: usize) -> usize {
+        self.forward[i]
+    }
+
+    /// Apply the inverse permutation: `σ⁻¹(v)`.
+    pub fn invert(&self, v: usize) -> usize {
+        self.inverse[v]
+    }
+
+    /// The forward mapping as a slice.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.forward
+    }
+
+    /// Compose with another permutation: `(self ∘ other)(i) = self(other(i))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the permutations act on different numbers of elements.
+    pub fn compose(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len(), "cannot compose permutations of different sizes");
+        let mapping: Vec<usize> = (0..self.len()).map(|i| self.apply(other.apply(i))).collect();
+        Self::from_mapping(mapping).expect("composition of permutations is a permutation")
+    }
+
+    /// The inverse permutation as a new `Permutation`.
+    pub fn inverse(&self) -> Permutation {
+        Permutation {
+            forward: self.inverse.clone(),
+            inverse: self.forward.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn identity_maps_every_element_to_itself() {
+        let p = Permutation::identity(8);
+        for i in 0..8 {
+            assert_eq!(p.apply(i), i);
+            assert_eq!(p.invert(i), i);
+        }
+    }
+
+    #[test]
+    fn from_mapping_rejects_non_permutations() {
+        assert!(Permutation::from_mapping(vec![0, 0, 1]).is_none());
+        assert!(Permutation::from_mapping(vec![0, 3]).is_none());
+        assert!(Permutation::from_mapping(vec![2, 0, 1]).is_some());
+        assert!(Permutation::from_mapping(vec![]).is_some());
+    }
+
+    #[test]
+    fn random_is_a_permutation_and_inverse_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 5, 16, 257] {
+            let p = Permutation::random(n, &mut rng);
+            let values: HashSet<usize> = (0..n).map(|i| p.apply(i)).collect();
+            assert_eq!(values.len(), n);
+            for i in 0..n {
+                assert_eq!(p.invert(p.apply(i)), i);
+                assert_eq!(p.apply(p.invert(i)), i);
+            }
+        }
+    }
+
+    #[test]
+    fn random_permutations_are_roughly_uniform() {
+        // For n = 3 there are 6 permutations; with 6000 samples each should
+        // appear ~1000 times.  A very loose tolerance keeps the test robust.
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..6000 {
+            let p = Permutation::random(3, &mut rng);
+            *counts.entry(p.as_slice().to_vec()).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 6);
+        for (_, c) in counts {
+            assert!(c > 800 && c < 1200, "count {c} is implausible for a uniform sampler");
+        }
+    }
+
+    #[test]
+    fn compose_and_inverse() {
+        let p = Permutation::from_mapping(vec![2, 0, 1, 3]).unwrap();
+        let q = Permutation::from_mapping(vec![1, 2, 3, 0]).unwrap();
+        let pq = p.compose(&q);
+        for i in 0..4 {
+            assert_eq!(pq.apply(i), p.apply(q.apply(i)));
+        }
+        let id = p.compose(&p.inverse());
+        assert_eq!(id, Permutation::identity(4));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Permutation::random(64, &mut StdRng::seed_from_u64(99));
+        let b = Permutation::random(64, &mut StdRng::seed_from_u64(99));
+        assert_eq!(a, b);
+    }
+}

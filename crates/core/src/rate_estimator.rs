@@ -1,0 +1,154 @@
+//! Online VOQ rate measurement for adaptive stripe sizing.
+//!
+//! The paper (§3.3.2) sets the initial stripe sizes from historical traffic
+//! information or defaults, then adjusts them "based on the measured rate of
+//! the corresponding VOQ".  This module provides the measurement: a windowed
+//! estimator that counts arrivals over fixed windows of `window` slots and
+//! smooths the per-window rate with an exponentially weighted moving average.
+
+use serde::{Deserialize, Serialize};
+
+/// Windowed EWMA arrival-rate estimator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RateEstimator {
+    /// Window length in slots.
+    window: u64,
+    /// EWMA smoothing factor in `(0, 1]`; 1.0 means "use the last window only".
+    gamma: f64,
+    /// Arrivals counted in the current window.
+    count: u64,
+    /// Slot at which the current window started.
+    window_start: u64,
+    /// Current smoothed rate estimate (packets per slot).
+    estimate: f64,
+    /// Number of complete windows observed so far.
+    windows_seen: u64,
+}
+
+impl RateEstimator {
+    /// Create an estimator with the given window length (slots) and EWMA
+    /// factor `gamma` (weight of the newest window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `gamma` is outside `(0, 1]`.
+    pub fn new(window: u64, gamma: f64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        RateEstimator {
+            window,
+            gamma,
+            count: 0,
+            window_start: 0,
+            estimate: 0.0,
+            windows_seen: 0,
+        }
+    }
+
+    /// Record a packet arrival at `slot`.
+    pub fn record_arrival(&mut self, slot: u64) {
+        self.roll_to(slot);
+        self.count += 1;
+    }
+
+    /// Advance time to `slot` (closing any windows that have elapsed) and
+    /// return the current rate estimate in packets per slot.
+    pub fn rate_at(&mut self, slot: u64) -> f64 {
+        self.roll_to(slot);
+        self.estimate
+    }
+
+    /// Current estimate without advancing time.
+    pub fn current_estimate(&self) -> f64 {
+        self.estimate
+    }
+
+    /// Number of complete measurement windows observed.
+    pub fn windows_seen(&self) -> u64 {
+        self.windows_seen
+    }
+
+    fn roll_to(&mut self, slot: u64) {
+        while slot >= self.window_start + self.window {
+            let window_rate = self.count as f64 / self.window as f64;
+            self.estimate = if self.windows_seen == 0 {
+                window_rate
+            } else {
+                self.gamma * window_rate + (1.0 - self.gamma) * self.estimate
+            };
+            self.windows_seen += 1;
+            self.count = 0;
+            self.window_start += self.window;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_converges_to_true_rate() {
+        let mut est = RateEstimator::new(100, 0.3);
+        // One arrival every 4 slots → rate 0.25.
+        for slot in (0..10_000).step_by(4) {
+            est.record_arrival(slot);
+        }
+        let r = est.rate_at(10_000);
+        assert!((r - 0.25).abs() < 0.02, "estimate {r} should be close to 0.25");
+    }
+
+    #[test]
+    fn estimate_is_zero_before_first_window_completes() {
+        let mut est = RateEstimator::new(1000, 0.5);
+        est.record_arrival(10);
+        est.record_arrival(20);
+        assert_eq!(est.rate_at(500), 0.0);
+        assert!(est.rate_at(1000) > 0.0);
+        assert_eq!(est.windows_seen(), 1);
+    }
+
+    #[test]
+    fn rate_tracks_a_change_in_load() {
+        let mut est = RateEstimator::new(100, 0.5);
+        // Heavy phase: one arrival per slot.
+        for slot in 0..1000 {
+            est.record_arrival(slot);
+        }
+        let heavy = est.rate_at(1000);
+        assert!(heavy > 0.9);
+        // Idle phase: no arrivals for many windows.
+        let idle = est.rate_at(3000);
+        assert!(idle < heavy / 4.0, "estimate should decay after load drops");
+    }
+
+    #[test]
+    fn gamma_one_uses_only_last_window() {
+        let mut est = RateEstimator::new(10, 1.0);
+        for slot in 0..10 {
+            est.record_arrival(slot);
+        }
+        assert_eq!(est.rate_at(10), 1.0);
+        // Next window has no arrivals; with gamma = 1 the estimate drops to 0.
+        assert_eq!(est.rate_at(20), 0.0);
+    }
+
+    #[test]
+    fn empty_windows_are_counted() {
+        let mut est = RateEstimator::new(10, 0.5);
+        assert_eq!(est.rate_at(100), 0.0);
+        assert_eq!(est.windows_seen(), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_window_is_rejected() {
+        let _ = RateEstimator::new(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gamma_out_of_range_is_rejected() {
+        let _ = RateEstimator::new(10, 1.5);
+    }
+}

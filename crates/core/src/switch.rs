@@ -1,0 +1,102 @@
+//! The `Switch` abstraction shared by Sprinklers and every baseline.
+//!
+//! A switch in this workspace is a synchronous, slotted-time N×N packet
+//! switch: packets are injected at input ports with [`Switch::arrive`] and the
+//! whole switch advances one time slot with [`Switch::tick`], which returns
+//! the packets that reached their output ports during that slot.  The
+//! simulator in `sprinklers-sim` drives any implementation of this trait, so
+//! Sprinklers and the baselines (baseline load-balanced switch, UFS, FOFF,
+//! Padded Frames, TCP hashing) are directly comparable.
+
+use crate::packet::{DeliveredPacket, Packet};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate occupancy/throughput counters a switch exposes for metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchStats {
+    /// Packets currently buffered at input ports (including VOQ ready queues).
+    pub queued_at_inputs: usize,
+    /// Packets currently buffered at intermediate ports.
+    pub queued_at_intermediates: usize,
+    /// Packets currently buffered at output-side resequencing buffers (zero
+    /// for switches that do not need them).
+    pub queued_at_outputs: usize,
+    /// Total packets accepted so far.
+    pub total_arrivals: u64,
+    /// Total data packets delivered to outputs so far.
+    pub total_departures: u64,
+}
+
+impl SwitchStats {
+    /// Total packets currently inside the switch.
+    pub fn total_queued(&self) -> usize {
+        self.queued_at_inputs + self.queued_at_intermediates + self.queued_at_outputs
+    }
+}
+
+/// A synchronous slotted-time N×N switch.
+pub trait Switch {
+    /// Number of ports.
+    fn n(&self) -> usize;
+
+    /// Short human-readable name of the scheduling scheme (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// Inject a packet at its input port.  The packet's `arrival_slot` field
+    /// is treated as the current time for rate-measurement purposes, so the
+    /// caller should arrange `arrive` calls in nondecreasing `arrival_slot`
+    /// order and call [`Switch::tick`] with the matching slot afterwards.
+    fn arrive(&mut self, packet: Packet);
+
+    /// Advance the switch by one time slot.  `slot` must increase by exactly 1
+    /// between consecutive calls (starting from 0).  Returns every data packet
+    /// (and, for padding-based schemes, padding packet) delivered to an output
+    /// port during this slot; at most one packet per output can be delivered
+    /// per slot.
+    fn tick(&mut self, slot: u64) -> Vec<DeliveredPacket>;
+
+    /// Current occupancy and throughput counters.
+    fn stats(&self) -> SwitchStats;
+}
+
+impl<T: Switch + ?Sized> Switch for Box<T> {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn arrive(&mut self, packet: Packet) {
+        (**self).arrive(packet)
+    }
+    fn tick(&mut self, slot: u64) -> Vec<DeliveredPacket> {
+        (**self).tick(slot)
+    }
+    fn stats(&self) -> SwitchStats {
+        (**self).stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_total_queued_sums_all_stages() {
+        let s = SwitchStats {
+            queued_at_inputs: 3,
+            queued_at_intermediates: 5,
+            queued_at_outputs: 2,
+            total_arrivals: 100,
+            total_departures: 90,
+        };
+        assert_eq!(s.total_queued(), 10);
+    }
+
+    #[test]
+    fn stats_default_is_zeroed() {
+        let s = SwitchStats::default();
+        assert_eq!(s.total_queued(), 0);
+        assert_eq!(s.total_arrivals, 0);
+    }
+}

@@ -1,0 +1,414 @@
+//! Virtual Output Queues (VOQs) with stripe assembly and adaptive resizing.
+//!
+//! Each input port keeps one VOQ per output.  A VOQ accumulates arriving
+//! packets in a *ready queue* and releases them in full stripes of its current
+//! stripe size (§3.2).  When the sizing mode is adaptive, the VOQ measures its
+//! own arrival rate, decides on stripe-size changes with hysteresis, and
+//! performs the *clearance phase* of §5: a new stripe size only takes effect
+//! once every packet striped under the old size has left the switch, which is
+//! what keeps resizing from reintroducing reordering.
+
+use crate::dyadic::DyadicInterval;
+use crate::packet::Packet;
+use crate::rate_estimator::RateEstimator;
+use crate::sizing::SizeDecider;
+use crate::stripe::Stripe;
+use std::collections::VecDeque;
+
+/// Sizing behaviour of a single VOQ.
+#[derive(Debug, Clone)]
+enum VoqSizing {
+    /// The stripe size is fixed for the lifetime of the switch (set from a
+    /// traffic matrix or an explicit constant).
+    Fixed,
+    /// The stripe size follows the measured arrival rate.
+    Adaptive {
+        estimator: RateEstimator,
+        decider: SizeDecider,
+        /// Slots between sizing decisions (the measurement window).
+        window: u64,
+        /// Slot at which the next sizing decision is due.
+        next_check: u64,
+    },
+}
+
+/// A single Virtual Output Queue at an input port.
+#[derive(Debug, Clone)]
+pub struct Voq {
+    input: usize,
+    output: usize,
+    n: usize,
+    /// Primary intermediate port assigned by the OLS; the stripe interval is
+    /// always the dyadic interval of the current size containing this port.
+    primary_port: usize,
+    current_size: usize,
+    interval: DyadicInterval,
+    /// Packets waiting to fill the next stripe, in arrival order.
+    ready: VecDeque<Packet>,
+    next_stripe_seq: u64,
+    /// Packets that have been released in stripes but have not yet been
+    /// reported as delivered at the output.
+    in_flight: u64,
+    /// A stripe-size change waiting for the clearance phase to finish.
+    pending_size: Option<usize>,
+    sizing: VoqSizing,
+    /// Cumulative number of committed stripe-size changes (for telemetry).
+    resizes: u64,
+}
+
+impl Voq {
+    /// Create a VOQ with a fixed stripe size.
+    pub fn fixed(input: usize, output: usize, n: usize, primary_port: usize, size: usize) -> Self {
+        let size = size.clamp(1, n);
+        assert!(size.is_power_of_two());
+        Voq {
+            input,
+            output,
+            n,
+            primary_port,
+            current_size: size,
+            interval: DyadicInterval::containing(primary_port, size),
+            ready: VecDeque::new(),
+            next_stripe_seq: 0,
+            in_flight: 0,
+            pending_size: None,
+            sizing: VoqSizing::Fixed,
+            resizes: 0,
+        }
+    }
+
+    /// Create a VOQ whose stripe size adapts to its measured arrival rate.
+    pub fn adaptive(
+        input: usize,
+        output: usize,
+        n: usize,
+        primary_port: usize,
+        initial_size: usize,
+        window: u64,
+        gamma: f64,
+        patience: u32,
+    ) -> Self {
+        let initial_size = initial_size.clamp(1, n);
+        assert!(initial_size.is_power_of_two());
+        Voq {
+            input,
+            output,
+            n,
+            primary_port,
+            current_size: initial_size,
+            interval: DyadicInterval::containing(primary_port, initial_size),
+            ready: VecDeque::new(),
+            next_stripe_seq: 0,
+            in_flight: 0,
+            pending_size: None,
+            sizing: VoqSizing::Adaptive {
+                estimator: RateEstimator::new(window, gamma),
+                decider: SizeDecider::new(n, initial_size, patience),
+                window,
+                next_check: window,
+            },
+            resizes: 0,
+        }
+    }
+
+    /// The VOQ's primary intermediate port.
+    pub fn primary_port(&self) -> usize {
+        self.primary_port
+    }
+
+    /// The VOQ's current stripe size.
+    pub fn stripe_size(&self) -> usize {
+        self.current_size
+    }
+
+    /// The VOQ's current stripe interval.
+    pub fn interval(&self) -> DyadicInterval {
+        self.interval
+    }
+
+    /// Number of packets waiting in the ready queue (not yet in a stripe).
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Number of packets released in stripes and not yet delivered.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Cumulative number of committed stripe-size changes.
+    pub fn resizes(&self) -> u64 {
+        self.resizes
+    }
+
+    /// Is a stripe-size change waiting for the clearance phase?
+    pub fn resize_pending(&self) -> bool {
+        self.pending_size.is_some()
+    }
+
+    /// Enqueue an arriving packet and return any stripes that become complete.
+    pub fn push(&mut self, packet: Packet, now: u64) -> Vec<Stripe> {
+        debug_assert_eq!(packet.input, self.input);
+        debug_assert_eq!(packet.output, self.output);
+        if let VoqSizing::Adaptive { estimator, .. } = &mut self.sizing {
+            estimator.record_arrival(now);
+        }
+        self.ready.push_back(packet);
+        self.maybe_resize(now);
+        self.collect_stripes()
+    }
+
+    /// Advance the adaptive sizing clock without an arrival (call once per
+    /// measurement window or per slot; it is cheap when no window elapsed).
+    pub fn on_slot(&mut self, now: u64) -> Vec<Stripe> {
+        self.maybe_resize(now);
+        self.collect_stripes()
+    }
+
+    /// Report that one of this VOQ's packets reached its output port.
+    /// Returns any stripes released because a pending resize could commit.
+    pub fn packet_delivered(&mut self) -> Vec<Stripe> {
+        debug_assert!(self.in_flight > 0, "delivered more packets than were in flight");
+        self.in_flight = self.in_flight.saturating_sub(1);
+        if self.in_flight == 0 && self.pending_size.is_some() {
+            self.commit_resize();
+            return self.collect_stripes();
+        }
+        Vec::new()
+    }
+
+    /// Request a stripe-size change (used by the matrix-driven and fixed
+    /// sizing modes when reconfiguring, and internally by the adaptive mode).
+    ///
+    /// The change is applied immediately if nothing is in flight, otherwise it
+    /// is deferred to the end of the clearance phase.
+    pub fn request_resize(&mut self, new_size: usize) {
+        let new_size = new_size.clamp(1, self.n);
+        assert!(new_size.is_power_of_two());
+        if new_size == self.current_size {
+            self.pending_size = None;
+            return;
+        }
+        if self.in_flight == 0 {
+            self.pending_size = Some(new_size);
+            self.commit_resize();
+        } else {
+            self.pending_size = Some(new_size);
+        }
+    }
+
+    fn maybe_resize(&mut self, now: u64) {
+        let mut requested = None;
+        if let VoqSizing::Adaptive {
+            estimator,
+            decider,
+            window,
+            next_check,
+        } = &mut self.sizing
+        {
+            if now >= *next_check {
+                let rate = estimator.rate_at(now);
+                if let Some(size) = decider.observe(rate) {
+                    requested = Some(size);
+                }
+                *next_check = now - (now % *window) + *window;
+            }
+        }
+        if let Some(size) = requested {
+            self.request_resize(size);
+        }
+    }
+
+    fn commit_resize(&mut self) {
+        if let Some(size) = self.pending_size.take() {
+            debug_assert_eq!(self.in_flight, 0);
+            self.current_size = size;
+            self.interval = DyadicInterval::containing(self.primary_port, size);
+            self.resizes += 1;
+        }
+    }
+
+    /// Form as many complete stripes as possible from the ready queue.
+    ///
+    /// While a resize is pending (clearance phase), no new stripes are formed:
+    /// arrivals keep accumulating so that old-size and new-size stripes never
+    /// coexist in the switch.
+    fn collect_stripes(&mut self) -> Vec<Stripe> {
+        let mut out = Vec::new();
+        if self.pending_size.is_some() {
+            return out;
+        }
+        while self.ready.len() >= self.current_size {
+            let packets: Vec<Packet> = self.ready.drain(..self.current_size).collect();
+            let stripe = Stripe::assemble(
+                self.interval,
+                self.input,
+                self.output,
+                self.next_stripe_seq,
+                packets,
+            );
+            self.next_stripe_seq += 1;
+            self.in_flight += stripe.size() as u64;
+            out.push(stripe);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(input: usize, output: usize, seq: u64) -> Packet {
+        Packet::new(input, output, seq, 0).with_voq_seq(seq)
+    }
+
+    #[test]
+    fn fixed_voq_releases_full_stripes_only() {
+        let mut v = Voq::fixed(0, 1, 8, 5, 4);
+        assert_eq!(v.interval(), DyadicInterval::new(4, 4));
+        for i in 0..3 {
+            assert!(v.push(pkt(0, 1, i), i).is_empty());
+        }
+        let stripes = v.push(pkt(0, 1, 3), 3);
+        assert_eq!(stripes.len(), 1);
+        assert_eq!(stripes[0].size(), 4);
+        assert_eq!(stripes[0].interval, DyadicInterval::new(4, 4));
+        assert_eq!(v.ready_len(), 0);
+        assert_eq!(v.in_flight(), 4);
+        // Packets are stamped in arrival order.
+        for (i, p) in stripes[0].packets.iter().enumerate() {
+            assert_eq!(p.voq_seq, i as u64);
+            assert_eq!(p.stripe_index, i);
+        }
+    }
+
+    #[test]
+    fn unit_stripe_voq_releases_every_packet() {
+        let mut v = Voq::fixed(0, 1, 8, 3, 1);
+        for i in 0..5 {
+            let s = v.push(pkt(0, 1, i), i);
+            assert_eq!(s.len(), 1);
+            assert_eq!(s[0].size(), 1);
+            assert_eq!(s[0].interval, DyadicInterval::new(3, 1));
+        }
+    }
+
+    #[test]
+    fn resize_with_nothing_in_flight_is_immediate() {
+        let mut v = Voq::fixed(0, 1, 8, 5, 4);
+        v.request_resize(2);
+        assert_eq!(v.stripe_size(), 2);
+        assert_eq!(v.interval(), DyadicInterval::new(4, 2));
+        assert_eq!(v.resizes(), 1);
+        assert!(!v.resize_pending());
+    }
+
+    #[test]
+    fn resize_waits_for_clearance() {
+        let mut v = Voq::fixed(0, 1, 8, 1, 2);
+        // Fill one stripe → 2 packets in flight.
+        v.push(pkt(0, 1, 0), 0);
+        let s = v.push(pkt(0, 1, 1), 1);
+        assert_eq!(s.len(), 1);
+        assert_eq!(v.in_flight(), 2);
+
+        v.request_resize(4);
+        assert!(v.resize_pending());
+        assert_eq!(v.stripe_size(), 2, "resize must not apply while packets are in flight");
+
+        // During clearance, arrivals accumulate and no stripes are formed.
+        for i in 2..8 {
+            assert!(v.push(pkt(0, 1, i), i).is_empty());
+        }
+        assert_eq!(v.ready_len(), 6);
+
+        // Deliver the two in-flight packets: resize commits and the backlog is
+        // released with the new size.
+        assert!(v.packet_delivered().is_empty());
+        let released = v.packet_delivered();
+        assert_eq!(v.stripe_size(), 4);
+        assert_eq!(released.len(), 1, "6 ready packets form one stripe of 4");
+        assert_eq!(released[0].size(), 4);
+        assert_eq!(v.ready_len(), 2);
+        assert!(!v.resize_pending());
+        assert_eq!(v.resizes(), 1);
+    }
+
+    #[test]
+    fn resize_to_same_size_clears_pending() {
+        let mut v = Voq::fixed(0, 1, 8, 1, 2);
+        v.push(pkt(0, 1, 0), 0);
+        v.push(pkt(0, 1, 1), 1);
+        v.request_resize(4);
+        assert!(v.resize_pending());
+        v.request_resize(2);
+        assert!(!v.resize_pending());
+    }
+
+    #[test]
+    fn shrinking_releases_multiple_stripes() {
+        let mut v = Voq::fixed(0, 1, 8, 0, 8);
+        for i in 0..6 {
+            assert!(v.push(pkt(0, 1, i), i).is_empty());
+        }
+        v.request_resize(2);
+        // With nothing in flight the resize is immediate and the 6 ready
+        // packets become 3 stripes of 2.
+        let released = v.on_slot(6);
+        assert_eq!(v.stripe_size(), 2);
+        assert_eq!(released.len(), 3);
+        assert!(released.iter().all(|s| s.size() == 2));
+        // Stripe sequence numbers increase.
+        assert!(released.windows(2).all(|w| w[0].stripe_seq < w[1].stripe_seq));
+    }
+
+    #[test]
+    fn adaptive_voq_grows_under_load() {
+        let n = 16;
+        // Window of 64 slots, react after 1 confirming window.
+        let mut v = Voq::adaptive(0, 1, n, 7, 1, 64, 1.0, 0);
+        assert_eq!(v.stripe_size(), 1);
+        let mut delivered_backlog = 0u64;
+        // Offer one packet per slot (rate 1.0) for many windows, delivering
+        // everything promptly so clearance never blocks.
+        for slot in 0..1024u64 {
+            let stripes = v.push(pkt(0, 1, slot), slot);
+            for s in stripes {
+                delivered_backlog += s.size() as u64;
+            }
+            // Deliver in-flight packets immediately.
+            while delivered_backlog > 0 {
+                v.packet_delivered();
+                delivered_backlog -= 1;
+            }
+        }
+        assert_eq!(
+            v.stripe_size(),
+            n,
+            "a rate-1 VOQ must converge to a full-span stripe (F(1) = N)"
+        );
+        assert!(v.resizes() >= 1);
+    }
+
+    #[test]
+    fn adaptive_voq_shrinks_when_load_disappears() {
+        let n = 16;
+        let mut v = Voq::adaptive(0, 1, n, 7, 16, 64, 1.0, 0);
+        // No arrivals at all: after a few windows the decider should shrink
+        // the stripe to 1 (rate estimate 0).
+        let mut released = Vec::new();
+        for slot in 0..1024u64 {
+            released.extend(v.on_slot(slot));
+        }
+        assert!(released.is_empty());
+        assert_eq!(v.stripe_size(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_resize_is_rejected() {
+        let mut v = Voq::fixed(0, 1, 8, 0, 2);
+        v.request_resize(3);
+    }
+}

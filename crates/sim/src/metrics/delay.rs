@@ -1,0 +1,172 @@
+//! Packet delay statistics.
+//!
+//! Delays are accumulated in an exact histogram (one bucket per slot of delay
+//! up to a configurable cap, plus an overflow bucket tracked by exact values),
+//! so means are exact and percentiles are exact up to the cap.
+
+use serde::{Deserialize, Serialize};
+
+/// Histogram-based delay statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DelayStats {
+    /// `histogram[d]` counts packets with delay exactly `d` slots, `d < cap`.
+    histogram: Vec<u64>,
+    /// Delays `≥ cap`, kept exactly (there are few of them in practice).
+    overflow: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for DelayStats {
+    fn default() -> Self {
+        Self::new(1 << 16)
+    }
+}
+
+impl DelayStats {
+    /// Create delay statistics with the given histogram cap (delays above the
+    /// cap are still counted exactly, just stored individually).
+    pub fn new(cap: usize) -> Self {
+        DelayStats {
+            histogram: vec![0; cap.max(1)],
+            overflow: Vec::new(),
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Record one packet delay (in slots).
+    pub fn record(&mut self, delay: u64) {
+        self.count += 1;
+        self.sum += u128::from(delay);
+        self.max = self.max.max(delay);
+        if (delay as usize) < self.histogram.len() {
+            self.histogram[delay as usize] += 1;
+        } else {
+            self.overflow.push(delay);
+        }
+    }
+
+    /// Number of recorded packets.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean delay in slots (0 if nothing was recorded).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Maximum recorded delay.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact delay percentile (e.g. `0.5` for the median, `0.99` for p99).
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p));
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut acc = 0u64;
+        for (d, &c) in self.histogram.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return d as u64;
+            }
+        }
+        let mut overflow = self.overflow.clone();
+        overflow.sort_unstable();
+        let remaining = (target - acc) as usize;
+        overflow
+            .get(remaining.saturating_sub(1))
+            .copied()
+            .unwrap_or(self.max)
+    }
+
+    /// Merge another set of statistics into this one.
+    pub fn merge(&mut self, other: &DelayStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for (d, &c) in other.histogram.iter().enumerate() {
+            if d < self.histogram.len() {
+                self.histogram[d] += c;
+            } else {
+                for _ in 0..c {
+                    self.overflow.push(d as u64);
+                }
+            }
+        }
+        self.overflow.extend_from_slice(&other.overflow);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = DelayStats::default();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn mean_and_max_are_exact() {
+        let mut s = DelayStats::new(100);
+        for d in [1u64, 2, 3, 4, 10] {
+            s.record(d);
+        }
+        assert_eq!(s.count(), 5);
+        assert!((s.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(s.max(), 10);
+    }
+
+    #[test]
+    fn percentiles_are_exact_within_the_cap() {
+        let mut s = DelayStats::new(1000);
+        for d in 1..=100u64 {
+            s.record(d);
+        }
+        assert_eq!(s.percentile(0.5), 50);
+        assert_eq!(s.percentile(0.99), 99);
+        assert_eq!(s.percentile(1.0), 100);
+        assert_eq!(s.percentile(0.01), 1);
+    }
+
+    #[test]
+    fn overflow_delays_are_still_exact() {
+        let mut s = DelayStats::new(10);
+        s.record(5);
+        s.record(500);
+        s.record(1000);
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - (5.0 + 500.0 + 1000.0) / 3.0).abs() < 1e-9);
+        assert_eq!(s.max(), 1000);
+        assert_eq!(s.percentile(1.0), 1000);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = DelayStats::new(100);
+        a.record(1);
+        a.record(2);
+        let mut b = DelayStats::new(100);
+        b.record(10);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 10);
+        assert!((a.mean() - 13.0 / 3.0).abs() < 1e-12);
+    }
+}

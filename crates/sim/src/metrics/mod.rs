@@ -1,0 +1,9 @@
+//! Measurement of delay, reordering, throughput and occupancy.
+
+pub mod delay;
+pub mod occupancy;
+pub mod reorder;
+
+pub use delay::DelayStats;
+pub use occupancy::OccupancyStats;
+pub use reorder::{ReorderDetector, ReorderStats};

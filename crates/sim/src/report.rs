@@ -1,0 +1,131 @@
+//! Simulation reports.
+
+use crate::metrics::delay::DelayStats;
+use crate::metrics::occupancy::OccupancyStats;
+use crate::metrics::reorder::ReorderStats;
+use serde::{Deserialize, Serialize};
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Scheduling scheme name (from [`sprinklers_core::switch::Switch::name`]).
+    pub switch_name: String,
+    /// Traffic generator label.
+    pub traffic_label: String,
+    /// Switch size.
+    pub n: usize,
+    /// Number of arrival slots simulated (not counting the drain phase).
+    pub slots: u64,
+    /// Warm-up slots excluded from the delay statistics.
+    pub warmup_slots: u64,
+    /// Total packets offered to the switch.
+    pub offered_packets: u64,
+    /// Total data packets delivered to outputs (excludes padding).
+    pub delivered_packets: u64,
+    /// Padding (fake) packets delivered, for padding-based schemes.
+    pub padding_packets: u64,
+    /// Packets still inside the switch when the run ended.
+    pub residual_packets: u64,
+    /// Delay statistics over delivered packets that arrived after warm-up.
+    pub delay: DelayStats,
+    /// Reordering statistics over every delivered data packet.
+    pub reordering: ReorderStats,
+    /// Queue occupancy statistics (sampled once per frame).
+    pub occupancy: OccupancyStats,
+}
+
+impl SimReport {
+    /// Fraction of offered packets that were delivered by the end of the run
+    /// (including the drain phase).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.offered_packets == 0 {
+            return 1.0;
+        }
+        self.delivered_packets as f64 / self.offered_packets as f64
+    }
+
+    /// Normalized throughput: delivered packets per output per slot during the
+    /// arrival phase.
+    pub fn throughput(&self) -> f64 {
+        if self.slots == 0 {
+            return 0.0;
+        }
+        self.delivered_packets as f64 / (self.slots as f64 * self.n as f64)
+    }
+
+    /// Header row for the CSV emitted by the experiment binaries.
+    pub fn csv_header() -> &'static str {
+        "switch,traffic,n,slots,offered,delivered,mean_delay,p50_delay,p95_delay,p99_delay,\
+         max_delay,voq_reorders,flow_reorders,mean_intermediate_occupancy"
+    }
+
+    /// One CSV row summarizing this report.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{:.3},{},{},{},{},{},{},{:.2}",
+            self.switch_name,
+            self.traffic_label,
+            self.n,
+            self.slots,
+            self.offered_packets,
+            self.delivered_packets,
+            self.delay.mean(),
+            self.delay.percentile(0.50),
+            self.delay.percentile(0.95),
+            self.delay.percentile(0.99),
+            self.delay.max(),
+            self.reordering.voq_reorder_events,
+            self.reordering.flow_reorder_events,
+            self.occupancy.mean_intermediate,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy() -> SimReport {
+        let mut delay = DelayStats::new(100);
+        delay.record(4);
+        delay.record(6);
+        SimReport {
+            switch_name: "sprinklers".into(),
+            traffic_label: "uniform".into(),
+            n: 8,
+            slots: 100,
+            warmup_slots: 10,
+            offered_packets: 200,
+            delivered_packets: 190,
+            padding_packets: 0,
+            residual_packets: 10,
+            delay,
+            reordering: ReorderStats::default(),
+            occupancy: OccupancyStats::default(),
+        }
+    }
+
+    #[test]
+    fn delivery_ratio_and_throughput() {
+        let r = dummy();
+        assert!((r.delivery_ratio() - 0.95).abs() < 1e-12);
+        assert!((r.throughput() - 190.0 / 800.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_row_has_as_many_fields_as_the_header() {
+        let r = dummy();
+        let header_fields = SimReport::csv_header().split(',').count();
+        let row_fields = r.csv_row().split(',').count();
+        assert_eq!(header_fields, row_fields);
+        assert!(r.csv_row().starts_with("sprinklers,uniform,8,"));
+    }
+
+    #[test]
+    fn zero_offered_packets_is_a_full_delivery() {
+        let mut r = dummy();
+        r.offered_packets = 0;
+        r.delivered_packets = 0;
+        assert_eq!(r.delivery_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Parameter sweeps (load–delay curves).
+//!
+//! The paper's Figures 6 and 7 plot average delay against offered load for
+//! five switching schemes.  `sweep_loads` runs one simulation per load value
+//! using a caller-supplied factory, so the same helper serves every scheme and
+//! traffic pattern.
+
+use crate::harness::{RunConfig, Simulator};
+use crate::report::SimReport;
+use crate::traffic::TrafficGenerator;
+use serde::{Deserialize, Serialize};
+use sprinklers_core::switch::Switch;
+
+/// One point of a load sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadSweepPoint {
+    /// Offered load ρ.
+    pub load: f64,
+    /// The full simulation report at that load.
+    pub report: SimReport,
+}
+
+impl LoadSweepPoint {
+    /// Average delay at this point (slots).
+    pub fn mean_delay(&self) -> f64 {
+        self.report.delay.mean()
+    }
+}
+
+/// Run one simulation per load value.  The factory receives the load and
+/// returns the switch and traffic generator to use at that load.
+pub fn sweep_loads<S, G, F>(loads: &[f64], run: RunConfig, mut factory: F) -> Vec<LoadSweepPoint>
+where
+    S: Switch,
+    G: TrafficGenerator,
+    F: FnMut(f64) -> (S, G),
+{
+    loads
+        .iter()
+        .map(|&load| {
+            let (switch, traffic) = factory(load);
+            let report = Simulator::new(switch, traffic).run(run);
+            LoadSweepPoint { load, report }
+        })
+        .collect()
+}
+
+/// The load grid used by the paper's Figures 6 and 7 (0.1 … 0.95).
+pub fn paper_load_grid() -> Vec<f64> {
+    vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::bernoulli::BernoulliTraffic;
+    use sprinklers_core::config::{SizingMode, SprinklersConfig};
+    use sprinklers_core::sprinklers::SprinklersSwitch;
+
+    #[test]
+    fn sweep_produces_one_point_per_load() {
+        let n = 8;
+        let loads = [0.2, 0.5];
+        let points = sweep_loads(&loads, RunConfig::quick(), |load| {
+            let gen = BernoulliTraffic::uniform(n, load, 17);
+            let switch = SprinklersSwitch::new(
+                SprinklersConfig::new(n).with_sizing(SizingMode::FromMatrix(gen.rate_matrix())),
+                3,
+            );
+            (switch, gen)
+        });
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].load, 0.2);
+        assert!(points.iter().all(|p| p.report.reordering.is_ordered()));
+        assert!(points.iter().all(|p| p.mean_delay() > 0.0));
+    }
+
+    #[test]
+    fn paper_load_grid_is_increasing_and_admissible() {
+        let grid = paper_load_grid();
+        assert!(grid.windows(2).all(|w| w[0] < w[1]));
+        assert!(grid.iter().all(|&l| l > 0.0 && l < 1.0));
+    }
+}

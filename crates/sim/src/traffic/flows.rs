@@ -1,0 +1,167 @@
+//! Application-flow-structured traffic.
+//!
+//! The TCP-hashing baseline (§2.1 of the paper) routes every packet of an
+//! application flow through the same intermediate port, so evaluating it —
+//! and checking that Sprinklers preserves per-flow order, which follows from
+//! per-VOQ order — requires traffic in which packets carry flow identifiers.
+//!
+//! `FlowTraffic` layers a flow structure on top of Bernoulli arrivals: each
+//! `(input, output)` pair maintains a current flow; after every packet the
+//! flow ends with probability `1/mean_flow_len` and a fresh flow id is drawn.
+//! Flow sizes are therefore geometric with the configured mean, a standard
+//! heavy-traffic approximation of TCP flow-size distributions.
+
+use super::{row_cdf, sample_from_cdf, TrafficGenerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sprinklers_core::matrix::TrafficMatrix;
+use sprinklers_core::packet::Packet;
+
+/// Bernoulli arrivals carrying geometric-size application flows.
+pub struct FlowTraffic {
+    n: usize,
+    matrix: TrafficMatrix,
+    per_input: Vec<(f64, Vec<f64>)>,
+    mean_flow_len: f64,
+    /// Current flow id of each (input, output) pair.
+    current_flow: Vec<u64>,
+    next_flow_id: u64,
+    rng: StdRng,
+}
+
+impl FlowTraffic {
+    /// Flow-structured traffic drawn from an arbitrary rate matrix.
+    pub fn from_matrix(matrix: TrafficMatrix, mean_flow_len: f64, seed: u64) -> Self {
+        assert!(mean_flow_len >= 1.0, "mean flow length must be at least 1 packet");
+        let n = matrix.n();
+        let per_input = (0..n).map(|i| row_cdf(&matrix, i)).collect();
+        let mut current_flow = vec![0u64; n * n];
+        for (k, f) in current_flow.iter_mut().enumerate() {
+            *f = k as u64;
+        }
+        FlowTraffic {
+            n,
+            matrix,
+            per_input,
+            mean_flow_len,
+            next_flow_id: (n * n) as u64,
+            current_flow,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform-destination flow traffic at load `rho` with the given mean flow
+    /// length in packets.
+    pub fn uniform(n: usize, rho: f64, mean_flow_len: f64, seed: u64) -> Self {
+        Self::from_matrix(TrafficMatrix::uniform(n, rho), mean_flow_len, seed)
+    }
+
+    /// Mean flow length in packets.
+    pub fn mean_flow_len(&self) -> f64 {
+        self.mean_flow_len
+    }
+}
+
+impl TrafficGenerator for FlowTraffic {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn arrivals(&mut self, slot: u64) -> Vec<Packet> {
+        let mut out = Vec::new();
+        for input in 0..self.n {
+            let (load, cdf) = &self.per_input[input];
+            if *load > 0.0 && self.rng.gen::<f64>() < *load {
+                let u = self.rng.gen::<f64>();
+                let output = sample_from_cdf(cdf, u);
+                let key = input * self.n + output;
+                let flow = self.current_flow[key];
+                out.push(Packet::new(input, output, 0, slot).with_flow(flow));
+                // End the flow with probability 1/mean_flow_len.
+                if self.rng.gen::<f64>() < 1.0 / self.mean_flow_len {
+                    self.current_flow[key] = self.next_flow_id;
+                    self.next_flow_id += 1;
+                }
+            }
+        }
+        out
+    }
+
+    fn rate_matrix(&self) -> TrafficMatrix {
+        self.matrix.clone()
+    }
+
+    fn label(&self) -> String {
+        format!("flows(mean_len={})", self.mean_flow_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn packets_of_a_voq_share_flow_ids_in_runs() {
+        let mut gen = FlowTraffic::uniform(4, 0.9, 10.0, 3);
+        let mut per_voq_flows: HashMap<(usize, usize), Vec<u64>> = HashMap::new();
+        for slot in 0..20_000 {
+            for p in gen.arrivals(slot) {
+                per_voq_flows.entry(p.voq()).or_default().push(p.flow);
+            }
+        }
+        // Flow ids within a VOQ appear in contiguous runs (a flow never
+        // resumes after it ended).
+        for (_, flows) in per_voq_flows {
+            let mut seen_closed = std::collections::HashSet::new();
+            let mut current = None;
+            for f in flows {
+                if Some(f) != current {
+                    if let Some(c) = current {
+                        seen_closed.insert(c);
+                    }
+                    assert!(!seen_closed.contains(&f), "flow {f} resumed after ending");
+                    current = Some(f);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mean_flow_length_is_respected() {
+        let mean = 8.0;
+        let mut gen = FlowTraffic::uniform(2, 1.0, mean, 11);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for slot in 0..100_000 {
+            for p in gen.arrivals(slot) {
+                *counts.entry(p.flow).or_insert(0) += 1;
+            }
+        }
+        // Exclude the still-open flows (censored) by dropping the largest ids.
+        let mut lens: Vec<u64> = counts.values().copied().collect();
+        lens.sort_unstable();
+        let measured: f64 = lens.iter().map(|&l| l as f64).sum::<f64>() / lens.len() as f64;
+        assert!(
+            (measured - mean).abs() < 1.5,
+            "measured mean flow length {measured} should be ≈ {mean}"
+        );
+    }
+
+    #[test]
+    fn flow_ids_are_distinct_across_voqs() {
+        let mut gen = FlowTraffic::uniform(4, 1.0, 5.0, 2);
+        let mut flow_owner: HashMap<u64, (usize, usize)> = HashMap::new();
+        for slot in 0..5_000 {
+            for p in gen.arrivals(slot) {
+                let owner = flow_owner.entry(p.flow).or_insert_with(|| p.voq());
+                assert_eq!(*owner, p.voq(), "flow {} spans two VOQs", p.flow);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_sub_packet_flow_length() {
+        let _ = FlowTraffic::uniform(4, 0.5, 0.5, 0);
+    }
+}

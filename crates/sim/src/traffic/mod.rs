@@ -1,0 +1,104 @@
+//! Traffic generators.
+//!
+//! A traffic generator produces at most one packet per input port per time
+//! slot (the standard admissibility constraint for an input line of rate 1)
+//! and exposes the long-run rate matrix it draws from, which the Sprinklers
+//! switch can use for matrix-driven stripe sizing and which the analysis
+//! modules use to check admissibility.
+//!
+//! The two generators used by the paper's evaluation (§6) are Bernoulli
+//! arrivals with uniform destinations and with quasi-diagonal destinations;
+//! both are provided by [`bernoulli::BernoulliTraffic`].  The other generators
+//! extend the evaluation: bursty on/off sources, application-flow-structured
+//! traffic (needed by the TCP-hashing baseline), and deterministic trace
+//! replay for tests.
+
+pub mod bernoulli;
+pub mod bursty;
+pub mod flows;
+pub mod trace;
+
+use sprinklers_core::matrix::TrafficMatrix;
+use sprinklers_core::packet::Packet;
+
+/// A source of packet arrivals for an N-port switch.
+pub trait TrafficGenerator {
+    /// Number of switch ports.
+    fn n(&self) -> usize;
+
+    /// Generate the arrivals of one time slot: at most one packet per input
+    /// port.  Identity fields other than `input`, `output`, `flow` and
+    /// `arrival_slot` may be left at their defaults; the simulation harness
+    /// assigns globally unique ids and per-VOQ sequence numbers.
+    fn arrivals(&mut self, slot: u64) -> Vec<Packet>;
+
+    /// The long-run average rate matrix this generator draws from.
+    fn rate_matrix(&self) -> TrafficMatrix;
+
+    /// Short human-readable description (used in reports).
+    fn label(&self) -> String;
+}
+
+/// Helper shared by generators: sample a destination from a cumulative
+/// distribution over outputs.
+pub(crate) fn sample_from_cdf(cdf: &[f64], u: f64) -> usize {
+    match cdf.binary_search_by(|probe| probe.partial_cmp(&u).expect("CDF must not contain NaN")) {
+        Ok(idx) => idx,
+        Err(idx) => idx.min(cdf.len() - 1),
+    }
+}
+
+/// Helper shared by generators: build the per-input destination CDF from a
+/// rate matrix row (conditioned on an arrival happening at that input).
+pub(crate) fn row_cdf(matrix: &TrafficMatrix, input: usize) -> (f64, Vec<f64>) {
+    let n = matrix.n();
+    let load = matrix.input_load(input);
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for j in 0..n {
+        let p = if load > 0.0 {
+            matrix.rate(input, j) / load
+        } else {
+            0.0
+        };
+        acc += p;
+        cdf.push(acc);
+    }
+    if let Some(last) = cdf.last_mut() {
+        *last = 1.0;
+    }
+    (load, cdf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_from_cdf_picks_correct_bucket() {
+        let cdf = vec![0.25, 0.5, 0.75, 1.0];
+        assert_eq!(sample_from_cdf(&cdf, 0.0), 0);
+        assert_eq!(sample_from_cdf(&cdf, 0.3), 1);
+        assert_eq!(sample_from_cdf(&cdf, 0.74), 2);
+        assert_eq!(sample_from_cdf(&cdf, 0.99), 3);
+    }
+
+    #[test]
+    fn row_cdf_normalizes_the_row() {
+        let m = TrafficMatrix::diagonal(8, 0.8);
+        let (load, cdf) = row_cdf(&m, 3);
+        assert!((load - 0.8).abs() < 1e-12);
+        assert_eq!(cdf.len(), 8);
+        assert!((cdf[7] - 1.0).abs() < 1e-12);
+        // The diagonal entry owns half the probability mass.
+        assert!((cdf[3] - cdf[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_cdf_of_idle_input_is_all_zero_probability() {
+        let m = TrafficMatrix::zero(4);
+        let (load, cdf) = row_cdf(&m, 0);
+        assert_eq!(load, 0.0);
+        assert_eq!(cdf.last().copied(), Some(1.0));
+    }
+}

@@ -1,0 +1,40 @@
+//! Evaluate the paper's stability guarantees for a switch you are about to
+//! build: Theorem 1's zero-overload threshold and Theorem 2's Chernoff bound
+//! on the overload probability (the machinery behind Table 1).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p sprinklers-bench --example overload_bounds -- [n] [rho]
+//! ```
+
+use sprinklers_analysis::chernoff::overload_bound;
+use sprinklers_analysis::markov::expected_queue_length;
+use sprinklers_analysis::theorem1::zero_overload_threshold;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let rho: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.93);
+
+    println!("Sprinklers stability guarantees for an N = {n} switch at load rho = {rho}");
+    println!();
+
+    let threshold = zero_overload_threshold(n);
+    println!("Theorem 1: below a total input load of {threshold:.4} no queue can ever be");
+    println!("           overloaded, no matter how the load is split across VOQs.");
+    println!();
+
+    if rho < 1.0 {
+        let b = overload_bound(n, rho);
+        println!("Theorem 2 (Chernoff bound) at rho = {rho}:");
+        println!("  single queue overload probability <= {:.3e}   (log10 = {:.2})",
+            b.bound, b.log_bound / std::f64::consts::LN_10);
+        println!("  switch-wide (union over 2N^2 queues) <= {:.3e}", b.switch_wide);
+    } else {
+        println!("rho must be < 1 for the Chernoff bound to apply");
+    }
+    println!();
+
+    println!("Section 5: expected clearance delay at an intermediate port under worst-case");
+    println!("           burstiness: {:.0} service periods", expected_queue_length(n, rho.min(0.999)));
+}

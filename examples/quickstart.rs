@@ -1,0 +1,51 @@
+//! Quickstart: build a Sprinklers switch, offer uniform Bernoulli traffic and
+//! print the delay and (absence of) reordering statistics.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p sprinklers-bench --example quickstart
+//! ```
+
+use sprinklers_core::prelude::*;
+use sprinklers_sim::prelude::*;
+
+fn main() {
+    let n = 16;
+    let load = 0.7;
+    let seed = 42;
+
+    // 1. Describe the traffic: uniform Bernoulli arrivals at 70% load.
+    let traffic = BernoulliTraffic::uniform(n, load, seed);
+
+    // 2. Build the switch.  Stripe sizes are derived from the traffic matrix
+    //    with the paper's rule F(r) = min(N, 2^ceil(log2(r N^2))).
+    let config = SprinklersConfig::new(n).with_sizing(SizingMode::FromMatrix(traffic.rate_matrix()));
+    let switch = SprinklersSwitch::new(config, seed);
+    println!(
+        "Sprinklers switch with N = {n}: a VOQ at rate {:.4} gets stripes of {} packets",
+        load / n as f64,
+        switch.voq_stripe_size(0, 0)
+    );
+
+    // 3. Run the simulation.
+    let report = Simulator::new(switch, traffic).run(RunConfig {
+        slots: 50_000,
+        warmup_slots: 5_000,
+        drain_slots: 30_000,
+    });
+
+    // 4. Inspect the results.
+    println!("offered packets  : {}", report.offered_packets);
+    println!("delivered packets: {}", report.delivered_packets);
+    println!("mean delay       : {:.1} slots", report.delay.mean());
+    println!("p99 delay        : {} slots", report.delay.percentile(0.99));
+    println!(
+        "VOQ reordering   : {} events (flow reordering: {})",
+        report.reordering.voq_reorder_events, report.reordering.flow_reorder_events
+    );
+    assert!(
+        report.reordering.is_ordered(),
+        "Sprinklers guarantees in-order delivery"
+    );
+    println!("=> packets departed strictly in order, as the paper guarantees");
+}

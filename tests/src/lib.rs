@@ -1,0 +1,116 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this small library provides
+//! the scaffolding they share: building every switch variant by name and
+//! running short, seeded simulations with consistent metrics.
+
+use sprinklers_baselines::{
+    BaselineLbSwitch, FoffSwitch, PaddedFramesSwitch, TcpHashSwitch, UfsSwitch,
+};
+use sprinklers_core::config::{AlignmentMode, InputDiscipline, SizingMode, SprinklersConfig};
+use sprinklers_core::matrix::TrafficMatrix;
+use sprinklers_core::sprinklers::SprinklersSwitch;
+use sprinklers_core::switch::Switch;
+use sprinklers_sim::harness::{RunConfig, Simulator};
+use sprinklers_sim::report::SimReport;
+use sprinklers_sim::traffic::TrafficGenerator;
+
+/// Every Sprinklers scheduling variant, for exhaustive ordering checks.
+pub const SPRINKLERS_VARIANTS: [(&str, InputDiscipline, AlignmentMode); 4] = [
+    (
+        "atomic+immediate",
+        InputDiscipline::StripeAtomic,
+        AlignmentMode::Immediate,
+    ),
+    (
+        "atomic+aligned",
+        InputDiscipline::StripeAtomic,
+        AlignmentMode::StripeComplete,
+    ),
+    (
+        "rowscan+immediate",
+        InputDiscipline::RowScan,
+        AlignmentMode::Immediate,
+    ),
+    (
+        "rowscan+aligned",
+        InputDiscipline::RowScan,
+        AlignmentMode::StripeComplete,
+    ),
+];
+
+/// Build a Sprinklers switch with matrix-driven sizing and the given variant.
+pub fn sprinklers_variant(
+    n: usize,
+    matrix: &TrafficMatrix,
+    discipline: InputDiscipline,
+    alignment: AlignmentMode,
+    seed: u64,
+) -> SprinklersSwitch {
+    SprinklersSwitch::new(
+        SprinklersConfig::new(n)
+            .with_sizing(SizingMode::FromMatrix(matrix.clone()))
+            .with_input_discipline(discipline)
+            .with_alignment(alignment),
+        seed,
+    )
+}
+
+/// Build one of the ordered switches (everything except `baseline-lb` and
+/// `tcp-hash` guarantees per-VOQ order).
+pub fn switch_by_name(name: &str, n: usize, matrix: &TrafficMatrix, seed: u64) -> Box<dyn Switch> {
+    match name {
+        "sprinklers" => Box::new(SprinklersSwitch::new(
+            SprinklersConfig::new(n).with_sizing(SizingMode::FromMatrix(matrix.clone())),
+            seed,
+        )),
+        "sprinklers-adaptive" => Box::new(SprinklersSwitch::new(SprinklersConfig::new(n), seed)),
+        "baseline-lb" => Box::new(BaselineLbSwitch::new(n)),
+        "ufs" => Box::new(UfsSwitch::new(n)),
+        "foff" => Box::new(FoffSwitch::new(n)),
+        "padded-frames" => Box::new(PaddedFramesSwitch::new(
+            n,
+            PaddedFramesSwitch::default_threshold(n),
+        )),
+        "tcp-hash" => Box::new(TcpHashSwitch::new(n, seed)),
+        other => panic!("unknown switch {other}"),
+    }
+}
+
+/// The schemes that promise per-VOQ in-order delivery.
+pub const ORDERED_SCHEMES: [&str; 4] = ["sprinklers", "ufs", "foff", "padded-frames"];
+
+/// Run a switch against a generator with a short, deterministic configuration.
+pub fn run<S: Switch, G: TrafficGenerator>(switch: S, traffic: G, slots: u64) -> SimReport {
+    Simulator::new(switch, traffic).run(RunConfig {
+        slots,
+        warmup_slots: slots / 10,
+        drain_slots: slots.max(4_096) * 2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprinklers_sim::traffic::bernoulli::BernoulliTraffic;
+
+    #[test]
+    fn switch_by_name_covers_all_schemes() {
+        let m = TrafficMatrix::uniform(8, 0.5);
+        for name in ORDERED_SCHEMES
+            .iter()
+            .chain(["baseline-lb", "tcp-hash", "sprinklers-adaptive"].iter())
+        {
+            let sw = switch_by_name(name, 8, &m, 3);
+            assert_eq!(sw.n(), 8);
+        }
+    }
+
+    #[test]
+    fn run_helper_produces_a_report() {
+        let m = TrafficMatrix::uniform(8, 0.3);
+        let sw = switch_by_name("sprinklers", 8, &m, 3);
+        let report = run(sw, BernoulliTraffic::uniform(8, 0.3, 9), 2_000);
+        assert!(report.offered_packets > 0);
+    }
+}
