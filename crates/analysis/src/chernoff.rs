@@ -88,7 +88,10 @@ pub struct OverloadBound {
 ///
 /// Panics if `n` is not a power of two or `rho` is outside `(0, 1)`.
 pub fn overload_bound(n: usize, rho: f64) -> OverloadBound {
-    assert!(n.is_power_of_two() && n >= 2, "switch size must be a power of two ≥ 2");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "switch size must be a power of two ≥ 2"
+    );
     let (a, c) = optimal_exponent(rho);
     let log_bound = (n as f64) * c;
     // Union bound over the N² input→intermediate queues and the N²

@@ -24,7 +24,10 @@ use serde::{Deserialize, Serialize};
 /// `E[Q] = ρ(N−1) / (2(1−ρ))`.
 pub fn expected_queue_length(n: usize, rho: f64) -> f64 {
     assert!(n >= 1);
-    assert!((0.0..1.0).contains(&rho), "load must be in [0, 1), got {rho}");
+    assert!(
+        (0.0..1.0).contains(&rho),
+        "load must be in [0, 1), got {rho}"
+    );
     rho * (n as f64 - 1.0) / (2.0 * (1.0 - rho))
 }
 
@@ -114,11 +117,7 @@ impl IntermediateDelayModel {
 
     /// Expected stationary queue length.
     pub fn mean_queue_length(&self) -> f64 {
-        self.pi
-            .iter()
-            .enumerate()
-            .map(|(q, &p)| q as f64 * p)
-            .sum()
+        self.pi.iter().enumerate().map(|(q, &p)| q as f64 * p).sum()
     }
 
     /// Smallest queue length `q` such that `P(Q ≤ q) ≥ percentile`.
@@ -149,7 +148,10 @@ mod tests {
         // Figure 5: at ρ = 0.9 the delay grows linearly in N, reaching roughly
         // 4000–4500 periods at N = 1000.
         let d = expected_queue_length(1000, 0.9);
-        assert!(d > 3500.0 && d < 5000.0, "delay {d} out of Figure 5's range");
+        assert!(
+            d > 3500.0 && d < 5000.0,
+            "delay {d} out of Figure 5's range"
+        );
         // Linearity in N: E[Q] ∝ (N − 1).
         let d2 = expected_queue_length(500, 0.9);
         assert!((d / d2 - 999.0 / 499.0).abs() < 1e-9);
@@ -163,7 +165,10 @@ mod tests {
             let (n2, d2) = w[1];
             let slope1 = d1 / (n1 as f64 - 1.0);
             let slope2 = d2 / (n2 as f64 - 1.0);
-            assert!((slope1 - slope2).abs() < 1e-9, "the delay/(N−1) ratio must be constant");
+            assert!(
+                (slope1 - slope2).abs() < 1e-9,
+                "the delay/(N−1) ratio must be constant"
+            );
         }
     }
 

@@ -6,7 +6,10 @@
 /// The Chernoff exponent of Theorem 2 is convex in θ, so golden-section search
 /// converges to the global minimum.
 pub fn golden_section_min<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64, tol: f64) -> (f64, f64) {
-    assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid interval [{lo}, {hi}]");
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo < hi,
+        "invalid interval [{lo}, {hi}]"
+    );
     assert!(tol > 0.0);
     let inv_phi = (5f64.sqrt() - 1.0) / 2.0; // 1/φ ≈ 0.618
     let mut a = lo;

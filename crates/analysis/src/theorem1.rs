@@ -50,7 +50,7 @@ pub fn queue_arrival_rate(rates_by_position: &[f64], n: usize) -> f64 {
         .enumerate()
         .map(|(k, &r)| {
             let f = stripe_size(r, n);
-            if f >= k + 1 {
+            if f > k {
                 r / f as f64
             } else {
                 0.0
@@ -89,10 +89,9 @@ pub fn worst_case_rate_vector(n: usize) -> WorstCaseRates {
     assert!(n.is_power_of_two() && n >= 4);
     let n2 = (n * n) as f64;
     let mut rates = vec![0.0; n];
-    for k in 0..n / 2 {
-        let l = k + 1;
-        let size = l.next_power_of_two();
-        rates[k] = size as f64 / n2;
+    for (k, rate) in rates.iter_mut().enumerate().take(n / 2) {
+        let size = (k + 1).next_power_of_two();
+        *rate = size as f64 / n2;
     }
     rates[n / 2] = 0.5;
     WorstCaseRates { rates }

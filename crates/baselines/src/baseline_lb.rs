@@ -13,7 +13,7 @@
 use crate::fabric::{first_fabric, second_fabric_output};
 use crate::intermediate::SimpleIntermediate;
 use sprinklers_core::packet::{DeliveredPacket, Packet};
-use sprinklers_core::switch::{Switch, SwitchStats};
+use sprinklers_core::switch::{DeliverySink, Switch, SwitchStats};
 use std::collections::VecDeque;
 
 /// The baseline (unordered) load-balanced switch.
@@ -54,14 +54,13 @@ impl Switch for BaselineLbSwitch {
         self.inputs[packet.input].push_back(packet);
     }
 
-    fn tick(&mut self, slot: u64) -> Vec<DeliveredPacket> {
-        let mut delivered = Vec::new();
+    fn step(&mut self, slot: u64, sink: &mut dyn DeliverySink) {
         // Second fabric first (store-and-forward).
         for l in 0..self.n {
             let output = second_fabric_output(l, slot, self.n);
             if let Some(packet) = self.intermediates[l].dequeue(output) {
                 self.departures += 1;
-                delivered.push(DeliveredPacket::new(packet, slot));
+                sink.deliver(DeliveredPacket::new(packet, slot));
             }
         }
         // First fabric: every input forwards its head-of-line packet to the
@@ -74,7 +73,6 @@ impl Switch for BaselineLbSwitch {
                 self.intermediates[l].receive(packet);
             }
         }
-        delivered
     }
 
     fn stats(&self) -> SwitchStats {
@@ -102,7 +100,7 @@ mod tests {
         sw.arrive(pkt(2, 5, 0, 0));
         let mut delivered = Vec::new();
         for slot in 0..24 {
-            delivered.extend(sw.tick(slot));
+            sw.step(slot, &mut delivered);
         }
         assert_eq!(delivered.len(), 1);
         assert_eq!(delivered[0].packet.output, 5);
@@ -116,9 +114,9 @@ mod tests {
             sw.arrive(pkt(0, 0, k, 0));
         }
         assert_eq!(sw.stats().queued_at_inputs, 4);
-        sw.tick(0);
+        sw.step(0, &mut sprinklers_core::switch::NullSink);
         assert_eq!(sw.stats().queued_at_inputs, 3);
-        sw.tick(1);
+        sw.step(1, &mut sprinklers_core::switch::NullSink);
         assert_eq!(sw.stats().queued_at_inputs, 2);
     }
 
@@ -128,10 +126,11 @@ mod tests {
         for k in 0..4 {
             sw.arrive(pkt(0, 2, k, 0));
         }
-        let mut delivered = 0;
+        let mut counter = sprinklers_core::switch::CountingSink::default();
         for slot in 0..4 {
-            delivered += sw.tick(slot).len();
+            sw.step(slot, &mut counter);
         }
+        let delivered = counter.total() as usize;
         // The four packets went to four distinct intermediate ports, so no
         // port ever holds more than one of them; some may already have left.
         for l in 0..4 {
@@ -149,19 +148,18 @@ mod tests {
         // 7/8 load so the intermediate queues stay stable.
         for slot in 0..100u64 {
             for i in 0..8 {
-                if (i + slot as usize) % 8 == 0 {
+                if (i + slot as usize).is_multiple_of(8) {
                     continue;
                 }
                 sw.arrive(pkt(i, (i + 3 * slot as usize + 1) % 8, slot, slot));
                 sent += 1;
             }
-            sw.tick(slot);
+            sw.step(slot, &mut sprinklers_core::switch::NullSink);
         }
-        let mut got = sw.stats().total_departures;
         for slot in 100..2000u64 {
-            got += sw.tick(slot).len() as u64;
+            sw.step(slot, &mut sprinklers_core::switch::NullSink);
         }
-        assert_eq!(got, sent);
+        assert_eq!(sw.stats().total_departures, sent);
         assert_eq!(sw.stats().total_queued(), 0);
     }
 }

@@ -16,7 +16,7 @@ use crate::frame::{FrameInService, FrameVoq};
 use crate::intermediate::SimpleIntermediate;
 use crate::resequencer::Resequencer;
 use sprinklers_core::packet::{DeliveredPacket, Packet};
-use sprinklers_core::switch::{Switch, SwitchStats};
+use sprinklers_core::switch::{DeliverySink, Switch, SwitchStats};
 use std::collections::VecDeque;
 
 /// One FOFF input port.
@@ -41,7 +41,10 @@ impl FoffInput {
     fn queued_packets(&self) -> usize {
         self.voqs.iter().map(FrameVoq::len).sum::<usize>()
             + self.ready_frames.iter().map(Vec::len).sum::<usize>()
-            + self.in_service.as_ref().map_or(0, FrameInService::remaining)
+            + self
+                .in_service
+                .as_ref()
+                .map_or(0, FrameInService::remaining)
     }
 
     /// Pop one packet from the next non-empty VOQ in round-robin order.
@@ -105,8 +108,7 @@ impl Switch for FoffSwitch {
         }
     }
 
-    fn tick(&mut self, slot: u64) -> Vec<DeliveredPacket> {
-        let mut delivered = Vec::new();
+    fn step(&mut self, slot: u64, sink: &mut dyn DeliverySink) {
         // Second fabric: move packets into the output resequencers, then let
         // each output release at most one in-order packet (its line rate).
         for l in 0..self.n {
@@ -119,7 +121,7 @@ impl Switch for FoffSwitch {
             if let Some(packet) = reseq.release_one() {
                 debug_assert_eq!(packet.output, output);
                 self.departures += 1;
-                delivered.push(DeliveredPacket::new(packet, slot));
+                sink.deliver(DeliveredPacket::new(packet, slot));
             }
         }
         // First fabric: full frames first, round-robin partial service
@@ -145,17 +147,12 @@ impl Switch for FoffSwitch {
                 self.intermediates[connected].receive(packet);
             }
         }
-        delivered
     }
 
     fn stats(&self) -> SwitchStats {
         SwitchStats {
             queued_at_inputs: self.inputs.iter().map(FoffInput::queued_packets).sum(),
-            queued_at_intermediates: self
-                .intermediates
-                .iter()
-                .map(|p| p.queued_packets())
-                .sum(),
+            queued_at_intermediates: self.intermediates.iter().map(|p| p.queued_packets()).sum(),
             queued_at_outputs: self
                 .resequencers
                 .iter()
@@ -182,7 +179,7 @@ mod tests {
         sw.arrive(pkt(0, 3, 0, 0));
         let mut delivered = Vec::new();
         for slot in 0..48 {
-            delivered.extend(sw.tick(slot));
+            sw.step(slot, &mut delivered);
         }
         assert_eq!(delivered.len(), 1, "FOFF must not wait for a full frame");
         assert_eq!(delivered[0].packet.output, 3);
@@ -203,15 +200,18 @@ mod tests {
                 seqs[key] += 1;
                 sent += 1;
             }
-            sw.tick(slot);
+            sw.step(slot, &mut sprinklers_core::switch::NullSink);
         }
         let mut delivered = Vec::new();
         for slot in 400..4000u64 {
-            delivered.extend(sw.tick(slot));
+            sw.step(slot, &mut delivered);
         }
         let mut last: std::collections::HashMap<(usize, usize), u64> = Default::default();
         let mut count = sw.stats().total_departures;
-        assert!(count >= sent * 9 / 10, "most packets should drain: {count}/{sent}");
+        assert!(
+            count >= sent * 9 / 10,
+            "most packets should drain: {count}/{sent}"
+        );
         for d in &delivered {
             let voq = d.packet.voq();
             if let Some(&prev) = last.get(&voq) {
@@ -234,8 +234,10 @@ mod tests {
         for k in 0..32u64 {
             sw.arrive(pkt((k % 4) as usize, 2, k / 4, 0));
         }
+        let mut delivered = Vec::new();
         for slot in 0..200u64 {
-            let delivered = sw.tick(slot);
+            delivered.clear();
+            sw.step(slot, &mut delivered);
             let to_two = delivered.iter().filter(|d| d.packet.output == 2).count();
             assert!(to_two <= 1, "an output can only accept one packet per slot");
         }
@@ -249,7 +251,7 @@ mod tests {
         let mut sent = 0u64;
         for slot in 0..200u64 {
             for i in 0..n {
-                if (slot as usize + i) % 2 == 0 {
+                if (slot as usize + i).is_multiple_of(2) {
                     let output = (i + slot as usize) % n;
                     let key = i * n + output;
                     sw.arrive(pkt(i, output, seqs[key], slot));
@@ -257,13 +259,12 @@ mod tests {
                     sent += 1;
                 }
             }
-            sw.tick(slot);
+            sw.step(slot, &mut sprinklers_core::switch::NullSink);
         }
-        let mut got = sw.stats().total_departures;
         for slot in 200..4000u64 {
-            got += sw.tick(slot).len() as u64;
+            sw.step(slot, &mut sprinklers_core::switch::NullSink);
         }
-        assert_eq!(got, sent);
+        assert_eq!(sw.stats().total_departures, sent);
         assert_eq!(sw.stats().total_queued(), 0);
     }
 }

@@ -2,21 +2,27 @@
 //!
 //! The Sprinklers paper compares against four existing schemes (§2, §6); this
 //! crate implements all of them, plus the TCP-hashing scheme the paper uses to
-//! motivate its design, behind the same [`sprinklers_core::switch::Switch`]
-//! trait as the Sprinklers switch itself:
+//! motivate its design and an ideal output-queued reference, behind the same
+//! [`sprinklers_core::switch::Switch`] trait as the Sprinklers switch itself:
 //!
 //! | Scheme | Module | Ordering guarantee | Notes |
 //! |---|---|---|---|
-//! | Baseline load-balanced switch (Chang et al.) | [`baseline_lb`] | none | delay lower bound |
+//! | Ideal output-queued switch | [`oq`] | per VOQ | theoretical delay lower bound (infinite speedup) |
+//! | Baseline load-balanced switch (Chang et al.) | [`baseline_lb`] | none | implementable delay lower bound |
 //! | Uniform Frame Spreading (UFS) | [`ufs`] | per VOQ | full-frame accumulation, long delay at light load |
 //! | Full Ordered Frames First (FOFF) | [`foff`] | per VOQ after resequencing | output resequencing buffers |
 //! | Padded Frames (PF) | [`padded_frames`] | per VOQ | pads short frames with fake packets |
 //! | TCP hashing / AFBR | [`tcp_hash`] | per flow | not stable under adversarial flow mixes |
 //!
-//! All five share the two-stage architecture and the deterministic periodic
-//! connection patterns of the generic load-balanced switch (Fig. 1 of the
-//! paper); they differ only in how input ports group and schedule packets and
-//! in what the intermediate and output stages must do to compensate.
+//! Except for OQ (which idealizes the fabric away entirely), all schemes
+//! share the two-stage architecture and the deterministic periodic connection
+//! patterns of the generic load-balanced switch (Fig. 1 of the paper); they
+//! differ only in how input ports group and schedule packets and in what the
+//! intermediate and output stages must do to compensate.
+//!
+//! Every switch here delivers packets by pushing them into a
+//! [`sprinklers_core::switch::DeliverySink`] from its `step` method — see the
+//! `sprinklers-core` crate docs for the sink-based fast path contract.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +32,7 @@ pub mod fabric;
 pub mod foff;
 pub mod frame;
 pub mod intermediate;
+pub mod oq;
 pub mod padded_frames;
 pub mod resequencer;
 pub mod tcp_hash;
@@ -33,18 +40,24 @@ pub mod ufs;
 
 pub use baseline_lb::BaselineLbSwitch;
 pub use foff::FoffSwitch;
+pub use oq::OutputQueuedSwitch;
 pub use padded_frames::PaddedFramesSwitch;
 pub use tcp_hash::TcpHashSwitch;
 pub use ufs::UfsSwitch;
 
-/// Construct every ordered baseline plus the unordered baseline LB switch, for
-/// experiment sweeps that compare all schemes at once.
+/// Construct every baseline switch (the four ordered schemes, the unordered
+/// baseline LB switch and the ideal OQ reference), for experiment sweeps that
+/// compare all schemes at once.
 pub fn all_baselines(n: usize, seed: u64) -> Vec<Box<dyn sprinklers_core::switch::Switch>> {
     vec![
+        Box::new(OutputQueuedSwitch::new(n)),
         Box::new(BaselineLbSwitch::new(n)),
         Box::new(UfsSwitch::new(n)),
         Box::new(FoffSwitch::new(n)),
-        Box::new(PaddedFramesSwitch::new(n, PaddedFramesSwitch::default_threshold(n))),
+        Box::new(PaddedFramesSwitch::new(
+            n,
+            PaddedFramesSwitch::default_threshold(n),
+        )),
         Box::new(TcpHashSwitch::new(n, seed)),
     ]
 }
@@ -54,10 +67,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn all_baselines_builds_five_switches() {
+    fn all_baselines_builds_six_switches() {
         let switches = all_baselines(8, 1);
-        assert_eq!(switches.len(), 5);
+        assert_eq!(switches.len(), 6);
         let names: Vec<&str> = switches.iter().map(|s| s.name()).collect();
+        assert!(names.contains(&"oq"));
         assert!(names.contains(&"baseline-lb"));
         assert!(names.contains(&"ufs"));
         assert!(names.contains(&"foff"));

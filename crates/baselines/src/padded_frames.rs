@@ -13,7 +13,7 @@ use crate::fabric::{first_fabric, second_fabric_output};
 use crate::frame::{FrameInService, FrameVoq};
 use crate::intermediate::SimpleIntermediate;
 use sprinklers_core::packet::{DeliveredPacket, Packet};
-use sprinklers_core::switch::{Switch, SwitchStats};
+use sprinklers_core::switch::{DeliverySink, Switch, SwitchStats};
 use std::collections::VecDeque;
 
 /// One PF input port.
@@ -39,7 +39,10 @@ impl PfInput {
                 .iter()
                 .map(|f| f.iter().filter(|p| !p.is_padding).count())
                 .sum::<usize>()
-            + self.in_service.as_ref().map_or(0, FrameInService::remaining)
+            + self
+                .in_service
+                .as_ref()
+                .map_or(0, FrameInService::remaining)
     }
 
     /// Index and length of the longest VOQ.
@@ -70,7 +73,10 @@ impl PaddedFramesSwitch {
     /// packets).
     pub fn new(n: usize, threshold: usize) -> Self {
         assert!(n >= 2);
-        assert!(threshold >= 1 && threshold <= n, "threshold must be in 1..=N");
+        assert!(
+            threshold >= 1 && threshold <= n,
+            "threshold must be in 1..=N"
+        );
         PaddedFramesSwitch {
             n,
             threshold,
@@ -113,15 +119,14 @@ impl Switch for PaddedFramesSwitch {
         }
     }
 
-    fn tick(&mut self, slot: u64) -> Vec<DeliveredPacket> {
-        let mut delivered = Vec::new();
+    fn step(&mut self, slot: u64, sink: &mut dyn DeliverySink) {
         for l in 0..self.n {
             let output = second_fabric_output(l, slot, self.n);
             if let Some(packet) = self.intermediates[l].dequeue(output) {
                 if !packet.is_padding {
                     self.departures += 1;
                 }
-                delivered.push(DeliveredPacket::new(packet, slot));
+                sink.deliver(DeliveredPacket::new(packet, slot));
             }
         }
         for i in 0..self.n {
@@ -154,17 +159,12 @@ impl Switch for PaddedFramesSwitch {
                 }
             }
         }
-        delivered
     }
 
     fn stats(&self) -> SwitchStats {
         SwitchStats {
             queued_at_inputs: self.inputs.iter().map(PfInput::queued_packets).sum(),
-            queued_at_intermediates: self
-                .intermediates
-                .iter()
-                .map(|p| p.queued_packets())
-                .sum(),
+            queued_at_intermediates: self.intermediates.iter().map(|p| p.queued_packets()).sum(),
             queued_at_outputs: 0,
             total_arrivals: self.arrivals,
             total_departures: self.departures,
@@ -187,7 +187,7 @@ mod tests {
         sw.arrive(pkt(0, 1, 0, 0));
         let mut delivered = Vec::new();
         for slot in 0..64 {
-            delivered.extend(sw.tick(slot));
+            sw.step(slot, &mut delivered);
         }
         assert!(delivered.is_empty());
     }
@@ -201,9 +201,10 @@ mod tests {
         }
         let mut delivered = Vec::new();
         for slot in 0..64 {
-            delivered.extend(sw.tick(slot));
+            sw.step(slot, &mut delivered);
         }
-        let data: Vec<&DeliveredPacket> = delivered.iter().filter(|d| !d.packet.is_padding).collect();
+        let data: Vec<&DeliveredPacket> =
+            delivered.iter().filter(|d| !d.packet.is_padding).collect();
         let padding = delivered.len() - data.len();
         assert_eq!(data.len(), 3);
         assert_eq!(padding, n - 3);
@@ -224,7 +225,7 @@ mod tests {
         sw.arrive(pkt(0, 3, 0, 0));
         let mut delivered = Vec::new();
         for slot in 0..64 {
-            delivered.extend(sw.tick(slot));
+            sw.step(slot, &mut delivered);
         }
         // The full frame to output 2 starts departing before the padded
         // single packet to output 3 does.

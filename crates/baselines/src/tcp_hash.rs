@@ -11,7 +11,7 @@
 use crate::fabric::{first_fabric, second_fabric_output};
 use crate::intermediate::SimpleIntermediate;
 use sprinklers_core::packet::{DeliveredPacket, Packet};
-use sprinklers_core::switch::{Switch, SwitchStats};
+use sprinklers_core::switch::{DeliverySink, Switch, SwitchStats};
 use std::collections::VecDeque;
 
 /// One TCP-hashing input port: a FIFO per intermediate port.
@@ -84,13 +84,12 @@ impl Switch for TcpHashSwitch {
         self.inputs[packet.input].per_intermediate[l].push_back(packet);
     }
 
-    fn tick(&mut self, slot: u64) -> Vec<DeliveredPacket> {
-        let mut delivered = Vec::new();
+    fn step(&mut self, slot: u64, sink: &mut dyn DeliverySink) {
         for l in 0..self.n {
             let output = second_fabric_output(l, slot, self.n);
             if let Some(packet) = self.intermediates[l].dequeue(output) {
                 self.departures += 1;
-                delivered.push(DeliveredPacket::new(packet, slot));
+                sink.deliver(DeliveredPacket::new(packet, slot));
             }
         }
         for i in 0..self.n {
@@ -101,17 +100,12 @@ impl Switch for TcpHashSwitch {
                 self.intermediates[l].receive(packet);
             }
         }
-        delivered
     }
 
     fn stats(&self) -> SwitchStats {
         SwitchStats {
             queued_at_inputs: self.inputs.iter().map(HashInput::queued_packets).sum(),
-            queued_at_intermediates: self
-                .intermediates
-                .iter()
-                .map(|p| p.queued_packets())
-                .sum(),
+            queued_at_intermediates: self.intermediates.iter().map(|p| p.queued_packets()).sum(),
             queued_at_outputs: 0,
             total_arrivals: self.arrivals,
             total_departures: self.departures,
@@ -165,12 +159,16 @@ mod tests {
         }
         let mut delivered = Vec::new();
         for slot in 0..512 {
-            delivered.extend(sw.tick(slot));
+            sw.step(slot, &mut delivered);
         }
         assert_eq!(delivered.len(), 16);
         let ports: std::collections::HashSet<usize> =
             delivered.iter().map(|d| d.packet.intermediate).collect();
-        assert_eq!(ports.len(), 1, "a flow must stick to a single intermediate port");
+        assert_eq!(
+            ports.len(),
+            1,
+            "a flow must stick to a single intermediate port"
+        );
         // Per-flow order is preserved.
         let seqs: Vec<u64> = delivered.iter().map(|d| d.packet.voq_seq).collect();
         let mut sorted = seqs.clone();
@@ -197,12 +195,11 @@ mod tests {
                 sw.arrive(pkt(i, (i + 1) % n, slot % 7, slot));
                 sent += 1;
             }
-            sw.tick(slot);
+            sw.step(slot, &mut sprinklers_core::switch::NullSink);
         }
-        let mut got = sw.stats().total_departures;
         for slot in 200..4000u64 {
-            got += sw.tick(slot).len() as u64;
+            sw.step(slot, &mut sprinklers_core::switch::NullSink);
         }
-        assert_eq!(got, sent);
+        assert_eq!(sw.stats().total_departures, sent);
     }
 }

@@ -18,7 +18,7 @@ use crate::fabric::{first_fabric, second_fabric_output};
 use crate::frame::{FrameInService, FrameVoq};
 use crate::intermediate::SimpleIntermediate;
 use sprinklers_core::packet::{DeliveredPacket, Packet};
-use sprinklers_core::switch::{Switch, SwitchStats};
+use sprinklers_core::switch::{DeliverySink, Switch, SwitchStats};
 use std::collections::VecDeque;
 
 /// One UFS input port.
@@ -41,7 +41,10 @@ impl UfsInput {
     fn queued_packets(&self) -> usize {
         self.voqs.iter().map(FrameVoq::len).sum::<usize>()
             + self.ready_frames.iter().map(Vec::len).sum::<usize>()
-            + self.in_service.as_ref().map_or(0, FrameInService::remaining)
+            + self
+                .in_service
+                .as_ref()
+                .map_or(0, FrameInService::remaining)
     }
 }
 
@@ -88,13 +91,12 @@ impl Switch for UfsSwitch {
         }
     }
 
-    fn tick(&mut self, slot: u64) -> Vec<DeliveredPacket> {
-        let mut delivered = Vec::new();
+    fn step(&mut self, slot: u64, sink: &mut dyn DeliverySink) {
         for l in 0..self.n {
             let output = second_fabric_output(l, slot, self.n);
             if let Some(packet) = self.intermediates[l].dequeue(output) {
                 self.departures += 1;
-                delivered.push(DeliveredPacket::new(packet, slot));
+                sink.deliver(DeliveredPacket::new(packet, slot));
             }
         }
         for i in 0..self.n {
@@ -116,7 +118,6 @@ impl Switch for UfsSwitch {
                 }
             }
         }
-        delivered
     }
 
     fn stats(&self) -> SwitchStats {
@@ -147,9 +148,12 @@ mod tests {
         }
         let mut delivered = Vec::new();
         for slot in 0..64 {
-            delivered.extend(sw.tick(slot));
+            sw.step(slot, &mut delivered);
         }
-        assert!(delivered.is_empty(), "UFS must hold packets until a full frame forms");
+        assert!(
+            delivered.is_empty(),
+            "UFS must hold packets until a full frame forms"
+        );
         assert_eq!(sw.stats().queued_at_inputs, 3);
     }
 
@@ -162,7 +166,7 @@ mod tests {
         }
         let mut delivered = Vec::new();
         for slot in 0..64 {
-            delivered.extend(sw.tick(slot));
+            sw.step(slot, &mut delivered);
         }
         assert_eq!(delivered.len(), n);
         let seqs: Vec<u64> = delivered.iter().map(|d| d.packet.voq_seq).collect();
@@ -186,7 +190,7 @@ mod tests {
         }
         let mut delivered = Vec::new();
         for slot in 0..64 {
-            delivered.extend(sw.tick(slot));
+            sw.step(slot, &mut delivered);
         }
         assert_eq!(delivered.len(), 2 * n);
         // The frame to output 1 was completed first, so it starts departing
@@ -211,7 +215,7 @@ mod tests {
         }
         let mut delivered = Vec::new();
         for slot in 0..96 {
-            delivered.extend(sw.tick(slot));
+            sw.step(slot, &mut delivered);
         }
         let mut ports: Vec<usize> = delivered.iter().map(|d| d.packet.intermediate).collect();
         ports.sort_unstable();

@@ -73,10 +73,7 @@ fn check_figure(points: &[experiments::SchemePoint], what: &str) {
             .map(|p| p.report.delay.mean())
             .unwrap_or(f64::NAN)
     };
-    let light = points
-        .iter()
-        .map(|p| p.load)
-        .fold(f64::INFINITY, f64::min);
+    let light = points.iter().map(|p| p.load).fold(f64::INFINITY, f64::min);
     assert!(
         delay("ufs", light) > delay("sprinklers", light),
         "{what}: UFS ({}) should have a larger delay than Sprinklers ({}) at load {light}",

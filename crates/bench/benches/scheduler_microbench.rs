@@ -1,18 +1,24 @@
 //! Criterion micro-benchmarks of the Sprinklers fast path: stripe-interval
-//! generation, the two LSF scheduler implementations, and the analytical
-//! bound computation.  These quantify the "constant time per slot" claim the
-//! paper makes about the scheduler (§1.2).
+//! generation, the two LSF scheduler implementations, whole-switch `step`
+//! throughput into a reusable sink, and the analytical bound computation.
+//! These quantify the "constant time per slot" claim the paper makes about
+//! the scheduler (§1.2) and pin the zero-allocation sink path's performance
+//! baseline.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sprinklers_analysis::chernoff::overload_bound;
+use sprinklers_core::config::{SizingMode, SprinklersConfig};
 use sprinklers_core::dyadic::DyadicInterval;
 use sprinklers_core::lsf::{AtomicLsf, RowScanLsf, StripeScheduler};
+use sprinklers_core::matrix::TrafficMatrix;
 use sprinklers_core::ols::WeaklyUniformOls;
 use sprinklers_core::packet::Packet;
 use sprinklers_core::sizing::stripe_size;
+use sprinklers_core::sprinklers::SprinklersSwitch;
 use sprinklers_core::stripe::Stripe;
+use sprinklers_core::switch::{CountingSink, Switch};
 
 fn mk_stripe(n: usize, start: usize, size: usize, seq: u64) -> Stripe {
     assert!(start + size <= n);
@@ -100,11 +106,59 @@ fn bench_chernoff_bound(c: &mut Criterion) {
     });
 }
 
+/// Slots/sec of `Switch::step` into a reusable sink — the perf baseline of
+/// the zero-allocation fast path.  The switch is preloaded and kept busy with
+/// a deterministic one-packet-per-input arrival pattern, and the sink is a
+/// `CountingSink` reused across every slot, so the measured loop allocates
+/// nothing in steady state.
+fn bench_step_into_reusable_sink(c: &mut Criterion) {
+    let slots_per_iter = 4_096u64;
+    let mut group = c.benchmark_group("sprinklers_step_into_sink");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(slots_per_iter));
+    for n in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let load = 0.9;
+            let matrix = TrafficMatrix::uniform(n, load);
+            b.iter(|| {
+                let mut switch = SprinklersSwitch::new(
+                    SprinklersConfig::new(n).with_sizing(SizingMode::FromMatrix(matrix.clone())),
+                    7,
+                );
+                let mut sink = CountingSink::default();
+                let mut voq_seq = vec![0u64; n * n];
+                for slot in 0..slots_per_iter {
+                    // Deterministic near-saturating admissible pattern: input i
+                    // sends to output (i + slot) mod n, skipping one input per
+                    // slot to stay below capacity.
+                    for input in 0..n {
+                        if input as u64 == slot % n as u64 {
+                            continue;
+                        }
+                        let output = (input + slot as usize) % n;
+                        let key = input * n + output;
+                        let mut p =
+                            Packet::new(input, output, slot, slot).with_voq_seq(voq_seq[key]);
+                        voq_seq[key] += 1;
+                        p.arrival_slot = slot;
+                        switch.arrive(p);
+                    }
+                    switch.step(slot, &mut sink);
+                }
+                black_box(sink.total())
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_ols_generation,
     bench_stripe_size_rule,
     bench_lsf_insert_serve,
+    bench_step_into_reusable_sink,
     bench_chernoff_bound
 );
 criterion_main!(benches);

@@ -3,40 +3,77 @@
 //! This is a property of the simulator (not of the paper), but it bounds how
 //! large the figure experiments can be made and catches accidental
 //! complexity regressions in the per-slot fast path.
+//!
+//! All loops drive `Switch::step` into a reusable sink and pull arrivals
+//! through `arrivals_into` with a reused buffer, so the measured path is the
+//! allocation-free steady state the engine runs in production.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sprinklers_bench::experiments::{build_switch, TrafficKind};
-use sprinklers_core::switch::Switch;
+use sprinklers_core::packet::Packet;
+use sprinklers_core::switch::{CountingSink, Switch};
 use sprinklers_sim::traffic::TrafficGenerator;
 
-fn bench_switch_tick(c: &mut Criterion) {
+/// Drive one switch for `slots` slots with reused buffers; returns deliveries.
+fn drive(
+    switch: &mut dyn Switch,
+    traffic: &mut dyn TrafficGenerator,
+    arrivals: &mut Vec<Packet>,
+    voq_seq: &mut [u64],
+    slots: u64,
+) -> u64 {
+    let n = switch.n();
+    let mut sink = CountingSink::default();
+    for slot in 0..slots {
+        arrivals.clear();
+        traffic.arrivals_into(slot, arrivals);
+        for mut p in arrivals.drain(..) {
+            let key = p.input * n + p.output;
+            p.voq_seq = voq_seq[key];
+            voq_seq[key] += 1;
+            switch.arrive(p);
+        }
+        switch.step(slot, &mut sink);
+    }
+    sink.total()
+}
+
+fn bench_switch_step(c: &mut Criterion) {
     let n = 32;
     let load = 0.9;
     let slots_per_iter = 2_000u64;
-    let mut group = c.benchmark_group("switch_tick_throughput");
+    let mut group = c.benchmark_group("switch_step_throughput");
     group.sample_size(15);
     group.measurement_time(std::time::Duration::from_secs(4));
     group.throughput(Throughput::Elements(slots_per_iter));
-    for scheme in ["baseline-lb", "ufs", "foff", "padded-frames", "sprinklers"] {
-        group.bench_with_input(BenchmarkId::from_parameter(scheme), &scheme, |b, &scheme| {
-            b.iter(|| {
-                let matrix = TrafficKind::Uniform.matrix(n, load);
-                let mut switch = build_switch(scheme, n, &matrix, 11);
-                let mut traffic = TrafficKind::Uniform.generator(n, load, 17);
-                let mut voq_seq = vec![0u64; n * n];
-                let mut delivered = 0u64;
-                for slot in 0..slots_per_iter {
-                    for mut p in traffic.arrivals(slot) {
-                        let key = p.input * n + p.output;
-                        p.voq_seq = voq_seq[key];
-                        voq_seq[key] += 1;
-                        switch.arrive(p);
-                    }
-                    delivered += switch.tick(slot).len() as u64;
-                }
-                black_box(delivered)
-            });
-        });
+    for scheme in [
+        "oq",
+        "baseline-lb",
+        "ufs",
+        "foff",
+        "padded-frames",
+        "sprinklers",
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    let matrix = TrafficKind::Uniform.matrix(n, load);
+                    let mut switch = build_switch(scheme, n, &matrix, 11);
+                    let mut traffic = TrafficKind::Uniform.generator(n, load, 17);
+                    let mut arrivals = Vec::with_capacity(n);
+                    let mut voq_seq = vec![0u64; n * n];
+                    black_box(drive(
+                        &mut switch,
+                        &mut traffic,
+                        &mut arrivals,
+                        &mut voq_seq,
+                        slots_per_iter,
+                    ))
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -44,7 +81,7 @@ fn bench_switch_tick(c: &mut Criterion) {
 fn bench_sprinklers_scaling(c: &mut Criterion) {
     let load = 0.8;
     let slots_per_iter = 1_000u64;
-    let mut group = c.benchmark_group("sprinklers_tick_vs_n");
+    let mut group = c.benchmark_group("sprinklers_step_vs_n");
     group.sample_size(15);
     group.measurement_time(std::time::Duration::from_secs(4));
     group.throughput(Throughput::Elements(slots_per_iter));
@@ -54,23 +91,20 @@ fn bench_sprinklers_scaling(c: &mut Criterion) {
                 let matrix = TrafficKind::Uniform.matrix(n, load);
                 let mut switch = build_switch("sprinklers", n, &matrix, 3);
                 let mut traffic = TrafficKind::Uniform.generator(n, load, 5);
+                let mut arrivals = Vec::with_capacity(n);
                 let mut voq_seq = vec![0u64; n * n];
-                let mut delivered = 0u64;
-                for slot in 0..slots_per_iter {
-                    for mut p in traffic.arrivals(slot) {
-                        let key = p.input * n + p.output;
-                        p.voq_seq = voq_seq[key];
-                        voq_seq[key] += 1;
-                        switch.arrive(p);
-                    }
-                    delivered += switch.tick(slot).len() as u64;
-                }
-                black_box(delivered)
+                black_box(drive(
+                    &mut switch,
+                    &mut traffic,
+                    &mut arrivals,
+                    &mut voq_seq,
+                    slots_per_iter,
+                ))
             });
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_switch_tick, bench_sprinklers_scaling);
+criterion_group!(benches, bench_switch_step, bench_sprinklers_scaling);
 criterion_main!(benches);

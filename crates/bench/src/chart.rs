@@ -44,8 +44,14 @@ pub fn log_y_chart(series: &[Series], width: usize, height: usize) -> String {
         return String::from("(no data)\n");
     }
     let x_min = all_points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
-    let x_max = all_points.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
-    let y_min = all_points.iter().map(|p| p.1.log10()).fold(f64::INFINITY, f64::min);
+    let x_max = all_points
+        .iter()
+        .map(|p| p.0)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let y_min = all_points
+        .iter()
+        .map(|p| p.1.log10())
+        .fold(f64::INFINITY, f64::min);
     let y_max = all_points
         .iter()
         .map(|p| p.1.log10())
@@ -139,8 +145,7 @@ mod tests {
 
     #[test]
     #[should_panic]
-    fn tiny_charts_are_rejected()
-    {
+    fn tiny_charts_are_rejected() {
         let s = Series::new("a", vec![(0.1, 1.0)]);
         let _ = log_y_chart(&[s], 4, 2);
     }

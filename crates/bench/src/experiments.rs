@@ -1,16 +1,17 @@
 //! The experiment implementations behind every table and figure.
+//!
+//! All simulation experiments are expressed as [`ScenarioSpec`]s and executed
+//! by the shared [`Engine`], so a figure is nothing more than a grid of specs
+//! plus CSV formatting.
 
 use sprinklers_analysis::chernoff;
 use sprinklers_analysis::markov;
-use sprinklers_baselines::{
-    BaselineLbSwitch, FoffSwitch, PaddedFramesSwitch, TcpHashSwitch, UfsSwitch,
-};
-use sprinklers_core::config::{AlignmentMode, InputDiscipline, SizingMode, SprinklersConfig};
 use sprinklers_core::matrix::TrafficMatrix;
-use sprinklers_core::sprinklers::SprinklersSwitch;
 use sprinklers_core::switch::Switch;
-use sprinklers_sim::harness::{RunConfig, Simulator};
+use sprinklers_sim::engine::{Engine, RunConfig};
+use sprinklers_sim::registry;
 use sprinklers_sim::report::SimReport;
+use sprinklers_sim::spec::{ScenarioSpec, SizingSpec, TrafficSpec};
 use sprinklers_sim::traffic::bernoulli::BernoulliTraffic;
 
 /// Switch size used by the paper's delay simulations (§6).
@@ -28,10 +29,7 @@ pub enum TrafficKind {
 impl TrafficKind {
     /// The rate matrix of this pattern at load `rho`.
     pub fn matrix(&self, n: usize, rho: f64) -> TrafficMatrix {
-        match self {
-            TrafficKind::Uniform => TrafficMatrix::uniform(n, rho),
-            TrafficKind::Diagonal => TrafficMatrix::diagonal(n, rho),
-        }
+        self.spec(rho).matrix(n)
     }
 
     /// A Bernoulli traffic generator for this pattern.
@@ -41,48 +39,50 @@ impl TrafficKind {
             TrafficKind::Diagonal => BernoulliTraffic::diagonal(n, rho, seed),
         }
     }
+
+    /// The equivalent declarative [`TrafficSpec`].
+    pub fn spec(&self, rho: f64) -> TrafficSpec {
+        match self {
+            TrafficKind::Uniform => TrafficSpec::Uniform { load: rho },
+            TrafficKind::Diagonal => TrafficSpec::Diagonal { load: rho },
+        }
+    }
 }
 
 /// The five schemes compared in Figures 6 and 7.
 pub const PAPER_SCHEMES: [&str; 5] = ["baseline-lb", "ufs", "foff", "padded-frames", "sprinklers"];
 
-/// Build a switch by scheme name.  The traffic matrix is used by Sprinklers
-/// for stripe sizing; the other schemes ignore it.
+/// Build a switch by scheme name through the `sprinklers-sim` registry.  The
+/// traffic matrix is used by Sprinklers for stripe sizing; the other schemes
+/// ignore it.
+///
+/// # Panics
+///
+/// Panics on a scheme name the registry does not know.
 pub fn build_switch(scheme: &str, n: usize, matrix: &TrafficMatrix, seed: u64) -> Box<dyn Switch> {
-    match scheme {
-        "baseline-lb" => Box::new(BaselineLbSwitch::new(n)),
-        "ufs" => Box::new(UfsSwitch::new(n)),
-        "foff" => Box::new(FoffSwitch::new(n)),
-        "padded-frames" => Box::new(PaddedFramesSwitch::new(
-            n,
-            PaddedFramesSwitch::default_threshold(n),
-        )),
-        "tcp-hash" => Box::new(TcpHashSwitch::new(n, seed)),
-        "sprinklers" => Box::new(SprinklersSwitch::new(
-            SprinklersConfig::new(n).with_sizing(SizingMode::FromMatrix(matrix.clone())),
-            seed,
-        )),
-        "sprinklers-adaptive" => Box::new(SprinklersSwitch::new(SprinklersConfig::new(n), seed)),
-        "sprinklers-rowscan" => Box::new(SprinklersSwitch::new(
-            SprinklersConfig::new(n)
-                .with_sizing(SizingMode::FromMatrix(matrix.clone()))
-                .with_input_discipline(InputDiscipline::RowScan),
-            seed,
-        )),
-        "sprinklers-aligned" => Box::new(SprinklersSwitch::new(
-            SprinklersConfig::new(n)
-                .with_sizing(SizingMode::FromMatrix(matrix.clone()))
-                .with_alignment(AlignmentMode::StripeComplete),
-            seed,
-        )),
-        other => panic!("unknown scheme {other}"),
-    }
+    registry::build_named(scheme, n, &SizingSpec::Matrix, matrix, seed)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The scenario spec of one experiment point.
+pub fn point_spec(
+    scheme: &str,
+    n: usize,
+    load: f64,
+    kind: TrafficKind,
+    run: RunConfig,
+    seed: u64,
+) -> ScenarioSpec {
+    ScenarioSpec::new(scheme, n)
+        .with_traffic(kind.spec(load))
+        .with_run(run)
+        .with_seed(seed)
 }
 
 /// One data point of a delay-vs-load experiment.
 #[derive(Debug, Clone)]
 pub struct SchemePoint {
-    /// Scheme name.
+    /// Scheme name (or ablation variant label).
     pub scheme: String,
     /// Offered load.
     pub load: f64,
@@ -125,10 +125,8 @@ pub fn run_point(
     run: RunConfig,
     seed: u64,
 ) -> SchemePoint {
-    let matrix = kind.matrix(n, load);
-    let switch = build_switch(scheme, n, &matrix, seed);
-    let traffic = kind.generator(n, load, seed.wrapping_add(1));
-    let report = Simulator::new(switch, traffic).run(run);
+    let spec = point_spec(scheme, n, load, kind, run, seed);
+    let report = Engine::new().run(&spec).unwrap_or_else(|e| panic!("{e}"));
     SchemePoint {
         scheme: scheme.to_string(),
         load,
@@ -145,10 +143,17 @@ pub fn delay_vs_load(
     run: RunConfig,
     seed: u64,
 ) -> Vec<SchemePoint> {
+    let mut engine = Engine::new();
     let mut out = Vec::new();
     for &scheme in schemes {
         for &load in loads {
-            out.push(run_point(scheme, n, load, kind, run, seed));
+            let spec = point_spec(scheme, n, load, kind, run, seed);
+            let report = engine.run(&spec).unwrap_or_else(|e| panic!("{e}"));
+            out.push(SchemePoint {
+                scheme: scheme.to_string(),
+                load,
+                report,
+            });
         }
     }
     out
@@ -224,28 +229,19 @@ pub fn ablation_sizing(quick: bool) -> Vec<SchemePoint> {
     let n = PAPER_N;
     let loads = paper_loads(quick);
     let run = paper_run_config(quick);
+    let variants: [(&str, SizingSpec); 4] = [
+        ("sizing-matrix", SizingSpec::Matrix),
+        ("sizing-adaptive", SizingSpec::Adaptive),
+        ("sizing-fixed-1", SizingSpec::Fixed(1)),
+        ("sizing-fixed-n", SizingSpec::Fixed(n)),
+    ];
+    let mut engine = Engine::new();
     let mut out = Vec::new();
     for &load in &loads {
-        let matrix = TrafficMatrix::uniform(n, load);
-        let configs: Vec<(&str, SprinklersConfig)> = vec![
-            (
-                "sizing-matrix",
-                SprinklersConfig::new(n).with_sizing(SizingMode::FromMatrix(matrix.clone())),
-            ),
-            ("sizing-adaptive", SprinklersConfig::new(n)),
-            (
-                "sizing-fixed-1",
-                SprinklersConfig::new(n).with_sizing(SizingMode::FixedSize(1)),
-            ),
-            (
-                "sizing-fixed-n",
-                SprinklersConfig::new(n).with_sizing(SizingMode::FixedSize(n)),
-            ),
-        ];
-        for (name, config) in configs {
-            let switch = SprinklersSwitch::new(config, 7);
-            let traffic = BernoulliTraffic::uniform(n, load, 13);
-            let report = Simulator::new(switch, traffic).run(run);
+        for (name, sizing) in variants {
+            let spec =
+                point_spec("sprinklers", n, load, TrafficKind::Uniform, run, 7).with_sizing(sizing);
+            let report = engine.run(&spec).unwrap_or_else(|e| panic!("{e}"));
             out.push(SchemePoint {
                 scheme: name.to_string(),
                 load,
@@ -343,6 +339,8 @@ mod tests {
         }
         let sw = build_switch("tcp-hash", 8, &m, 1);
         assert_eq!(sw.name(), "tcp-hash");
+        let sw = build_switch("oq", 8, &m, 1);
+        assert_eq!(sw.name(), "oq");
     }
 
     #[test]
@@ -374,5 +372,18 @@ mod tests {
             p.csv_row().split(',').count(),
             SchemePoint::csv_header().split(',').count()
         );
+    }
+
+    #[test]
+    fn point_spec_round_trips_through_json() {
+        let spec = point_spec(
+            "foff",
+            32,
+            0.8,
+            TrafficKind::Diagonal,
+            paper_run_config(true),
+            2014,
+        );
+        assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
     }
 }

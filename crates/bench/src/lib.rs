@@ -8,10 +8,14 @@
 //! | Figure 7 (delay vs load, diagonal traffic) | [`experiments::figure7`] | `figure7` |
 //! | Ablation: input discipline × alignment | [`experiments::ablation_alignment`] | `ablation_alignment` |
 //! | Ablation: stripe sizing policy | [`experiments::ablation_sizing`] | `ablation_sizing` |
+//! | Any scheme × traffic × size (JSON `ScenarioSpec`) | — | `scenario` |
 //!
 //! Each binary prints a CSV to stdout; `cargo bench` (the `experiments_quick`
 //! bench target) runs reduced-size versions of all of them so the whole
-//! evaluation can be smoke-tested in one command.
+//! evaluation can be smoke-tested in one command.  Every simulation point is
+//! a `sprinklers_sim::spec::ScenarioSpec` resolved by the scheme registry
+//! and executed by `sprinklers_sim::engine::Engine`, so the binaries, the
+//! benches and external spec files all describe runs the same way.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -192,12 +192,14 @@ mod tests {
 
     #[test]
     fn matrix_dimension_must_match() {
-        let cfg = SprinklersConfig::new(8).with_sizing(SizingMode::FromMatrix(
-            TrafficMatrix::uniform(16, 0.5),
-        ));
+        let cfg = SprinklersConfig::new(8)
+            .with_sizing(SizingMode::FromMatrix(TrafficMatrix::uniform(16, 0.5)));
         assert!(matches!(
             cfg.validate(),
-            Err(SwitchError::MatrixDimensionMismatch { got: 16, expected: 8 })
+            Err(SwitchError::MatrixDimensionMismatch {
+                got: 16,
+                expected: 8
+            })
         ));
     }
 

@@ -40,7 +40,7 @@ impl DyadicInterval {
         if size == 0 || !size.is_power_of_two() {
             return None;
         }
-        if start % size != 0 {
+        if !start.is_multiple_of(size) {
             return None;
         }
         Some(DyadicInterval { start, size })
@@ -154,7 +154,10 @@ impl DyadicInterval {
     /// count of distinct FIFO queues the simplified input-port LSF
     /// implementation needs (§3.4.2).
     pub fn enumerate_all(n: usize) -> Vec<DyadicInterval> {
-        assert!(n.is_power_of_two(), "switch size {n} must be a power of two");
+        assert!(
+            n.is_power_of_two(),
+            "switch size {n} must be a power of two"
+        );
         let mut out = Vec::with_capacity(2 * n - 1);
         let mut size = 1;
         while size <= n {

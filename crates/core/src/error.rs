@@ -49,7 +49,10 @@ impl fmt::Display for SwitchError {
                 write!(f, "switch size {n} is too small (need at least 2 ports)")
             }
             SwitchError::PortOutOfRange { port, n } => {
-                write!(f, "port index {port} is out of range for an {n}-port switch")
+                write!(
+                    f,
+                    "port index {port} is out of range for an {n}-port switch"
+                )
             }
             SwitchError::MatrixDimensionMismatch { got, expected } => {
                 write!(
@@ -77,7 +80,10 @@ mod tests {
         let e = SwitchError::PortOutOfRange { port: 9, n: 8 };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('8'));
-        let e = SwitchError::MatrixDimensionMismatch { got: 4, expected: 8 };
+        let e = SwitchError::MatrixDimensionMismatch {
+            got: 4,
+            expected: 8,
+        };
         assert!(e.to_string().contains('4'));
         let e = SwitchError::InvalidRate { rate: -1.0 };
         assert!(e.to_string().contains("-1"));

@@ -4,7 +4,7 @@
 //! stripes) and one LSF scheduler (which decides, whenever the first fabric
 //! connects this input to an intermediate port, which queued packet to send).
 
-use crate::config::{AdaptiveSizing, InputDiscipline, SizingMode, SprinklersConfig};
+use crate::config::{InputDiscipline, SizingMode, SprinklersConfig};
 use crate::lsf::{make_scheduler, StripeScheduler};
 use crate::ols::WeaklyUniformOls;
 use crate::packet::Packet;
@@ -36,21 +36,9 @@ impl SprinklersInputPort {
                         Voq::fixed(port_id, output, n, primary, size)
                     }
                     SizingMode::FixedSize(size) => Voq::fixed(port_id, output, n, primary, *size),
-                    SizingMode::Adaptive(AdaptiveSizing {
-                        window,
-                        gamma,
-                        patience,
-                        initial_size,
-                    }) => Voq::adaptive(
-                        port_id,
-                        output,
-                        n,
-                        primary,
-                        *initial_size,
-                        *window,
-                        *gamma,
-                        *patience,
-                    ),
+                    SizingMode::Adaptive(params) => {
+                        Voq::adaptive(port_id, output, n, primary, params)
+                    }
                 }
             })
             .collect();
@@ -65,7 +53,12 @@ impl SprinklersInputPort {
 
     /// Convenience constructor used by tests: every VOQ gets the same fixed
     /// stripe size and the primary ports come from the cyclic OLS.
-    pub fn with_fixed_size(port_id: usize, n: usize, size: usize, discipline: InputDiscipline) -> Self {
+    pub fn with_fixed_size(
+        port_id: usize,
+        n: usize,
+        size: usize,
+        discipline: InputDiscipline,
+    ) -> Self {
         let config = SprinklersConfig::new(n)
             .with_sizing(SizingMode::FixedSize(size))
             .with_input_discipline(discipline);
@@ -146,6 +139,7 @@ impl SprinklersInputPort {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::AdaptiveSizing;
 
     fn pkt(input: usize, output: usize, seq: u64, slot: u64) -> Packet {
         Packet::new(input, output, seq, slot).with_voq_seq(seq)
@@ -155,7 +149,11 @@ mod tests {
     fn packets_flow_through_voq_into_scheduler() {
         let mut port = SprinklersInputPort::with_fixed_size(0, 8, 2, InputDiscipline::StripeAtomic);
         port.arrive(pkt(0, 3, 0, 0));
-        assert_eq!(port.queued_packets(), 1, "one packet waiting in the VOQ ready queue");
+        assert_eq!(
+            port.queued_packets(),
+            1,
+            "one packet waiting in the VOQ ready queue"
+        );
         port.arrive(pkt(0, 3, 1, 1));
         assert_eq!(port.queued_packets(), 2, "stripe formed and plastered");
         assert_eq!(port.stripes_formed(), 1);
@@ -209,7 +207,11 @@ mod tests {
             port.maintain(slot);
         }
         for output in 0..8 {
-            assert_eq!(port.voq(output).stripe_size(), 1, "idle VOQ {output} should shrink");
+            assert_eq!(
+                port.voq(output).stripe_size(),
+                1,
+                "idle VOQ {output} should shrink"
+            );
         }
     }
 }

@@ -206,9 +206,15 @@ mod tests {
         port.receive(pkt(6, 4, 0, 3), 10);
         assert_eq!(port.queued_packets(), 1);
         port.release_eligible(12);
-        assert!(port.dequeue(6).is_none(), "not eligible before the stripe completes");
+        assert!(
+            port.dequeue(6).is_none(),
+            "not eligible before the stripe completes"
+        );
         port.release_eligible(15);
-        assert!(port.dequeue(6).is_none(), "not eligible before the frame boundary");
+        assert!(
+            port.dequeue(6).is_none(),
+            "not eligible before the frame boundary"
+        );
         port.release_eligible(16);
         assert!(port.dequeue(6).is_some());
     }
@@ -229,7 +235,10 @@ mod tests {
         port.receive(early, 2);
         port.release_eligible(4);
         let first = port.dequeue(2).unwrap();
-        assert_eq!(first.input, 1, "canonical order is by (input, output, stripe seq)");
+        assert_eq!(
+            first.input, 1,
+            "canonical order is by (input, output, stripe seq)"
+        );
         let second = port.dequeue(2).unwrap();
         assert_eq!(second.input, 3);
     }

@@ -23,8 +23,23 @@
 //! * [`sprinklers`] — the full two-stage switch, wiring the periodic connection
 //!   patterns of both fabrics to the per-port schedulers.
 //! * [`switch`] — the [`switch::Switch`] trait shared by Sprinklers and all the
-//!   baseline switches in `sprinklers-baselines`, so the simulator in
-//!   `sprinklers-sim` can drive any of them interchangeably.
+//!   baseline switches in `sprinklers-baselines`, plus the push-based
+//!   [`switch::DeliverySink`] that receives delivered packets.  The engine in
+//!   `sprinklers-sim` drives any implementation interchangeably.
+//!
+//! ## The sink-based fast path
+//!
+//! A switch advances one time slot with
+//! [`Switch::step(slot, &mut sink)`](switch::Switch::step): every packet that
+//! reaches its output port during the slot is *pushed* into the caller's
+//! [`DeliverySink`](switch::DeliverySink) instead of being returned in a
+//! freshly allocated `Vec`.  The steady-state simulation loop therefore does
+//! no per-slot heap allocation — the property that lets the constant-time LSF
+//! scheduler (§3.4.2 of the paper) actually run at hardware-like speed in the
+//! simulator.  `Vec<DeliveredPacket>` implements `DeliverySink` for tests and
+//! examples that want to inspect deliveries;
+//! [`NullSink`](switch::NullSink) discards them and
+//! [`CountingSink`](switch::CountingSink) tallies them.
 //!
 //! ## Quick example
 //!
@@ -38,15 +53,19 @@
 //! let config = SprinklersConfig::new(n).with_sizing(SizingMode::FromMatrix(matrix));
 //! let mut sw = SprinklersSwitch::new(config, 42);
 //!
-//! // Inject one packet and run the switch until it pops out at the output.
-//! use sprinklers_core::switch::Switch;
+//! // Inject one packet and step the switch until it pops out at the output.
+//! // A `Vec<DeliveredPacket>` is a valid `DeliverySink`, so tests can simply
+//! // collect; the simulation engine passes its metrics pipeline instead.
 //! sw.arrive(Packet::new(0, 3, 0, 0));
 //! let mut delivered = Vec::new();
 //! for slot in 0..(4 * n as u64) {
-//!     delivered.extend(sw.tick(slot));
+//!     sw.step(slot, &mut delivered);
 //! }
 //! assert_eq!(delivered.len(), 1);
 //! assert_eq!(delivered[0].packet.output, 3);
+//!
+//! // Drain loops that don't care about the packets use the no-op sink.
+//! sw.step(4 * n as u64, &mut NullSink);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -79,7 +98,7 @@ pub mod prelude {
     pub use crate::packet::{DeliveredPacket, Packet};
     pub use crate::sizing::stripe_size;
     pub use crate::sprinklers::SprinklersSwitch;
-    pub use crate::switch::{Switch, SwitchStats};
+    pub use crate::switch::{CountingSink, DeliverySink, NullSink, Switch, SwitchStats};
 }
 
 pub use config::{AlignmentMode, SizingMode, SprinklersConfig};
@@ -87,4 +106,4 @@ pub use dyadic::DyadicInterval;
 pub use matrix::TrafficMatrix;
 pub use packet::{DeliveredPacket, Packet};
 pub use sprinklers::SprinklersSwitch;
-pub use switch::{Switch, SwitchStats};
+pub use switch::{CountingSink, DeliverySink, NullSink, Switch, SwitchStats};

@@ -70,7 +70,10 @@ pub struct RowScanLsf {
 impl RowScanLsf {
     /// Create an empty scheduler for an `n`-port switch.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two(), "switch size {n} must be a power of two");
+        assert!(
+            n.is_power_of_two(),
+            "switch size {n} must be a power of two"
+        );
         let levels = levels(n);
         RowScanLsf {
             n,
@@ -157,7 +160,10 @@ pub struct AtomicLsf {
 impl AtomicLsf {
     /// Create an empty scheduler for an `n`-port switch.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two(), "switch size {n} must be a power of two");
+        assert!(
+            n.is_power_of_two(),
+            "switch size {n} must be a power of two"
+        );
         let levels = levels(n);
         let interval_queues = (0..levels)
             .map(|level| {
@@ -229,7 +235,7 @@ impl StripeScheduler for AtomicLsf {
         // its size.
         for level in (0..self.levels).rev() {
             let size = 1usize << level;
-            if row % size != 0 {
+            if !row.is_multiple_of(size) {
                 continue;
             }
             let index = row / size;
@@ -365,7 +371,10 @@ mod tests {
         let first = s.serve(0).unwrap();
         s.serve(1).unwrap();
         let second = s.serve(0).unwrap();
-        assert!(first.voq_seq < second.voq_seq, "stripes of the same interval are FCFS");
+        assert!(
+            first.voq_seq < second.voq_seq,
+            "stripes of the same interval are FCFS"
+        );
     }
 
     #[test]

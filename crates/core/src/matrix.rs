@@ -50,11 +50,7 @@ impl TrafficMatrix {
         let mut m = Self::zero(n);
         for i in 0..n {
             for j in 0..n {
-                let p = if i == j {
-                    0.5
-                } else {
-                    0.5 / (n as f64 - 1.0)
-                };
+                let p = if i == j { 0.5 } else { 0.5 / (n as f64 - 1.0) };
                 m.set(i, j, rho * p);
             }
         }

@@ -85,8 +85,14 @@ impl Permutation {
     ///
     /// Panics if the permutations act on different numbers of elements.
     pub fn compose(&self, other: &Permutation) -> Permutation {
-        assert_eq!(self.len(), other.len(), "cannot compose permutations of different sizes");
-        let mapping: Vec<usize> = (0..self.len()).map(|i| self.apply(other.apply(i))).collect();
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "cannot compose permutations of different sizes"
+        );
+        let mapping: Vec<usize> = (0..self.len())
+            .map(|i| self.apply(other.apply(i)))
+            .collect();
         Self::from_mapping(mapping).expect("composition of permutations is a permutation")
     }
 
@@ -149,7 +155,10 @@ mod tests {
         }
         assert_eq!(counts.len(), 6);
         for (_, c) in counts {
-            assert!(c > 800 && c < 1200, "count {c} is implausible for a uniform sampler");
+            assert!(
+                c > 800 && c < 1200,
+                "count {c} is implausible for a uniform sampler"
+            );
         }
     }
 

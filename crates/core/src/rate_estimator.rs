@@ -95,7 +95,10 @@ mod tests {
             est.record_arrival(slot);
         }
         let r = est.rate_at(10_000);
-        assert!((r - 0.25).abs() < 0.02, "estimate {r} should be close to 0.25");
+        assert!(
+            (r - 0.25).abs() < 0.02,
+            "estimate {r} should be close to 0.25"
+        );
     }
 
     #[test]

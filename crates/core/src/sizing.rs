@@ -31,8 +31,14 @@ pub fn alpha(n: usize) -> f64 {
 ///
 /// Panics if `n` is not a power of two or `r` is negative/NaN.
 pub fn stripe_size(rate: f64, n: usize) -> usize {
-    assert!(n.is_power_of_two(), "switch size {n} must be a power of two");
-    assert!(rate.is_finite() && rate >= 0.0, "rate {rate} must be finite and non-negative");
+    assert!(
+        n.is_power_of_two(),
+        "switch size {n} must be a power of two"
+    );
+    assert!(
+        rate.is_finite() && rate >= 0.0,
+        "rate {rate} must be finite and non-negative"
+    );
     if rate == 0.0 {
         return 1;
     }

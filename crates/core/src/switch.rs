@@ -1,15 +1,92 @@
-//! The `Switch` abstraction shared by Sprinklers and every baseline.
+//! The `Switch` abstraction shared by Sprinklers and every baseline, and the
+//! push-based [`DeliverySink`] that receives delivered packets.
 //!
 //! A switch in this workspace is a synchronous, slotted-time N×N packet
 //! switch: packets are injected at input ports with [`Switch::arrive`] and the
-//! whole switch advances one time slot with [`Switch::tick`], which returns
-//! the packets that reached their output ports during that slot.  The
-//! simulator in `sprinklers-sim` drives any implementation of this trait, so
-//! Sprinklers and the baselines (baseline load-balanced switch, UFS, FOFF,
-//! Padded Frames, TCP hashing) are directly comparable.
+//! whole switch advances one time slot with [`Switch::step`], which *pushes*
+//! every packet that reaches an output port during that slot into a
+//! caller-provided [`DeliverySink`].  The engine in `sprinklers-sim` drives
+//! any implementation of this trait, so Sprinklers and the baselines
+//! (baseline load-balanced switch, output-queued, UFS, FOFF, Padded Frames,
+//! TCP hashing) are directly comparable.
+//!
+//! # Why a sink instead of a returned `Vec`?
+//!
+//! The paper's Largest-Stripe-First scheduler is explicitly constant time per
+//! slot (§3.4.2); a `tick() -> Vec<DeliveredPacket>` API would undo that by
+//! heap-allocating on every slot of every simulated switch — millions of
+//! allocations per run at evaluation scale.  With a sink, the hot loop
+//! performs **zero per-slot allocations** in steady state: the metrics
+//! pipeline consumes deliveries in place, benchmarks drive a no-op
+//! [`NullSink`], and tests that want a `Vec` simply pass one (`Vec` implements
+//! `DeliverySink`).
+//!
+//! The sink parameter is `&mut dyn DeliverySink` rather than
+//! `&mut impl DeliverySink` so the trait stays object-safe: the scheme
+//! registry hands out `Box<dyn Switch>` and the engine drives it through the
+//! same code path as a concrete switch.
 
 use crate::packet::{DeliveredPacket, Packet};
 use serde::{Deserialize, Serialize};
+
+/// Receives packets as they are delivered to output ports.
+///
+/// Implementations must be cheap: `deliver` sits on the per-slot fast path of
+/// every switch.  `Vec<DeliveredPacket>` collects deliveries for inspection,
+/// [`NullSink`] discards them (drain loops, throughput benchmarks), and
+/// [`CountingSink`] tallies them without storing; the metrics pipeline in
+/// `sprinklers-sim` feeds its delay/reordering statistics directly from
+/// `deliver`.
+pub trait DeliverySink {
+    /// Accept one packet that crossed the second fabric into its output.
+    fn deliver(&mut self, delivered: DeliveredPacket);
+}
+
+impl DeliverySink for Vec<DeliveredPacket> {
+    fn deliver(&mut self, delivered: DeliveredPacket) {
+        self.push(delivered);
+    }
+}
+
+impl<S: DeliverySink + ?Sized> DeliverySink for &mut S {
+    fn deliver(&mut self, delivered: DeliveredPacket) {
+        (**self).deliver(delivered);
+    }
+}
+
+/// A sink that discards every delivery (for drain loops and benchmarks).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl DeliverySink for NullSink {
+    fn deliver(&mut self, _delivered: DeliveredPacket) {}
+}
+
+/// A sink that counts deliveries without storing them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingSink {
+    /// Data packets delivered.
+    pub data_packets: u64,
+    /// Padding (fake) packets delivered by padding-based schemes.
+    pub padding_packets: u64,
+}
+
+impl CountingSink {
+    /// Total deliveries, data and padding alike.
+    pub fn total(&self) -> u64 {
+        self.data_packets + self.padding_packets
+    }
+}
+
+impl DeliverySink for CountingSink {
+    fn deliver(&mut self, delivered: DeliveredPacket) {
+        if delivered.packet.is_padding {
+            self.padding_packets += 1;
+        } else {
+            self.data_packets += 1;
+        }
+    }
+}
 
 /// Aggregate occupancy/throughput counters a switch exposes for metrics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -39,21 +116,24 @@ pub trait Switch {
     /// Number of ports.
     fn n(&self) -> usize;
 
-    /// Short human-readable name of the scheduling scheme (used in reports).
+    /// Short human-readable name of the scheduling scheme (used in reports
+    /// and as the scheme's key in the `sprinklers-sim` registry).
     fn name(&self) -> &'static str;
 
     /// Inject a packet at its input port.  The packet's `arrival_slot` field
     /// is treated as the current time for rate-measurement purposes, so the
     /// caller should arrange `arrive` calls in nondecreasing `arrival_slot`
-    /// order and call [`Switch::tick`] with the matching slot afterwards.
+    /// order and call [`Switch::step`] with the matching slot afterwards.
     fn arrive(&mut self, packet: Packet);
 
     /// Advance the switch by one time slot.  `slot` must increase by exactly 1
-    /// between consecutive calls (starting from 0).  Returns every data packet
-    /// (and, for padding-based schemes, padding packet) delivered to an output
-    /// port during this slot; at most one packet per output can be delivered
-    /// per slot.
-    fn tick(&mut self, slot: u64) -> Vec<DeliveredPacket>;
+    /// between consecutive calls (starting from 0).  Every data packet (and,
+    /// for padding-based schemes, padding packet) delivered to an output port
+    /// during this slot is pushed into `sink`; at most one packet per output
+    /// can be delivered per slot.
+    ///
+    /// Implementations must not allocate on this path in steady state.
+    fn step(&mut self, slot: u64, sink: &mut dyn DeliverySink);
 
     /// Current occupancy and throughput counters.
     fn stats(&self) -> SwitchStats;
@@ -69,8 +149,26 @@ impl<T: Switch + ?Sized> Switch for Box<T> {
     fn arrive(&mut self, packet: Packet) {
         (**self).arrive(packet)
     }
-    fn tick(&mut self, slot: u64) -> Vec<DeliveredPacket> {
-        (**self).tick(slot)
+    fn step(&mut self, slot: u64, sink: &mut dyn DeliverySink) {
+        (**self).step(slot, sink)
+    }
+    fn stats(&self) -> SwitchStats {
+        (**self).stats()
+    }
+}
+
+impl<T: Switch + ?Sized> Switch for &mut T {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn arrive(&mut self, packet: Packet) {
+        (**self).arrive(packet)
+    }
+    fn step(&mut self, slot: u64, sink: &mut dyn DeliverySink) {
+        (**self).step(slot, sink)
     }
     fn stats(&self) -> SwitchStats {
         (**self).stats()
@@ -98,5 +196,52 @@ mod tests {
         let s = SwitchStats::default();
         assert_eq!(s.total_queued(), 0);
         assert_eq!(s.total_arrivals, 0);
+    }
+
+    fn delivered(is_padding: bool) -> DeliveredPacket {
+        let packet = if is_padding {
+            Packet::padding(0, 1, 0)
+        } else {
+            Packet::new(0, 1, 7, 0)
+        };
+        DeliveredPacket::new(packet, 5)
+    }
+
+    #[test]
+    fn vec_sink_collects_deliveries() {
+        let mut sink: Vec<DeliveredPacket> = Vec::new();
+        sink.deliver(delivered(false));
+        sink.deliver(delivered(true));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink[0].packet.id, 7);
+    }
+
+    #[test]
+    fn null_sink_discards_everything() {
+        let mut sink = NullSink;
+        for _ in 0..100 {
+            sink.deliver(delivered(false));
+        }
+    }
+
+    #[test]
+    fn counting_sink_separates_data_from_padding() {
+        let mut sink = CountingSink::default();
+        sink.deliver(delivered(false));
+        sink.deliver(delivered(false));
+        sink.deliver(delivered(true));
+        assert_eq!(sink.data_packets, 2);
+        assert_eq!(sink.padding_packets, 1);
+        assert_eq!(sink.total(), 3);
+    }
+
+    #[test]
+    fn mut_ref_sink_forwards() {
+        let mut inner = CountingSink::default();
+        {
+            let sink = &mut inner;
+            sink.deliver(delivered(false));
+        }
+        assert_eq!(inner.data_packets, 1);
     }
 }

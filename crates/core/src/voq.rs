@@ -8,6 +8,7 @@
 //! once every packet striped under the old size has left the switch, which is
 //! what keeps resizing from reintroducing reordering.
 
+use crate::config::AdaptiveSizing;
 use crate::dyadic::DyadicInterval;
 use crate::packet::Packet;
 use crate::rate_estimator::RateEstimator;
@@ -77,18 +78,16 @@ impl Voq {
         }
     }
 
-    /// Create a VOQ whose stripe size adapts to its measured arrival rate.
+    /// Create a VOQ whose stripe size adapts to its measured arrival rate,
+    /// following the given [`AdaptiveSizing`] parameters.
     pub fn adaptive(
         input: usize,
         output: usize,
         n: usize,
         primary_port: usize,
-        initial_size: usize,
-        window: u64,
-        gamma: f64,
-        patience: u32,
+        params: &AdaptiveSizing,
     ) -> Self {
-        let initial_size = initial_size.clamp(1, n);
+        let initial_size = params.initial_size.clamp(1, n);
         assert!(initial_size.is_power_of_two());
         Voq {
             input,
@@ -102,10 +101,10 @@ impl Voq {
             in_flight: 0,
             pending_size: None,
             sizing: VoqSizing::Adaptive {
-                estimator: RateEstimator::new(window, gamma),
-                decider: SizeDecider::new(n, initial_size, patience),
-                window,
-                next_check: window,
+                estimator: RateEstimator::new(params.window, params.gamma),
+                decider: SizeDecider::new(n, initial_size, params.patience),
+                window: params.window,
+                next_check: params.window,
             },
             resizes: 0,
         }
@@ -168,7 +167,10 @@ impl Voq {
     /// Report that one of this VOQ's packets reached its output port.
     /// Returns any stripes released because a pending resize could commit.
     pub fn packet_delivered(&mut self) -> Vec<Stripe> {
-        debug_assert!(self.in_flight > 0, "delivered more packets than were in flight");
+        debug_assert!(
+            self.in_flight > 0,
+            "delivered more packets than were in flight"
+        );
         self.in_flight = self.in_flight.saturating_sub(1);
         if self.in_flight == 0 && self.pending_size.is_some() {
             self.commit_resize();
@@ -315,7 +317,11 @@ mod tests {
 
         v.request_resize(4);
         assert!(v.resize_pending());
-        assert_eq!(v.stripe_size(), 2, "resize must not apply while packets are in flight");
+        assert_eq!(
+            v.stripe_size(),
+            2,
+            "resize must not apply while packets are in flight"
+        );
 
         // During clearance, arrivals accumulate and no stripes are formed.
         for i in 2..8 {
@@ -360,14 +366,27 @@ mod tests {
         assert_eq!(released.len(), 3);
         assert!(released.iter().all(|s| s.size() == 2));
         // Stripe sequence numbers increase.
-        assert!(released.windows(2).all(|w| w[0].stripe_seq < w[1].stripe_seq));
+        assert!(released
+            .windows(2)
+            .all(|w| w[0].stripe_seq < w[1].stripe_seq));
     }
 
     #[test]
     fn adaptive_voq_grows_under_load() {
         let n = 16;
         // Window of 64 slots, react after 1 confirming window.
-        let mut v = Voq::adaptive(0, 1, n, 7, 1, 64, 1.0, 0);
+        let mut v = Voq::adaptive(
+            0,
+            1,
+            n,
+            7,
+            &AdaptiveSizing {
+                window: 64,
+                gamma: 1.0,
+                patience: 0,
+                initial_size: 1,
+            },
+        );
         assert_eq!(v.stripe_size(), 1);
         let mut delivered_backlog = 0u64;
         // Offer one packet per slot (rate 1.0) for many windows, delivering
@@ -394,7 +413,18 @@ mod tests {
     #[test]
     fn adaptive_voq_shrinks_when_load_disappears() {
         let n = 16;
-        let mut v = Voq::adaptive(0, 1, n, 7, 16, 64, 1.0, 0);
+        let mut v = Voq::adaptive(
+            0,
+            1,
+            n,
+            7,
+            &AdaptiveSizing {
+                window: 64,
+                gamma: 1.0,
+                patience: 0,
+                initial_size: 16,
+            },
+        );
         // No arrivals at all: after a few windows the decider should shrink
         // the stripe to 1 (rate estimate 0).
         let mut released = Vec::new();

@@ -1,0 +1,291 @@
+//! The simulation engine: drives any switch against any traffic source and
+//! gathers metrics through the sink path.
+//!
+//! [`Engine::run`] resolves a [`ScenarioSpec`] through the
+//! [`crate::registry`] and is the one entry point sweeps, bench binaries,
+//! examples and integration tests share.  [`Engine::run_parts`] is the
+//! lower-level form for callers that already hold a switch and a traffic
+//! generator (trace-driven tests, hand-built variants).
+//!
+//! The engine owns one reusable arrival buffer and feeds deliveries into a
+//! [`MetricsSink`], so the steady-state loop — generate arrivals, assign
+//! identities, `step` the switch, update metrics — performs no per-slot heap
+//! allocation.
+
+use crate::metrics::occupancy::OccupancySampler;
+use crate::metrics::sink::MetricsSink;
+use crate::registry;
+use crate::report::SimReport;
+use crate::spec::{ScenarioSpec, SpecError};
+use crate::traffic::TrafficGenerator;
+use serde::{Deserialize, Serialize};
+use sprinklers_core::packet::Packet;
+use sprinklers_core::switch::Switch;
+
+/// Parameters of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Number of slots during which traffic is offered.
+    pub slots: u64,
+    /// Initial slots whose packets are excluded from the delay statistics
+    /// (they still count for reordering and conservation checks).
+    pub warmup_slots: u64,
+    /// Additional slots simulated after arrivals stop, to let queued packets
+    /// drain and be counted.
+    pub drain_slots: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            slots: 100_000,
+            warmup_slots: 10_000,
+            drain_slots: 50_000,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A short run for quick tests.
+    pub fn quick() -> Self {
+        RunConfig {
+            slots: 10_000,
+            warmup_slots: 1_000,
+            drain_slots: 10_000,
+        }
+    }
+}
+
+/// Runs scenarios.  Reusable: one engine can run any number of scenarios,
+/// reusing its internal arrival buffer across runs.
+#[derive(Debug, Default)]
+pub struct Engine {
+    /// Reused across slots and runs so arrival generation never allocates in
+    /// steady state.
+    arrival_buf: Vec<Packet>,
+}
+
+impl Engine {
+    /// Create an engine.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Run one scenario end to end: build the switch from the registry and
+    /// the traffic generator from the spec, simulate, and report.
+    pub fn run(&mut self, spec: &ScenarioSpec) -> Result<SimReport, SpecError> {
+        let switch = registry::build(spec)?;
+        let traffic = spec.traffic.build(spec.n, spec.seed.wrapping_add(1));
+        Ok(self.run_parts(switch, traffic, spec.run))
+    }
+
+    /// Drive an explicit switch against an explicit traffic generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switch and the traffic generator disagree on the number
+    /// of ports.
+    pub fn run_parts<S: Switch, G: TrafficGenerator>(
+        &mut self,
+        mut switch: S,
+        mut traffic: G,
+        config: RunConfig,
+    ) -> SimReport {
+        assert_eq!(
+            switch.n(),
+            traffic.n(),
+            "switch has {} ports but the traffic generator targets {}",
+            switch.n(),
+            traffic.n()
+        );
+        let n = switch.n();
+        let mut next_packet_id = 0u64;
+        let mut voq_seq = vec![0u64; n * n];
+        let mut sink = MetricsSink::new(config.warmup_slots);
+        let mut occupancy = OccupancySampler::new();
+        let mut offered = 0u64;
+
+        let total_slots = config.slots + config.drain_slots;
+        for slot in 0..total_slots {
+            if slot < config.slots {
+                self.arrival_buf.clear();
+                traffic.arrivals_into(slot, &mut self.arrival_buf);
+                for mut packet in self.arrival_buf.drain(..) {
+                    packet.id = next_packet_id;
+                    next_packet_id += 1;
+                    packet.arrival_slot = slot;
+                    let key = packet.input * n + packet.output;
+                    packet.voq_seq = voq_seq[key];
+                    voq_seq[key] += 1;
+                    offered += 1;
+                    switch.arrive(packet);
+                }
+            }
+            switch.step(slot, &mut sink);
+            if slot % n as u64 == 0 {
+                occupancy.sample(&switch.stats());
+            }
+        }
+
+        let (delay, reordering, delivered, padding) = sink.into_parts();
+        SimReport {
+            switch_name: switch.name().to_string(),
+            traffic_label: traffic.label(),
+            n,
+            slots: config.slots,
+            warmup_slots: config.warmup_slots,
+            offered_packets: offered,
+            delivered_packets: delivered,
+            padding_packets: padding,
+            residual_packets: offered - delivered,
+            delay,
+            reordering,
+            occupancy: occupancy.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{SizingSpec, TrafficSpec};
+    use crate::traffic::bernoulli::BernoulliTraffic;
+    use crate::traffic::trace::TraceTraffic;
+    use sprinklers_core::config::{SizingMode, SprinklersConfig};
+    use sprinklers_core::sprinklers::SprinklersSwitch;
+
+    #[test]
+    fn trace_run_delivers_every_packet_in_order() {
+        let n = 8;
+        let traffic = TraceTraffic::burst(n, 1, 5, 0, 64);
+        let switch = SprinklersSwitch::new(
+            SprinklersConfig::new(n).with_sizing(SizingMode::FixedSize(4)),
+            3,
+        );
+        let report = Engine::new().run_parts(
+            switch,
+            traffic,
+            RunConfig {
+                slots: 64,
+                warmup_slots: 0,
+                drain_slots: 1024,
+            },
+        );
+        assert_eq!(report.offered_packets, 64);
+        assert_eq!(report.delivered_packets, 64);
+        assert_eq!(report.residual_packets, 0);
+        assert!(report.reordering.is_ordered());
+        assert!(report.delay.mean() >= 1.0);
+    }
+
+    #[test]
+    fn bernoulli_run_is_conserving_and_ordered() {
+        let n = 8;
+        let gen = BernoulliTraffic::uniform(n, 0.5, 21);
+        let switch = SprinklersSwitch::new(
+            SprinklersConfig::new(n).with_sizing(SizingMode::FromMatrix(gen.rate_matrix())),
+            4,
+        );
+        let report = Engine::new().run_parts(
+            switch,
+            gen,
+            RunConfig {
+                slots: 20_000,
+                warmup_slots: 2_000,
+                drain_slots: 20_000,
+            },
+        );
+        assert!(
+            report.reordering.is_ordered(),
+            "Sprinklers must never reorder"
+        );
+        assert!(report.delivery_ratio() > 0.95, "most packets should drain");
+        assert!(report.delay.count() > 0);
+        assert!(report.occupancy.samples > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_sizes_are_rejected() {
+        let gen = BernoulliTraffic::uniform(8, 0.5, 0);
+        let switch = SprinklersSwitch::new(
+            SprinklersConfig::new(16).with_sizing(SizingMode::FixedSize(1)),
+            0,
+        );
+        let _ = Engine::new().run_parts(switch, gen, RunConfig::quick());
+    }
+
+    #[test]
+    fn warmup_excludes_early_packets_from_delay_only() {
+        let n = 4;
+        let traffic = TraceTraffic::burst(n, 0, 1, 0, 10);
+        let switch = SprinklersSwitch::new(
+            SprinklersConfig::new(n).with_sizing(SizingMode::FixedSize(1)),
+            1,
+        );
+        let report = Engine::new().run_parts(
+            switch,
+            traffic,
+            RunConfig {
+                slots: 10,
+                warmup_slots: 1_000, // everything arrives before warm-up ends
+                drain_slots: 200,
+            },
+        );
+        assert_eq!(report.delivered_packets, 10);
+        assert_eq!(
+            report.delay.count(),
+            0,
+            "warm-up packets are not measured for delay"
+        );
+    }
+
+    #[test]
+    fn engine_runs_a_spec_end_to_end() {
+        let spec = ScenarioSpec::new("sprinklers", 8)
+            .with_traffic(TrafficSpec::Uniform { load: 0.5 })
+            .with_run(RunConfig::quick())
+            .with_seed(7);
+        let report = Engine::new().run(&spec).unwrap();
+        assert_eq!(report.switch_name, "sprinklers");
+        assert_eq!(report.n, 8);
+        assert!(report.offered_packets > 0);
+        assert!(report.reordering.is_ordered());
+        assert!(report.delivery_ratio() > 0.9);
+    }
+
+    #[test]
+    fn one_engine_runs_many_scenarios() {
+        let mut engine = Engine::new();
+        for scheme in ["oq", "baseline-lb", "sprinklers"] {
+            let spec = ScenarioSpec::new(scheme, 8)
+                .with_traffic(TrafficSpec::Uniform { load: 0.4 })
+                .with_run(RunConfig {
+                    slots: 2_000,
+                    warmup_slots: 200,
+                    drain_slots: 4_000,
+                });
+            let report = engine.run(&spec).unwrap();
+            assert!(report.delivery_ratio() > 0.9, "{scheme} stalled");
+        }
+    }
+
+    #[test]
+    fn engine_rejects_unknown_schemes() {
+        let spec = ScenarioSpec::new("nope", 8);
+        assert!(Engine::new().run(&spec).is_err());
+    }
+
+    #[test]
+    fn adaptive_sizing_spec_runs() {
+        let spec = ScenarioSpec::new("sprinklers", 8)
+            .with_sizing(SizingSpec::Adaptive)
+            .with_run(RunConfig {
+                slots: 5_000,
+                warmup_slots: 500,
+                drain_slots: 10_000,
+            });
+        let report = Engine::new().run(&spec).unwrap();
+        assert!(report.reordering.is_ordered());
+    }
+}

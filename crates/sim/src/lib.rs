@@ -1,4 +1,4 @@
-//! Slotted-time simulator for load-balanced switches.
+//! Slotted-time simulation engine for load-balanced switches.
 //!
 //! This crate drives any implementation of [`sprinklers_core::switch::Switch`]
 //! (the Sprinklers switch itself or any of the baselines in
@@ -7,20 +7,29 @@
 //! delay percentiles, throughput, queue occupancy and — crucially — packet
 //! reordering, both per VOQ and per application flow.
 //!
+//! The crate is organized around three pieces:
+//!
+//! * [`spec::ScenarioSpec`] — a declarative, serde-able description of one
+//!   run: `{ scheme, n, sizing, traffic, run, seed }`, with a JSON
+//!   round-trip for scenario files.
+//! * [`registry`] — builds any scheme by name (`registry::schemes()` lists
+//!   Sprinklers, its ablation variants, and all six baselines) as a
+//!   `Box<dyn Switch>`.
+//! * [`engine::Engine`] — runs a spec (or an explicit switch + traffic pair)
+//!   and produces a [`report::SimReport`].  Deliveries flow through the
+//!   [`metrics::MetricsSink`], so the steady-state loop performs no per-slot
+//!   heap allocation.
+//!
 //! # Example
 //!
 //! ```
-//! use sprinklers_core::prelude::*;
 //! use sprinklers_sim::prelude::*;
 //!
-//! let n = 16;
-//! let gen = BernoulliTraffic::uniform(n, 0.6, 7);
-//! let switch = SprinklersSwitch::new(
-//!     SprinklersConfig::new(n).with_sizing(SizingMode::FromMatrix(gen.rate_matrix())),
-//!     42,
-//! );
-//! let report = Simulator::new(switch, gen)
-//!     .run(RunConfig { slots: 5_000, warmup_slots: 500, drain_slots: 2_000 });
+//! let spec = ScenarioSpec::new("sprinklers", 16)
+//!     .with_traffic(TrafficSpec::Uniform { load: 0.6 })
+//!     .with_run(RunConfig { slots: 5_000, warmup_slots: 500, drain_slots: 2_000 })
+//!     .with_seed(42);
+//! let report = Engine::new().run(&spec).unwrap();
 //! assert_eq!(report.reordering.voq_reorder_events, 0);
 //! assert!(report.delay.mean() > 0.0);
 //! ```
@@ -28,19 +37,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod harness;
+pub mod engine;
 pub mod metrics;
+pub mod registry;
 pub mod report;
+pub mod spec;
 pub mod sweep;
 pub mod traffic;
 
 /// Convenient re-exports of the most commonly used simulator types.
 pub mod prelude {
-    pub use crate::harness::{RunConfig, Simulator};
+    pub use crate::engine::{Engine, RunConfig};
     pub use crate::metrics::delay::DelayStats;
     pub use crate::metrics::reorder::ReorderStats;
+    pub use crate::metrics::sink::MetricsSink;
+    pub use crate::registry;
     pub use crate::report::SimReport;
-    pub use crate::sweep::{sweep_loads, LoadSweepPoint};
+    pub use crate::spec::{ScenarioSpec, SizingSpec, SpecError, TrafficSpec};
+    pub use crate::sweep::{paper_load_grid, sweep_loads, sweep_schemes, LoadSweepPoint};
     pub use crate::traffic::bernoulli::BernoulliTraffic;
     pub use crate::traffic::bursty::BurstyTraffic;
     pub use crate::traffic::flows::FlowTraffic;
@@ -48,6 +62,7 @@ pub mod prelude {
     pub use crate::traffic::TrafficGenerator;
 }
 
-pub use harness::{RunConfig, Simulator};
+pub use engine::{Engine, RunConfig};
 pub use report::SimReport;
+pub use spec::{ScenarioSpec, SizingSpec, SpecError, TrafficSpec};
 pub use traffic::TrafficGenerator;

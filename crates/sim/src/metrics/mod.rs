@@ -1,9 +1,16 @@
 //! Measurement of delay, reordering, throughput and occupancy.
+//!
+//! The [`sink::MetricsSink`] ties these together: it implements
+//! [`sprinklers_core::switch::DeliverySink`] so the engine can feed every
+//! delivered packet straight into the statistics without any intermediate
+//! collection.
 
 pub mod delay;
 pub mod occupancy;
 pub mod reorder;
+pub mod sink;
 
 pub use delay::DelayStats;
 pub use occupancy::OccupancyStats;
 pub use reorder::{ReorderDetector, ReorderStats};
+pub use sink::MetricsSink;

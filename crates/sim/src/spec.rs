@@ -1,0 +1,682 @@
+//! Declarative scenario specifications.
+//!
+//! A [`ScenarioSpec`] is the single value that describes one simulation run:
+//! which scheme, how many ports, how stripe sizes are chosen, what traffic is
+//! offered, how long to run, and the RNG seed.  Sweeps, benchmark binaries,
+//! examples and integration tests all construct runs from this one type and
+//! hand it to [`crate::engine::Engine::run`], which resolves the scheme
+//! through [`crate::registry`].
+//!
+//! Specs are plain data: they derive the serde traits, and — because the
+//! offline build uses marker-trait serde shims — they also carry a small
+//! hand-rolled JSON round-trip ([`ScenarioSpec::to_json`] /
+//! [`ScenarioSpec::from_json`]) so scenario files work regardless of which
+//! serde is linked.
+
+use crate::engine::RunConfig;
+use crate::traffic::bernoulli::BernoulliTraffic;
+use crate::traffic::bursty::BurstyTraffic;
+use crate::traffic::flows::FlowTraffic;
+use crate::traffic::TrafficGenerator;
+use serde::{Deserialize, Serialize};
+use sprinklers_core::matrix::TrafficMatrix;
+use std::fmt;
+
+/// How the Sprinklers switch chooses stripe sizes in this scenario
+/// (baselines ignore it).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SizingSpec {
+    /// Derive sizes from the scenario traffic's rate matrix (the paper's
+    /// evaluation setting, where the matrix is known a priori).
+    Matrix,
+    /// Measure VOQ rates online and adapt sizes with the default parameters.
+    Adaptive,
+    /// Fixed power-of-two stripe size for every VOQ.
+    Fixed(usize),
+}
+
+/// The offered traffic pattern of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrafficSpec {
+    /// Bernoulli arrivals, uniform destinations (Figure 6).
+    Uniform {
+        /// Offered load ρ per input.
+        load: f64,
+    },
+    /// Bernoulli arrivals, quasi-diagonal destinations (Figure 7).
+    Diagonal {
+        /// Offered load ρ per input.
+        load: f64,
+    },
+    /// Bernoulli arrivals with a hot output per input.
+    Hotspot {
+        /// Offered load ρ per input.
+        load: f64,
+        /// Fraction of each input's load aimed at its hot output.
+        hot_fraction: f64,
+    },
+    /// On/off bursty arrivals with uniform destinations.
+    Bursty {
+        /// Long-run offered load ρ per input.
+        load: f64,
+        /// In-burst arrival probability cap.
+        peak: f64,
+        /// Mean burst length in slots.
+        mean_burst: f64,
+    },
+    /// Bernoulli arrivals carrying geometric application flows (uniform
+    /// destinations); required by the TCP-hashing baseline.
+    Flows {
+        /// Offered load ρ per input.
+        load: f64,
+        /// Mean flow length in packets.
+        mean_flow_len: f64,
+    },
+}
+
+impl TrafficSpec {
+    /// The long-run rate matrix of this pattern at size `n`.
+    pub fn matrix(&self, n: usize) -> TrafficMatrix {
+        match *self {
+            TrafficSpec::Uniform { load } => TrafficMatrix::uniform(n, load),
+            TrafficSpec::Diagonal { load } => TrafficMatrix::diagonal(n, load),
+            TrafficSpec::Hotspot { load, hot_fraction } => {
+                TrafficMatrix::hotspot(n, load, hot_fraction)
+            }
+            TrafficSpec::Bursty { load, .. } => TrafficMatrix::uniform(n, load),
+            TrafficSpec::Flows { load, .. } => TrafficMatrix::uniform(n, load),
+        }
+    }
+
+    /// Instantiate the traffic generator.
+    pub fn build(&self, n: usize, seed: u64) -> Box<dyn TrafficGenerator> {
+        match *self {
+            TrafficSpec::Uniform { load } => Box::new(BernoulliTraffic::uniform(n, load, seed)),
+            TrafficSpec::Diagonal { load } => Box::new(BernoulliTraffic::diagonal(n, load, seed)),
+            TrafficSpec::Hotspot { load, hot_fraction } => {
+                Box::new(BernoulliTraffic::hotspot(n, load, hot_fraction, seed))
+            }
+            TrafficSpec::Bursty {
+                load,
+                peak,
+                mean_burst,
+            } => Box::new(BurstyTraffic::uniform(n, load, peak, mean_burst, seed)),
+            TrafficSpec::Flows {
+                load,
+                mean_flow_len,
+            } => Box::new(FlowTraffic::uniform(n, load, mean_flow_len, seed)),
+        }
+    }
+
+    /// The pattern's offered load.
+    pub fn load(&self) -> f64 {
+        match *self {
+            TrafficSpec::Uniform { load }
+            | TrafficSpec::Diagonal { load }
+            | TrafficSpec::Hotspot { load, .. }
+            | TrafficSpec::Bursty { load, .. }
+            | TrafficSpec::Flows { load, .. } => load,
+        }
+    }
+
+    /// The same pattern at a different offered load (for load sweeps).
+    #[must_use]
+    pub fn with_load(mut self, new_load: f64) -> Self {
+        match &mut self {
+            TrafficSpec::Uniform { load }
+            | TrafficSpec::Diagonal { load }
+            | TrafficSpec::Hotspot { load, .. }
+            | TrafficSpec::Bursty { load, .. }
+            | TrafficSpec::Flows { load, .. } => *load = new_load,
+        }
+        self
+    }
+
+    fn pattern_name(&self) -> &'static str {
+        match self {
+            TrafficSpec::Uniform { .. } => "uniform",
+            TrafficSpec::Diagonal { .. } => "diagonal",
+            TrafficSpec::Hotspot { .. } => "hotspot",
+            TrafficSpec::Bursty { .. } => "bursty",
+            TrafficSpec::Flows { .. } => "flows",
+        }
+    }
+}
+
+/// Everything needed to reproduce one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scheme name, resolved through [`crate::registry`] (see
+    /// [`crate::registry::schemes`] for the known names).
+    pub scheme: String,
+    /// Switch size (ports).
+    pub n: usize,
+    /// Stripe sizing policy (Sprinklers variants only).
+    pub sizing: SizingSpec,
+    /// Offered traffic.
+    pub traffic: TrafficSpec,
+    /// Run length configuration.
+    pub run: RunConfig,
+    /// Seed for the switch's and the traffic generator's randomness.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// A scenario with workable defaults: matrix sizing, uniform Bernoulli
+    /// traffic at 60% load, the default run length, seed 1.
+    pub fn new(scheme: impl Into<String>, n: usize) -> Self {
+        ScenarioSpec {
+            scheme: scheme.into(),
+            n,
+            sizing: SizingSpec::Matrix,
+            traffic: TrafficSpec::Uniform { load: 0.6 },
+            run: RunConfig::default(),
+            seed: 1,
+        }
+    }
+
+    /// Set the sizing policy.
+    #[must_use]
+    pub fn with_sizing(mut self, sizing: SizingSpec) -> Self {
+        self.sizing = sizing;
+        self
+    }
+
+    /// Set the traffic pattern.
+    #[must_use]
+    pub fn with_traffic(mut self, traffic: TrafficSpec) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Set the run configuration.
+    #[must_use]
+    pub fn with_run(mut self, run: RunConfig) -> Self {
+        self.run = run;
+        self
+    }
+
+    /// Set the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Render the spec as JSON.
+    pub fn to_json(&self) -> String {
+        let sizing = match self.sizing {
+            SizingSpec::Matrix => r#"{"mode":"matrix"}"#.to_string(),
+            SizingSpec::Adaptive => r#"{"mode":"adaptive"}"#.to_string(),
+            SizingSpec::Fixed(size) => format!(r#"{{"mode":"fixed","size":{size}}}"#),
+        };
+        let traffic = match self.traffic {
+            TrafficSpec::Uniform { load } => {
+                format!(r#"{{"pattern":"uniform","load":{load}}}"#)
+            }
+            TrafficSpec::Diagonal { load } => {
+                format!(r#"{{"pattern":"diagonal","load":{load}}}"#)
+            }
+            TrafficSpec::Hotspot { load, hot_fraction } => {
+                format!(r#"{{"pattern":"hotspot","load":{load},"hot_fraction":{hot_fraction}}}"#)
+            }
+            TrafficSpec::Bursty {
+                load,
+                peak,
+                mean_burst,
+            } => format!(
+                r#"{{"pattern":"bursty","load":{load},"peak":{peak},"mean_burst":{mean_burst}}}"#
+            ),
+            TrafficSpec::Flows {
+                load,
+                mean_flow_len,
+            } => format!(r#"{{"pattern":"flows","load":{load},"mean_flow_len":{mean_flow_len}}}"#),
+        };
+        format!(
+            concat!(
+                "{{\n",
+                "  \"scheme\": \"{}\",\n",
+                "  \"n\": {},\n",
+                "  \"sizing\": {},\n",
+                "  \"traffic\": {},\n",
+                "  \"run\": {{\"slots\":{},\"warmup_slots\":{},\"drain_slots\":{}}},\n",
+                "  \"seed\": {}\n",
+                "}}"
+            ),
+            escape_json_string(&self.scheme),
+            self.n,
+            sizing,
+            traffic,
+            self.run.slots,
+            self.run.warmup_slots,
+            self.run.drain_slots,
+            self.seed,
+        )
+    }
+
+    /// Parse a spec from JSON (the format produced by [`Self::to_json`];
+    /// unknown keys are rejected, missing optional blocks fall back to the
+    /// defaults of [`Self::new`]).
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let value = json::parse(text)?;
+        let obj = value.as_object("top level")?;
+        let mut spec = ScenarioSpec::new(obj.get_str("scheme")?, obj.get_num("n")? as usize);
+        for (key, val) in &obj.entries {
+            match key.as_str() {
+                "scheme" | "n" => {}
+                "seed" => spec.seed = val.as_number(key)? as u64,
+                "run" => {
+                    let run = val.as_object(key)?;
+                    spec.run = RunConfig {
+                        slots: run.get_num("slots")? as u64,
+                        warmup_slots: run.get_num("warmup_slots")? as u64,
+                        drain_slots: run.get_num("drain_slots")? as u64,
+                    };
+                }
+                "sizing" => {
+                    let sizing = val.as_object(key)?;
+                    spec.sizing = match sizing.get_str("mode")?.as_str() {
+                        "matrix" => SizingSpec::Matrix,
+                        "adaptive" => SizingSpec::Adaptive,
+                        "fixed" => SizingSpec::Fixed(sizing.get_num("size")? as usize),
+                        other => {
+                            return Err(SpecError::new(format!("unknown sizing mode '{other}'")))
+                        }
+                    };
+                }
+                "traffic" => {
+                    let traffic = val.as_object(key)?;
+                    let load = traffic.get_num("load")?;
+                    spec.traffic = match traffic.get_str("pattern")?.as_str() {
+                        "uniform" => TrafficSpec::Uniform { load },
+                        "diagonal" => TrafficSpec::Diagonal { load },
+                        "hotspot" => TrafficSpec::Hotspot {
+                            load,
+                            hot_fraction: traffic.get_num("hot_fraction")?,
+                        },
+                        "bursty" => TrafficSpec::Bursty {
+                            load,
+                            peak: traffic.get_num("peak")?,
+                            mean_burst: traffic.get_num("mean_burst")?,
+                        },
+                        "flows" => TrafficSpec::Flows {
+                            load,
+                            mean_flow_len: traffic.get_num("mean_flow_len")?,
+                        },
+                        other => {
+                            return Err(SpecError::new(format!(
+                                "unknown traffic pattern '{other}'"
+                            )))
+                        }
+                    };
+                }
+                other => return Err(SpecError::new(format!("unknown key '{other}'"))),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// A short human-readable summary (used in logs and CSV labels).
+    pub fn label(&self) -> String {
+        format!(
+            "{}/n={}/{}@{:.2}",
+            self.scheme,
+            self.n,
+            self.traffic.pattern_name(),
+            self.traffic.load()
+        )
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal, so
+/// [`ScenarioSpec::to_json`] round-trips through [`ScenarioSpec::from_json`]
+/// even when the (unvalidated-at-spec-level) scheme name contains quotes,
+/// backslashes or control characters.
+fn escape_json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Error produced when a scenario spec cannot be parsed or resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    message: String,
+}
+
+impl SpecError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        SpecError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario spec error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Minimal JSON reader used by [`ScenarioSpec::from_json`].
+mod json {
+    use super::SpecError;
+
+    // The spec format only needs objects, numbers and strings; booleans,
+    // null and arrays are rejected at parse time.
+    #[derive(Debug, Clone)]
+    pub(super) enum Value {
+        Object(Object),
+        Number(f64),
+        String(String),
+    }
+
+    #[derive(Debug, Clone, Default)]
+    pub(super) struct Object {
+        pub entries: Vec<(String, Value)>,
+    }
+
+    impl Object {
+        fn get(&self, key: &str) -> Result<&Value, SpecError> {
+            self.entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| SpecError::new(format!("missing key '{key}'")))
+        }
+
+        pub fn get_str(&self, key: &str) -> Result<String, SpecError> {
+            match self.get(key)? {
+                Value::String(s) => Ok(s.clone()),
+                other => Err(SpecError::new(format!(
+                    "key '{key}' should be a string, got {other:?}"
+                ))),
+            }
+        }
+
+        pub fn get_num(&self, key: &str) -> Result<f64, SpecError> {
+            self.get(key)?.as_number(key)
+        }
+    }
+
+    impl Value {
+        pub fn as_object(&self, what: &str) -> Result<&Object, SpecError> {
+            match self {
+                Value::Object(o) => Ok(o),
+                other => Err(SpecError::new(format!(
+                    "{what} should be an object, got {other:?}"
+                ))),
+            }
+        }
+
+        pub fn as_number(&self, what: &str) -> Result<f64, SpecError> {
+            match self {
+                Value::Number(x) => Ok(*x),
+                other => Err(SpecError::new(format!(
+                    "{what} should be a number, got {other:?}"
+                ))),
+            }
+        }
+    }
+
+    pub(super) fn parse(text: &str) -> Result<Value, SpecError> {
+        let mut p = Parser {
+            chars: text.char_indices().peekable(),
+            text,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if let Some((i, c)) = p.chars.peek() {
+            return Err(SpecError::new(format!("trailing input at byte {i}: '{c}'")));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+        text: &'a str,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while matches!(self.chars.peek(), Some((_, c)) if c.is_whitespace()) {
+                self.chars.next();
+            }
+        }
+
+        fn expect(&mut self, want: char) -> Result<(), SpecError> {
+            self.skip_ws();
+            match self.chars.next() {
+                Some((_, c)) if c == want => Ok(()),
+                Some((i, c)) => Err(SpecError::new(format!(
+                    "expected '{want}' at byte {i}, got '{c}'"
+                ))),
+                None => Err(SpecError::new(format!(
+                    "expected '{want}', got end of input"
+                ))),
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, SpecError> {
+            self.skip_ws();
+            match self.chars.peek().copied() {
+                Some((_, '{')) => self.object(),
+                Some((_, '"')) => Ok(Value::String(self.string()?)),
+                Some((_, c)) if c == '-' || c.is_ascii_digit() => self.number(),
+                Some((i, c)) => Err(SpecError::new(format!(
+                    "unexpected character '{c}' at byte {i}"
+                ))),
+                None => Err(SpecError::new("unexpected end of input")),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, SpecError> {
+            self.expect('{')?;
+            let mut obj = Object::default();
+            self.skip_ws();
+            if matches!(self.chars.peek(), Some((_, '}'))) {
+                self.chars.next();
+                return Ok(Value::Object(obj));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.expect(':')?;
+                let val = self.value()?;
+                obj.entries.push((key, val));
+                self.skip_ws();
+                match self.chars.next() {
+                    Some((_, ',')) => continue,
+                    Some((_, '}')) => return Ok(Value::Object(obj)),
+                    other => {
+                        return Err(SpecError::new(format!(
+                            "expected ',' or '}}' in object, got {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, SpecError> {
+            self.expect('"')?;
+            let mut out = String::new();
+            loop {
+                match self.chars.next() {
+                    Some((_, '"')) => return Ok(out),
+                    Some((_, '\\')) => match self.chars.next() {
+                        Some((_, '"')) => out.push('"'),
+                        Some((_, '\\')) => out.push('\\'),
+                        Some((_, 'n')) => out.push('\n'),
+                        Some((_, 't')) => out.push('\t'),
+                        Some((_, 'r')) => out.push('\r'),
+                        Some((_, '/')) => out.push('/'),
+                        Some((_, 'u')) => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let digit = match self.chars.next() {
+                                    Some((_, c)) => c.to_digit(16).ok_or_else(|| {
+                                        SpecError::new(format!(
+                                            "invalid hex digit {c:?} in \\u escape"
+                                        ))
+                                    })?,
+                                    None => return Err(SpecError::new("unterminated \\u escape")),
+                                };
+                                code = code * 16 + digit;
+                            }
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => {
+                                    return Err(SpecError::new(format!(
+                                        "\\u{code:04x} is not a scalar value (surrogate \
+                                         pairs are not supported)"
+                                    )))
+                                }
+                            }
+                        }
+                        other => {
+                            return Err(SpecError::new(format!(
+                                "unsupported escape {other:?} in string"
+                            )))
+                        }
+                    },
+                    Some((_, c)) => out.push(c),
+                    None => return Err(SpecError::new("unterminated string")),
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, SpecError> {
+            let start = match self.chars.peek() {
+                Some((i, _)) => *i,
+                None => return Err(SpecError::new("unexpected end of input")),
+            };
+            let mut end = start;
+            while let Some((i, c)) = self.chars.peek().copied() {
+                if c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' || c.is_ascii_digit() {
+                    end = i + c.len_utf8();
+                    self.chars.next();
+                } else {
+                    break;
+                }
+            }
+            self.text[start..end]
+                .parse::<f64>()
+                .map(Value::Number)
+                .map_err(|e| {
+                    SpecError::new(format!("bad number '{}': {e}", &self.text[start..end]))
+                })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let spec = ScenarioSpec::new("sprinklers", 16);
+        assert_eq!(spec.scheme, "sprinklers");
+        assert_eq!(spec.n, 16);
+        assert_eq!(spec.sizing, SizingSpec::Matrix);
+        assert_eq!(spec.traffic.load(), 0.6);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_field() {
+        let spec = ScenarioSpec::new("foff", 32)
+            .with_sizing(SizingSpec::Fixed(4))
+            .with_traffic(TrafficSpec::Hotspot {
+                load: 0.85,
+                hot_fraction: 0.4,
+            })
+            .with_run(RunConfig {
+                slots: 1234,
+                warmup_slots: 56,
+                drain_slots: 789,
+            })
+            .with_seed(99);
+        let parsed = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn json_round_trip_escapes_hostile_scheme_names() {
+        for scheme in ["a\"b", "back\\slash", "tab\there", "new\nline", "\u{1}"] {
+            let spec = ScenarioSpec::new(scheme, 8);
+            let parsed = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(parsed.scheme, scheme);
+        }
+    }
+
+    #[test]
+    fn json_round_trip_covers_all_traffic_patterns() {
+        for traffic in [
+            TrafficSpec::Uniform { load: 0.5 },
+            TrafficSpec::Diagonal { load: 0.9 },
+            TrafficSpec::Bursty {
+                load: 0.6,
+                peak: 1.0,
+                mean_burst: 32.0,
+            },
+            TrafficSpec::Flows {
+                load: 0.7,
+                mean_flow_len: 20.0,
+            },
+        ] {
+            let spec = ScenarioSpec::new("ufs", 8).with_traffic(traffic);
+            assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn missing_blocks_fall_back_to_defaults() {
+        let spec = ScenarioSpec::from_json(r#"{"scheme": "oq", "n": 8}"#).unwrap();
+        assert_eq!(spec, ScenarioSpec::new("oq", 8));
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let err = ScenarioSpec::from_json(r#"{"scheme": "oq", "n": 8, "bogus": 1}"#).unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn malformed_json_reports_an_error() {
+        assert!(ScenarioSpec::from_json("{").is_err());
+        assert!(ScenarioSpec::from_json(r#"{"scheme": 3, "n": 8}"#).is_err());
+        assert!(ScenarioSpec::from_json("").is_err());
+    }
+
+    #[test]
+    fn with_load_changes_only_the_load() {
+        let t = TrafficSpec::Hotspot {
+            load: 0.5,
+            hot_fraction: 0.3,
+        };
+        let t2 = t.with_load(0.9);
+        assert_eq!(t2.load(), 0.9);
+        match t2 {
+            TrafficSpec::Hotspot { hot_fraction, .. } => assert_eq!(hot_fraction, 0.3),
+            _ => panic!("pattern changed"),
+        }
+    }
+
+    #[test]
+    fn label_is_compact() {
+        let spec = ScenarioSpec::new("sprinklers", 32);
+        assert_eq!(spec.label(), "sprinklers/n=32/uniform@0.60");
+    }
+}

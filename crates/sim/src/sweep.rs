@@ -1,19 +1,22 @@
 //! Parameter sweeps (load–delay curves).
 //!
 //! The paper's Figures 6 and 7 plot average delay against offered load for
-//! five switching schemes.  `sweep_loads` runs one simulation per load value
-//! using a caller-supplied factory, so the same helper serves every scheme and
-//! traffic pattern.
+//! the compared switching schemes.  [`sweep_loads`] runs one simulation per
+//! load value from a single base [`ScenarioSpec`], so the same helper serves
+//! every scheme and traffic pattern; [`sweep_schemes`] crosses a set of
+//! scheme names with a set of loads, which is exactly the shape of the
+//! paper's figures.
 
-use crate::harness::{RunConfig, Simulator};
+use crate::engine::Engine;
 use crate::report::SimReport;
-use crate::traffic::TrafficGenerator;
+use crate::spec::{ScenarioSpec, SpecError};
 use serde::{Deserialize, Serialize};
-use sprinklers_core::switch::Switch;
 
 /// One point of a load sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LoadSweepPoint {
+    /// Scheme name the point belongs to.
+    pub scheme: String,
     /// Offered load ρ.
     pub load: f64,
     /// The full simulation report at that load.
@@ -27,22 +30,37 @@ impl LoadSweepPoint {
     }
 }
 
-/// Run one simulation per load value.  The factory receives the load and
-/// returns the switch and traffic generator to use at that load.
-pub fn sweep_loads<S, G, F>(loads: &[f64], run: RunConfig, mut factory: F) -> Vec<LoadSweepPoint>
-where
-    S: Switch,
-    G: TrafficGenerator,
-    F: FnMut(f64) -> (S, G),
-{
+/// Run one simulation per load value, varying the base spec's traffic load.
+pub fn sweep_loads(base: &ScenarioSpec, loads: &[f64]) -> Result<Vec<LoadSweepPoint>, SpecError> {
+    let mut engine = Engine::new();
     loads
         .iter()
         .map(|&load| {
-            let (switch, traffic) = factory(load);
-            let report = Simulator::new(switch, traffic).run(run);
-            LoadSweepPoint { load, report }
+            let spec = base.clone().with_traffic(base.traffic.with_load(load));
+            let report = engine.run(&spec)?;
+            Ok(LoadSweepPoint {
+                scheme: spec.scheme,
+                load,
+                report,
+            })
         })
         .collect()
+}
+
+/// Cross a set of schemes with a set of loads (the shape of Figures 6/7).
+/// All runs share the base spec's size, sizing policy, run length and seed.
+pub fn sweep_schemes(
+    base: &ScenarioSpec,
+    schemes: &[&str],
+    loads: &[f64],
+) -> Result<Vec<LoadSweepPoint>, SpecError> {
+    let mut out = Vec::with_capacity(schemes.len() * loads.len());
+    for &scheme in schemes {
+        let mut spec = base.clone();
+        spec.scheme = scheme.to_string();
+        out.extend(sweep_loads(&spec, loads)?);
+    }
+    Ok(out)
 }
 
 /// The load grid used by the paper's Figures 6 and 7 (0.1 … 0.95).
@@ -53,26 +71,40 @@ pub fn paper_load_grid() -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traffic::bernoulli::BernoulliTraffic;
-    use sprinklers_core::config::{SizingMode, SprinklersConfig};
-    use sprinklers_core::sprinklers::SprinklersSwitch;
+    use crate::engine::RunConfig;
+    use crate::spec::TrafficSpec;
 
     #[test]
     fn sweep_produces_one_point_per_load() {
-        let n = 8;
-        let loads = [0.2, 0.5];
-        let points = sweep_loads(&loads, RunConfig::quick(), |load| {
-            let gen = BernoulliTraffic::uniform(n, load, 17);
-            let switch = SprinklersSwitch::new(
-                SprinklersConfig::new(n).with_sizing(SizingMode::FromMatrix(gen.rate_matrix())),
-                3,
-            );
-            (switch, gen)
-        });
+        let base = ScenarioSpec::new("sprinklers", 8)
+            .with_run(RunConfig::quick())
+            .with_seed(17);
+        let points = sweep_loads(&base, &[0.2, 0.5]).unwrap();
         assert_eq!(points.len(), 2);
         assert_eq!(points[0].load, 0.2);
+        assert!(points.iter().all(|p| p.scheme == "sprinklers"));
         assert!(points.iter().all(|p| p.report.reordering.is_ordered()));
         assert!(points.iter().all(|p| p.mean_delay() > 0.0));
+    }
+
+    #[test]
+    fn sweep_schemes_crosses_schemes_and_loads() {
+        let base = ScenarioSpec::new("sprinklers", 8)
+            .with_traffic(TrafficSpec::Uniform { load: 0.1 })
+            .with_run(RunConfig {
+                slots: 2_000,
+                warmup_slots: 200,
+                drain_slots: 4_000,
+            });
+        let points = sweep_schemes(&base, &["oq", "baseline-lb"], &[0.2, 0.4, 0.6]).unwrap();
+        assert_eq!(points.len(), 6);
+        assert_eq!(points.iter().filter(|p| p.scheme == "oq").count(), 3);
+    }
+
+    #[test]
+    fn sweep_propagates_unknown_scheme_errors() {
+        let base = ScenarioSpec::new("bogus", 8).with_run(RunConfig::quick());
+        assert!(sweep_loads(&base, &[0.5]).is_err());
     }
 
     #[test]

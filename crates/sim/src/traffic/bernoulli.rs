@@ -73,8 +73,7 @@ impl TrafficGenerator for BernoulliTraffic {
         self.n
     }
 
-    fn arrivals(&mut self, slot: u64) -> Vec<Packet> {
-        let mut out = Vec::new();
+    fn arrivals_into(&mut self, slot: u64, out: &mut Vec<Packet>) {
         for input in 0..self.n {
             let (load, cdf) = &self.per_input[input];
             if *load > 0.0 && self.rng.gen::<f64>() < *load {
@@ -83,7 +82,6 @@ impl TrafficGenerator for BernoulliTraffic {
                 out.push(Packet::new(input, output, 0, slot));
             }
         }
-        out
     }
 
     fn rate_matrix(&self) -> TrafficMatrix {
@@ -116,9 +114,13 @@ mod tests {
         let mut gen = BernoulliTraffic::uniform(8, 1.0, 3);
         for slot in 0..100 {
             let arrivals = gen.arrivals(slot);
-            let mut seen = vec![false; 8];
+            let mut seen = [false; 8];
             for p in &arrivals {
-                assert!(!seen[p.input], "two packets at input {} in one slot", p.input);
+                assert!(
+                    !seen[p.input],
+                    "two packets at input {} in one slot",
+                    p.input
+                );
                 seen[p.input] = true;
                 assert_eq!(p.arrival_slot, slot);
             }
@@ -172,16 +174,30 @@ mod tests {
         let mut a = BernoulliTraffic::diagonal(8, 0.5, 42);
         let mut b = BernoulliTraffic::diagonal(8, 0.5, 42);
         for slot in 0..200 {
-            let pa: Vec<(usize, usize)> = a.arrivals(slot).iter().map(|p| (p.input, p.output)).collect();
-            let pb: Vec<(usize, usize)> = b.arrivals(slot).iter().map(|p| (p.input, p.output)).collect();
+            let pa: Vec<(usize, usize)> = a
+                .arrivals(slot)
+                .iter()
+                .map(|p| (p.input, p.output))
+                .collect();
+            let pb: Vec<(usize, usize)> = b
+                .arrivals(slot)
+                .iter()
+                .map(|p| (p.input, p.output))
+                .collect();
             assert_eq!(pa, pb);
         }
     }
 
     #[test]
     fn label_mentions_the_pattern() {
-        assert!(BernoulliTraffic::uniform(8, 0.5, 0).label().contains("uniform"));
-        assert!(BernoulliTraffic::diagonal(8, 0.5, 0).label().contains("diagonal"));
-        assert!(BernoulliTraffic::hotspot(8, 0.5, 0.3, 0).label().contains("hotspot"));
+        assert!(BernoulliTraffic::uniform(8, 0.5, 0)
+            .label()
+            .contains("uniform"));
+        assert!(BernoulliTraffic::diagonal(8, 0.5, 0)
+            .label()
+            .contains("diagonal"));
+        assert!(BernoulliTraffic::hotspot(8, 0.5, 0.3, 0)
+            .label()
+            .contains("hotspot"));
     }
 }

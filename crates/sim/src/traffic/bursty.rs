@@ -74,8 +74,7 @@ impl TrafficGenerator for BurstyTraffic {
         self.n
     }
 
-    fn arrivals(&mut self, slot: u64) -> Vec<Packet> {
-        let mut out = Vec::new();
+    fn arrivals_into(&mut self, slot: u64, out: &mut Vec<Packet>) {
         for input in 0..self.n {
             // Evolve the on/off chain.
             if self.state_on[input] {
@@ -97,7 +96,6 @@ impl TrafficGenerator for BurstyTraffic {
                 out.push(Packet::new(input, sample_from_cdf(cdf, u), 0, slot));
             }
         }
-        out
     }
 
     fn rate_matrix(&self) -> TrafficMatrix {
@@ -169,7 +167,7 @@ mod tests {
         let mut gen = BurstyTraffic::uniform(8, 0.5, 1.0, 20.0, 1);
         for slot in 0..1000 {
             let arrivals = gen.arrivals(slot);
-            let mut seen = vec![false; 8];
+            let mut seen = [false; 8];
             for p in arrivals {
                 assert!(!seen[p.input]);
                 seen[p.input] = true;

@@ -32,7 +32,10 @@ pub struct FlowTraffic {
 impl FlowTraffic {
     /// Flow-structured traffic drawn from an arbitrary rate matrix.
     pub fn from_matrix(matrix: TrafficMatrix, mean_flow_len: f64, seed: u64) -> Self {
-        assert!(mean_flow_len >= 1.0, "mean flow length must be at least 1 packet");
+        assert!(
+            mean_flow_len >= 1.0,
+            "mean flow length must be at least 1 packet"
+        );
         let n = matrix.n();
         let per_input = (0..n).map(|i| row_cdf(&matrix, i)).collect();
         let mut current_flow = vec![0u64; n * n];
@@ -67,8 +70,7 @@ impl TrafficGenerator for FlowTraffic {
         self.n
     }
 
-    fn arrivals(&mut self, slot: u64) -> Vec<Packet> {
-        let mut out = Vec::new();
+    fn arrivals_into(&mut self, slot: u64, out: &mut Vec<Packet>) {
         for input in 0..self.n {
             let (load, cdf) = &self.per_input[input];
             if *load > 0.0 && self.rng.gen::<f64>() < *load {
@@ -84,7 +86,6 @@ impl TrafficGenerator for FlowTraffic {
                 }
             }
         }
-        out
     }
 
     fn rate_matrix(&self) -> TrafficMatrix {

@@ -26,17 +26,45 @@ pub trait TrafficGenerator {
     /// Number of switch ports.
     fn n(&self) -> usize;
 
-    /// Generate the arrivals of one time slot: at most one packet per input
-    /// port.  Identity fields other than `input`, `output`, `flow` and
-    /// `arrival_slot` may be left at their defaults; the simulation harness
+    /// Generate the arrivals of one time slot by pushing them into `out`
+    /// (which the caller has cleared): at most one packet per input port.
+    /// Identity fields other than `input`, `output`, `flow` and
+    /// `arrival_slot` may be left at their defaults; the simulation engine
     /// assigns globally unique ids and per-VOQ sequence numbers.
-    fn arrivals(&mut self, slot: u64) -> Vec<Packet>;
+    ///
+    /// This is the required method so that the engine's steady-state loop can
+    /// reuse one buffer across slots and stay allocation-free, matching the
+    /// contract of [`sprinklers_core::switch::Switch::step`].
+    fn arrivals_into(&mut self, slot: u64, out: &mut Vec<Packet>);
+
+    /// Convenience wrapper returning the slot's arrivals in a fresh `Vec`
+    /// (tests and examples; the engine uses [`Self::arrivals_into`]).
+    fn arrivals(&mut self, slot: u64) -> Vec<Packet> {
+        let mut out = Vec::new();
+        self.arrivals_into(slot, &mut out);
+        out
+    }
 
     /// The long-run average rate matrix this generator draws from.
     fn rate_matrix(&self) -> TrafficMatrix;
 
     /// Short human-readable description (used in reports).
     fn label(&self) -> String;
+}
+
+impl<T: TrafficGenerator + ?Sized> TrafficGenerator for Box<T> {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    fn arrivals_into(&mut self, slot: u64, out: &mut Vec<Packet>) {
+        (**self).arrivals_into(slot, out)
+    }
+    fn rate_matrix(&self) -> TrafficMatrix {
+        (**self).rate_matrix()
+    }
+    fn label(&self) -> String {
+        (**self).label()
+    }
 }
 
 /// Helper shared by generators: sample a destination from a cumulative

@@ -41,7 +41,10 @@ impl TraceTraffic {
         entries.sort_by_key(|e| e.slot);
         let mut last: Option<(u64, usize)> = None;
         for e in &entries {
-            assert!(e.input < n && e.output < n, "port out of range in trace entry {e:?}");
+            assert!(
+                e.input < n && e.output < n,
+                "port out of range in trace entry {e:?}"
+            );
             if let Some((slot, input)) = last {
                 assert!(
                     !(slot == e.slot && input == e.input),
@@ -83,19 +86,17 @@ impl TrafficGenerator for TraceTraffic {
         self.n
     }
 
-    fn arrivals(&mut self, slot: u64) -> Vec<Packet> {
-        let mut out = Vec::new();
+    fn arrivals_into(&mut self, slot: u64, out: &mut Vec<Packet>) {
         while self.cursor < self.entries.len() && self.entries[self.cursor].slot <= slot {
             let e = self.entries[self.cursor];
             self.cursor += 1;
             if e.slot < slot {
-                // The harness skipped some slots; drop stale entries rather
+                // The engine skipped some slots; drop stale entries rather
                 // than delivering them late (keeps arrival slots truthful).
                 continue;
             }
             out.push(Packet::new(e.input, e.output, 0, slot));
         }
-        out
     }
 
     fn rate_matrix(&self) -> TrafficMatrix {
@@ -121,9 +122,21 @@ mod tests {
         let mut t = TraceTraffic::new(
             4,
             vec![
-                TraceEntry { slot: 5, input: 1, output: 2 },
-                TraceEntry { slot: 2, input: 0, output: 3 },
-                TraceEntry { slot: 5, input: 3, output: 0 },
+                TraceEntry {
+                    slot: 5,
+                    input: 1,
+                    output: 2,
+                },
+                TraceEntry {
+                    slot: 2,
+                    input: 0,
+                    output: 3,
+                },
+                TraceEntry {
+                    slot: 5,
+                    input: 3,
+                    output: 0,
+                },
             ],
         );
         assert!(t.arrivals(0).is_empty());
@@ -164,8 +177,16 @@ mod tests {
         let _ = TraceTraffic::new(
             4,
             vec![
-                TraceEntry { slot: 1, input: 0, output: 1 },
-                TraceEntry { slot: 1, input: 0, output: 2 },
+                TraceEntry {
+                    slot: 1,
+                    input: 0,
+                    output: 1,
+                },
+                TraceEntry {
+                    slot: 1,
+                    input: 0,
+                    output: 2,
+                },
             ],
         );
     }
@@ -173,6 +194,13 @@ mod tests {
     #[test]
     #[should_panic]
     fn rejects_out_of_range_ports() {
-        let _ = TraceTraffic::new(4, vec![TraceEntry { slot: 0, input: 9, output: 0 }]);
+        let _ = TraceTraffic::new(
+            4,
+            vec![TraceEntry {
+                slot: 0,
+                input: 9,
+                output: 0,
+            }],
+        );
     }
 }

@@ -36,6 +36,9 @@ fn main() {
     let mut voq_seq = vec![0u64; n * n];
     let mut offered = 0u64;
     let mut delivered = 0u64;
+    // Reused across slots: a Vec is a DeliverySink, and clearing it each slot
+    // keeps the loop allocation-free once it reaches steady state.
+    let mut deliveries = Vec::new();
 
     let phase_a = 20_000u64; // light uniform traffic
     let phase_b = 40_000u64; // plus a hot VOQ at ~0.45 load
@@ -59,7 +62,9 @@ fn main() {
                 switch.arrive(p);
             }
         }
-        for d in switch.tick(slot) {
+        deliveries.clear();
+        switch.step(slot, &mut deliveries);
+        for d in &deliveries {
             delivered += 1;
             detector.observe(&d.packet);
         }
@@ -76,7 +81,10 @@ fn main() {
     println!();
     println!("offered {offered}, delivered {delivered}");
     println!("hot VOQ stripe size after the load shift: {final_size}");
-    println!("total committed stripe-size changes: {}", switch.total_resizes());
+    println!(
+        "total committed stripe-size changes: {}",
+        switch.total_resizes()
+    );
     println!(
         "reordering events across the whole run: {} (must be 0)",
         detector.stats().voq_reorder_events

@@ -7,7 +7,7 @@
 //! ```
 
 use sprinklers_bench::experiments::{run_point, TrafficKind, PAPER_SCHEMES};
-use sprinklers_sim::harness::RunConfig;
+use sprinklers_sim::engine::RunConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -19,14 +19,18 @@ fn main() {
     let n: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(32);
 
     println!("delay comparison at load {load}, {kind:?} traffic, N = {n}");
-    println!("{:<16} {:>12} {:>12} {:>12} {:>14}", "scheme", "mean delay", "p99 delay", "reorders", "delivered");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>14}",
+        "scheme", "mean delay", "p99 delay", "reorders", "delivered"
+    );
 
     let run = RunConfig {
         slots: 60_000,
         warmup_slots: 10_000,
         drain_slots: 60_000,
     };
-    let mut schemes: Vec<&str> = PAPER_SCHEMES.to_vec();
+    let mut schemes: Vec<&str> = vec!["oq"];
+    schemes.extend(PAPER_SCHEMES);
     schemes.push("tcp-hash");
     for scheme in schemes {
         let point = run_point(scheme, n, load, kind, run, 7);
@@ -36,11 +40,15 @@ fn main() {
             point.report.delay.mean(),
             point.report.delay.percentile(0.99),
             point.report.reordering.voq_reorder_events,
-            format!("{}/{}", point.report.delivered_packets, point.report.offered_packets),
+            format!(
+                "{}/{}",
+                point.report.delivered_packets, point.report.offered_packets
+            ),
         );
     }
     println!();
-    println!("expected shape: baseline-lb has the lowest delay but reorders;");
+    println!("expected shape: the ideal OQ switch lower-bounds everything;");
+    println!("baseline-lb has the lowest implementable delay but reorders;");
     println!("UFS pays a large frame-accumulation delay at light load;");
     println!("Sprinklers, FOFF and PF stay close to each other with zero reordering.");
 }

@@ -27,14 +27,23 @@ fn main() {
     if rho < 1.0 {
         let b = overload_bound(n, rho);
         println!("Theorem 2 (Chernoff bound) at rho = {rho}:");
-        println!("  single queue overload probability <= {:.3e}   (log10 = {:.2})",
-            b.bound, b.log_bound / std::f64::consts::LN_10);
-        println!("  switch-wide (union over 2N^2 queues) <= {:.3e}", b.switch_wide);
+        println!(
+            "  single queue overload probability <= {:.3e}   (log10 = {:.2})",
+            b.bound,
+            b.log_bound / std::f64::consts::LN_10
+        );
+        println!(
+            "  switch-wide (union over 2N^2 queues) <= {:.3e}",
+            b.switch_wide
+        );
     } else {
         println!("rho must be < 1 for the Chernoff bound to apply");
     }
     println!();
 
     println!("Section 5: expected clearance delay at an intermediate port under worst-case");
-    println!("           burstiness: {:.0} service periods", expected_queue_length(n, rho.min(0.999)));
+    println!(
+        "           burstiness: {:.0} service periods",
+        expected_queue_length(n, rho.min(0.999))
+    );
 }

@@ -1,40 +1,36 @@
-//! Quickstart: build a Sprinklers switch, offer uniform Bernoulli traffic and
-//! print the delay and (absence of) reordering statistics.
+//! Quickstart: describe a scenario, run it through the engine, and print the
+//! delay and (absence of) reordering statistics.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release -p sprinklers-bench --example quickstart
 //! ```
 
-use sprinklers_core::prelude::*;
 use sprinklers_sim::prelude::*;
 
 fn main() {
-    let n = 16;
-    let load = 0.7;
-    let seed = 42;
+    // 1. Describe the whole run as one declarative spec: a 16-port
+    //    Sprinklers switch with matrix-driven stripe sizing, uniform
+    //    Bernoulli arrivals at 70% load.
+    let spec = ScenarioSpec::new("sprinklers", 16)
+        .with_sizing(SizingSpec::Matrix)
+        .with_traffic(TrafficSpec::Uniform { load: 0.7 })
+        .with_run(RunConfig {
+            slots: 50_000,
+            warmup_slots: 5_000,
+            drain_slots: 30_000,
+        })
+        .with_seed(42);
+    println!("scenario: {}", spec.label());
+    println!("{}", spec.to_json());
 
-    // 1. Describe the traffic: uniform Bernoulli arrivals at 70% load.
-    let traffic = BernoulliTraffic::uniform(n, load, seed);
+    // 2. Run it.  The engine resolves the scheme name through the registry
+    //    (any of `registry::schemes()` works here — swap in "foff" or
+    //    "baseline-lb" to compare) and feeds every delivered packet through
+    //    the zero-allocation metrics sink.
+    let report = Engine::new().run(&spec).expect("sprinklers is registered");
 
-    // 2. Build the switch.  Stripe sizes are derived from the traffic matrix
-    //    with the paper's rule F(r) = min(N, 2^ceil(log2(r N^2))).
-    let config = SprinklersConfig::new(n).with_sizing(SizingMode::FromMatrix(traffic.rate_matrix()));
-    let switch = SprinklersSwitch::new(config, seed);
-    println!(
-        "Sprinklers switch with N = {n}: a VOQ at rate {:.4} gets stripes of {} packets",
-        load / n as f64,
-        switch.voq_stripe_size(0, 0)
-    );
-
-    // 3. Run the simulation.
-    let report = Simulator::new(switch, traffic).run(RunConfig {
-        slots: 50_000,
-        warmup_slots: 5_000,
-        drain_slots: 30_000,
-    });
-
-    // 4. Inspect the results.
+    // 3. Inspect the results.
     println!("offered packets  : {}", report.offered_packets);
     println!("delivered packets: {}", report.delivered_packets);
     println!("mean delay       : {:.1} slots", report.delay.mean());

@@ -36,8 +36,7 @@ fn main() {
         "VOQ", "rate", "primary", "size", "interval", "load/share"
     );
     let mut port_load = vec![0.0f64; n];
-    for output in 0..n {
-        let rate = rates[output];
+    for (output, &rate) in rates.iter().enumerate() {
         let primary = ols.primary_port(0, output);
         let size = stripe_size(rate, n);
         let interval = DyadicInterval::containing(primary, size);
@@ -52,12 +51,18 @@ fn main() {
     }
 
     println!();
-    println!("resulting load on each intermediate port (ideal would be {:.4}):", 0.9 / n as f64);
+    println!(
+        "resulting load on each intermediate port (ideal would be {:.4}):",
+        0.9 / n as f64
+    );
     for (p, load) in port_load.iter().enumerate() {
         let bar = "#".repeat((load * n as f64 * 40.0).round() as usize);
         println!("  port {p:>3}: {load:.4} {bar}");
     }
 
     println!();
-    println!("every row and column of the OLS is a permutation: {}", ols.is_valid());
+    println!(
+        "every row and column of the OLS is a permutation: {}",
+        ols.is_valid()
+    );
 }

@@ -1,0 +1,293 @@
+//! Offline shim for the subset of the `criterion` 0.5 API used by this
+//! workspace's benches.
+//!
+//! Unlike the serde shim this one actually *measures*: `Bencher::iter` runs a
+//! short warm-up, then collects `sample_size` timed samples (each batched to
+//! amortize clock overhead) within roughly `measurement_time`, and prints the
+//! mean and minimum time per iteration, plus derived element throughput when
+//! a [`Throughput`] was configured.  There are no statistics beyond that —
+//! enough for `cargo bench` to produce comparable numbers, not for rigorous
+//! regression detection.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported like `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher<'a> {
+    sample_size: usize,
+    measurement_time: Duration,
+    label: String,
+    throughput: Option<Throughput>,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine`, printing one summary line.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch-size calibration: grow the batch until one batch
+        // takes at least ~1ms, so short routines are not dominated by clock
+        // reads.
+        let mut batch = 1u64;
+        let batch_time = loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break dt;
+            }
+            batch *= 2;
+        };
+
+        // Collect samples within the measurement budget.
+        let per_batch = batch_time.max(Duration::from_nanos(1));
+        let budget = self.measurement_time.max(Duration::from_millis(10));
+        let max_samples = (budget.as_nanos() / per_batch.as_nanos()).clamp(1, 1 << 16) as usize;
+        let samples = self.sample_size.clamp(1, max_samples.max(1));
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        let iters = samples as u64 * batch;
+        let mean_ns = total.as_nanos() as f64 / iters as f64;
+        let min_ns = min.as_nanos() as f64 / batch as f64;
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(e) => format!(", {:.3} Melem/s", e as f64 / mean_ns * 1e3),
+            Throughput::Bytes(b) => {
+                format!(", {:.3} MiB/s", b as f64 / mean_ns * 1e9 / (1 << 20) as f64)
+            }
+        });
+        println!(
+            "bench: {:<48} mean {:>12.1} ns/iter, min {:>12.1} ns/iter{}",
+            self.label,
+            mean_ns,
+            min_ns,
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Soft budget for one benchmark's measurement phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotate iterations with a throughput so results print a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            label: format!("{}/{}", self.name, id.id),
+            throughput: self.throughput,
+            _marker: std::marker::PhantomData,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            label: format!("{}/{}", self.name, id.id),
+            throughput: self.throughput,
+            _marker: std::marker::PhantomData,
+        };
+        f(&mut b, input);
+        self
+    }
+
+    /// End the group (parity with criterion; nothing to flush here).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+            default_measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut b = Bencher {
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            label: name.to_string(),
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Parity with criterion's configuration hook (unused by the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declare a group of benchmark functions, like `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench entry point, like `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_prints() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(5);
+        group.measurement_time(Duration::from_millis(20));
+        group.throughput(Throughput::Elements(100));
+        let mut ran = false;
+        group.bench_function(BenchmarkId::from_parameter(1), |b| {
+            b.iter(|| black_box(3u64).wrapping_mul(7));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

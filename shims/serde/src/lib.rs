@@ -1,0 +1,34 @@
+//! Offline shim for the subset of the `serde` API used by this workspace.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its report and
+//! configuration types so that, when built against the real serde, they can
+//! be written to and read from JSON/TOML by downstream tooling.  Nothing in
+//! the workspace itself calls a serializer, so the shim reduces the traits to
+//! markers that are blanket-implemented for every type, and the derives (in
+//! the `serde_derive` shim) to no-ops.  Swapping in the real crates changes
+//! no source outside `shims/`.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Namespace parity with `serde::de`.
+pub mod de {
+    pub use super::DeserializeOwned;
+}

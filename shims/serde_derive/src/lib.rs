@@ -1,0 +1,21 @@
+//! Offline no-op shim for `serde_derive`.
+//!
+//! The sibling `serde` shim blanket-implements its `Serialize`/`Deserialize`
+//! marker traits for every type, so these derives have nothing to generate:
+//! they only need to *exist* (and to accept the `#[serde(...)]` helper
+//! attribute) so that `#[derive(Serialize, Deserialize)]` compiles unchanged
+//! against the shim and against the real crate alike.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,18 +1,18 @@
 //! Shared helpers for the cross-crate integration tests.
 //!
 //! The actual tests live in `tests/tests/*.rs`; this small library provides
-//! the scaffolding they share: building every switch variant by name and
-//! running short, seeded simulations with consistent metrics.
+//! the scaffolding they share: building switches through the
+//! `sprinklers-sim` registry and running short, seeded simulations with
+//! consistent metrics through the engine.
 
-use sprinklers_baselines::{
-    BaselineLbSwitch, FoffSwitch, PaddedFramesSwitch, TcpHashSwitch, UfsSwitch,
-};
 use sprinklers_core::config::{AlignmentMode, InputDiscipline, SizingMode, SprinklersConfig};
 use sprinklers_core::matrix::TrafficMatrix;
 use sprinklers_core::sprinklers::SprinklersSwitch;
 use sprinklers_core::switch::Switch;
-use sprinklers_sim::harness::{RunConfig, Simulator};
+use sprinklers_sim::engine::{Engine, RunConfig};
+use sprinklers_sim::registry;
 use sprinklers_sim::report::SimReport;
+use sprinklers_sim::spec::SizingSpec;
 use sprinklers_sim::traffic::TrafficGenerator;
 
 /// Every Sprinklers scheduling variant, for exhaustive ordering checks.
@@ -56,37 +56,28 @@ pub fn sprinklers_variant(
     )
 }
 
-/// Build one of the ordered switches (everything except `baseline-lb` and
-/// `tcp-hash` guarantees per-VOQ order).
+/// Build any registered switch by name with matrix-driven sizing.
 pub fn switch_by_name(name: &str, n: usize, matrix: &TrafficMatrix, seed: u64) -> Box<dyn Switch> {
-    match name {
-        "sprinklers" => Box::new(SprinklersSwitch::new(
-            SprinklersConfig::new(n).with_sizing(SizingMode::FromMatrix(matrix.clone())),
-            seed,
-        )),
-        "sprinklers-adaptive" => Box::new(SprinklersSwitch::new(SprinklersConfig::new(n), seed)),
-        "baseline-lb" => Box::new(BaselineLbSwitch::new(n)),
-        "ufs" => Box::new(UfsSwitch::new(n)),
-        "foff" => Box::new(FoffSwitch::new(n)),
-        "padded-frames" => Box::new(PaddedFramesSwitch::new(
-            n,
-            PaddedFramesSwitch::default_threshold(n),
-        )),
-        "tcp-hash" => Box::new(TcpHashSwitch::new(n, seed)),
-        other => panic!("unknown switch {other}"),
-    }
+    registry::build_named(name, n, &SizingSpec::Matrix, matrix, seed)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// The schemes that promise per-VOQ in-order delivery.
+/// The schemes that promise per-VOQ in-order delivery (the paper's ordered
+/// comparison set; `registry::ORDERED_SCHEMES` additionally includes the
+/// Sprinklers ablation variants and the OQ reference).
 pub const ORDERED_SCHEMES: [&str; 4] = ["sprinklers", "ufs", "foff", "padded-frames"];
 
 /// Run a switch against a generator with a short, deterministic configuration.
 pub fn run<S: Switch, G: TrafficGenerator>(switch: S, traffic: G, slots: u64) -> SimReport {
-    Simulator::new(switch, traffic).run(RunConfig {
-        slots,
-        warmup_slots: slots / 10,
-        drain_slots: slots.max(4_096) * 2,
-    })
+    Engine::new().run_parts(
+        switch,
+        traffic,
+        RunConfig {
+            slots,
+            warmup_slots: slots / 10,
+            drain_slots: slots.max(4_096) * 2,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -95,12 +86,9 @@ mod tests {
     use sprinklers_sim::traffic::bernoulli::BernoulliTraffic;
 
     #[test]
-    fn switch_by_name_covers_all_schemes() {
+    fn switch_by_name_covers_all_registered_schemes() {
         let m = TrafficMatrix::uniform(8, 0.5);
-        for name in ORDERED_SCHEMES
-            .iter()
-            .chain(["baseline-lb", "tcp-hash", "sprinklers-adaptive"].iter())
-        {
+        for name in registry::schemes() {
             let sw = switch_by_name(name, 8, &m, 3);
             assert_eq!(sw.n(), 8);
         }

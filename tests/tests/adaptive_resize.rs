@@ -4,7 +4,7 @@
 use sprinklers_core::config::{AdaptiveSizing, SizingMode, SprinklersConfig};
 use sprinklers_core::matrix::TrafficMatrix;
 use sprinklers_core::sprinklers::SprinklersSwitch;
-use sprinklers_core::switch::Switch;
+use sprinklers_core::switch::{NullSink, Switch};
 use sprinklers_sim::metrics::reorder::ReorderDetector;
 use sprinklers_sim::traffic::bernoulli::BernoulliTraffic;
 use sprinklers_sim::traffic::TrafficGenerator;
@@ -35,7 +35,7 @@ fn stripe_sizes_grow_under_load_and_shrink_when_idle() {
             voq_seq[key] += 1;
             sw.arrive(p);
         }
-        sw.tick(slot);
+        sw.step(slot, &mut NullSink);
     }
     let grown = sw.voq_stripe_size(0, 0);
     assert!(
@@ -45,9 +45,13 @@ fn stripe_sizes_grow_under_load_and_shrink_when_idle() {
 
     // Phase 2: silence.  Every VOQ should shrink back to unit stripes.
     for slot in 20_000..80_000u64 {
-        sw.tick(slot);
+        sw.step(slot, &mut NullSink);
     }
-    assert_eq!(sw.voq_stripe_size(0, 0), 1, "idle VOQ should shrink back to 1");
+    assert_eq!(
+        sw.voq_stripe_size(0, 0),
+        1,
+        "idle VOQ should shrink back to 1"
+    );
     assert!(sw.total_resizes() > 0);
 }
 
@@ -56,6 +60,7 @@ fn no_reordering_across_a_load_shift() {
     let n = 16;
     let mut sw = adaptive_switch(n, 512);
     let mut detector = ReorderDetector::new();
+    let mut deliveries = Vec::new();
     let mut voq_seq = vec![0u64; n * n];
     let mut light = BernoulliTraffic::uniform(n, 0.15, 3);
     let mut heavy = BernoulliTraffic::uniform(n, 0.85, 4);
@@ -77,7 +82,9 @@ fn no_reordering_across_a_load_shift() {
                 sw.arrive(p);
             }
         }
-        for d in sw.tick(slot) {
+        deliveries.clear();
+        sw.step(slot, &mut deliveries);
+        for d in &deliveries {
             delivered += 1;
             detector.observe(&d.packet);
         }
@@ -91,7 +98,10 @@ fn no_reordering_across_a_load_shift() {
         delivered as f64 > offered as f64 * 0.9,
         "only {delivered}/{offered} packets delivered"
     );
-    assert!(sw.total_resizes() > 0, "the load shift should have triggered resizes");
+    assert!(
+        sw.total_resizes() > 0,
+        "the load shift should have triggered resizes"
+    );
 }
 
 #[test]
@@ -104,6 +114,7 @@ fn explicit_reconfiguration_preserves_order_mid_traffic() {
     );
     let mut gen = BernoulliTraffic::uniform(n, 0.7, 12);
     let mut detector = ReorderDetector::new();
+    let mut deliveries = Vec::new();
     let mut voq_seq = vec![0u64; n * n];
     for slot in 0..30_000u64 {
         if slot == 10_000 {
@@ -119,12 +130,17 @@ fn explicit_reconfiguration_preserves_order_mid_traffic() {
                 sw.arrive(p);
             }
         }
-        for d in sw.tick(slot) {
+        deliveries.clear();
+        sw.step(slot, &mut deliveries);
+        for d in &deliveries {
             detector.observe(&d.packet);
         }
     }
     assert_eq!(detector.stats().voq_reorder_events, 0);
-    assert!(sw.total_resizes() > 0, "the reconfiguration should have changed stripe sizes");
+    assert!(
+        sw.total_resizes() > 0,
+        "the reconfiguration should have changed stripe sizes"
+    );
 }
 
 #[test]
@@ -150,7 +166,7 @@ fn adaptive_and_matrix_sizing_converge_to_the_same_sizes() {
             voq_seq[key] += 1;
             sw.arrive(p);
         }
-        sw.tick(slot);
+        sw.step(slot, &mut NullSink);
     }
     let adaptive = sw.voq_stripe_size(3, 3);
     assert!(

@@ -61,8 +61,8 @@ fn simulated_port_loads_match_the_chernoff_regime() {
         for output in 0..n {
             let primary = ols.primary_port(0, output);
             let start = (primary / f) * f;
-            for p in start..start + f {
-                load[p] += share;
+            for l in load.iter_mut().skip(start).take(f) {
+                *l += share;
             }
         }
         let service = 1.0 / n as f64;

@@ -5,7 +5,7 @@
 use sprinklers_core::matrix::TrafficMatrix;
 use sprinklers_core::switch::Switch;
 use sprinklers_integration_tests::{run, switch_by_name, ORDERED_SCHEMES};
-use sprinklers_sim::harness::{RunConfig, Simulator};
+use sprinklers_sim::engine::{Engine, RunConfig};
 use sprinklers_sim::traffic::bernoulli::BernoulliTraffic;
 use sprinklers_sim::traffic::trace::TraceTraffic;
 use sprinklers_sim::traffic::TrafficGenerator;
@@ -46,7 +46,10 @@ fn every_switch_conserves_packets_under_uniform_traffic() {
         report.offered_packets,
         "tcp-hash lost or duplicated packets"
     );
-    assert!(report.delivery_ratio() > 0.8, "tcp-hash stalled under flow-rich traffic");
+    assert!(
+        report.delivery_ratio() > 0.8,
+        "tcp-hash stalled under flow-rich traffic"
+    );
 }
 
 #[test]
@@ -80,18 +83,26 @@ fn sprinklers_queues_stay_bounded_at_high_load() {
     let gen = BernoulliTraffic::uniform(n, load, 7);
     let sw = switch_by_name("sprinklers", n, &matrix, 7);
 
-    let first = Simulator::new(sw, gen).run(RunConfig {
-        slots: 20_000,
-        warmup_slots: 0,
-        drain_slots: 0,
-    });
+    let first = Engine::new().run_parts(
+        sw,
+        gen,
+        RunConfig {
+            slots: 20_000,
+            warmup_slots: 0,
+            drain_slots: 0,
+        },
+    );
     let gen = BernoulliTraffic::uniform(n, load, 7);
     let sw = switch_by_name("sprinklers", n, &matrix, 7);
-    let second = Simulator::new(sw, gen).run(RunConfig {
-        slots: 80_000,
-        warmup_slots: 0,
-        drain_slots: 0,
-    });
+    let second = Engine::new().run_parts(
+        sw,
+        gen,
+        RunConfig {
+            slots: 80_000,
+            warmup_slots: 0,
+            drain_slots: 0,
+        },
+    );
     // Mean occupancy over a 4× longer run should not be ~4× larger.
     assert!(
         second.occupancy.mean_intermediate < first.occupancy.mean_intermediate * 2.5 + 50.0,
@@ -119,11 +130,15 @@ fn deterministic_trace_is_fully_delivered_by_every_ordered_scheme() {
         let trace = TraceTraffic::new(n, entries);
         let matrix = trace.rate_matrix();
         let sw = switch_by_name(scheme, n, &matrix, 2);
-        let report = Simulator::new(sw, trace).run(RunConfig {
-            slots: 200,
-            warmup_slots: 0,
-            drain_slots: 5_000,
-        });
+        let report = Engine::new().run_parts(
+            sw,
+            trace,
+            RunConfig {
+                slots: 200,
+                warmup_slots: 0,
+                drain_slots: 5_000,
+            },
+        );
         assert_eq!(report.offered_packets, (n * n) as u64);
         assert_eq!(
             report.delivered_packets + report.residual_packets,
@@ -147,7 +162,10 @@ fn deterministic_trace_is_fully_delivered_by_every_ordered_scheme() {
                 "{scheme} failed to deliver the whole trace"
             );
         }
-        assert_eq!(report.reordering.voq_reorder_events, 0, "{scheme} reordered the trace");
+        assert_eq!(
+            report.reordering.voq_reorder_events, 0,
+            "{scheme} reordered the trace"
+        );
     }
 }
 

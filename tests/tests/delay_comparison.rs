@@ -77,8 +77,14 @@ fn diagonal_traffic_shows_the_same_qualitative_shape() {
     let ufs = mean_delay("ufs", n, load, true, 50_000);
     let sprinklers = mean_delay("sprinklers", n, load, true, 50_000);
     let base = mean_delay("baseline-lb", n, load, true, 50_000);
-    assert!(sprinklers < ufs, "Sprinklers ({sprinklers:.0}) should beat UFS ({ufs:.0}) under diagonal traffic");
-    assert!(base <= sprinklers * 1.05, "baseline should remain the lower bound");
+    assert!(
+        sprinklers < ufs,
+        "Sprinklers ({sprinklers:.0}) should beat UFS ({ufs:.0}) under diagonal traffic"
+    );
+    assert!(
+        base <= sprinklers * 1.05,
+        "baseline should remain the lower bound"
+    );
 }
 
 #[test]

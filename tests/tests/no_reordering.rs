@@ -32,7 +32,10 @@ fn sprinklers_never_reorders_under_uniform_traffic() {
                     "variant {name} reordered at load {load}"
                 );
             }
-            assert!(report.delivery_ratio() > 0.95, "variant {name} stalled at load {load}");
+            assert!(
+                report.delivery_ratio() > 0.95,
+                "variant {name} stalled at load {load}"
+            );
         }
     }
 }
@@ -44,7 +47,10 @@ fn sprinklers_never_reorders_under_diagonal_traffic() {
         let matrix = TrafficMatrix::diagonal(n, load);
         let sw = switch_by_name("sprinklers", n, &matrix, 3);
         let report = run(sw, BernoulliTraffic::diagonal(n, load, 99), 30_000);
-        assert_eq!(report.reordering.voq_reorder_events, 0, "reordered at load {load}");
+        assert_eq!(
+            report.reordering.voq_reorder_events, 0,
+            "reordered at load {load}"
+        );
         assert_eq!(report.reordering.flow_reorder_events, 0);
     }
 }
@@ -60,7 +66,10 @@ fn sprinklers_never_reorders_under_hotspot_and_bursty_traffic() {
     let matrix = TrafficMatrix::uniform(n, 0.6);
     let sw = switch_by_name("sprinklers", n, &matrix, 5);
     let report = run(sw, BurstyTraffic::uniform(n, 0.6, 1.0, 64.0, 77), 30_000);
-    assert_eq!(report.reordering.voq_reorder_events, 0, "bursty traffic caused reordering");
+    assert_eq!(
+        report.reordering.voq_reorder_events, 0,
+        "bursty traffic caused reordering"
+    );
 }
 
 #[test]
@@ -126,7 +135,10 @@ fn sprinklers_preserves_order_at_very_small_and_larger_sizes() {
         let matrix = TrafficMatrix::uniform(n, load);
         let sw = switch_by_name("sprinklers", n, &matrix, 13);
         let report = run(sw, BernoulliTraffic::uniform(n, load, 8), 20_000);
-        assert_eq!(report.reordering.voq_reorder_events, 0, "reordered at N = {n}");
+        assert_eq!(
+            report.reordering.voq_reorder_events, 0,
+            "reordered at N = {n}"
+        );
         // At N = 64 and this run length a noticeable fraction of packets is
         // still sitting in partially filled stripes when the run ends (each
         // VOQ needs ~5000 slots to fill a full-span stripe at this load), so
