@@ -1,0 +1,43 @@
+//! Criterion comparison of serial vs thread-sharded sweep execution.
+//!
+//! One benchmark per worker count over the same scheme × load grid, so the
+//! printed means are directly comparable: `workers/1` is the old serial
+//! `sweep_schemes` behaviour, `workers/0` uses one worker per core.  The
+//! grid is deliberately small (the full figure grid is the `parallel_sweep`
+//! example); this pins the executor's overhead and scaling shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sprinklers_sim::engine::RunConfig;
+use sprinklers_sim::spec::ScenarioSpec;
+use sprinklers_sim::sweep::{grid_specs, sweep_schemes_with};
+
+fn bench_sweep_workers(c: &mut Criterion) {
+    let schemes = ["sprinklers", "oq", "baseline-lb", "ufs", "foff"];
+    let loads = [0.3, 0.6, 0.9];
+    let base = ScenarioSpec::new("sprinklers", 16)
+        .with_run(RunConfig {
+            slots: 1_000,
+            warmup_slots: 100,
+            drain_slots: 2_000,
+        })
+        .with_seed(7);
+    let runs = grid_specs(&base, &schemes, &loads).len() as u64;
+
+    let mut group = c.benchmark_group("sweep_schemes");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.throughput(Throughput::Elements(runs));
+    for workers in [1usize, 2, 4, 0] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| sweep_schemes_with(&base, &schemes, &loads, workers).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_workers);
+criterion_main!(benches);

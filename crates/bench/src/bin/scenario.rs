@@ -13,6 +13,7 @@
 //! cargo run --release -p sprinklers-bench --bin scenario -- --list-schemes
 //! ```
 
+use sprinklers_bench::cli::{arg_value, fail, has_flag, load_spec_file, parse_flag};
 use sprinklers_sim::engine::{Engine, RunConfig};
 use sprinklers_sim::registry;
 use sprinklers_sim::report::SimReport;
@@ -30,48 +31,26 @@ Usage:
 
 Defaults: --scheme sprinklers --n 32 --load 0.6 --pattern uniform --seed 2014";
 
-fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-fn fail(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    std::process::exit(2);
-}
-
-/// Parse a flag's value, failing loudly on garbage instead of silently
-/// substituting the default (absent flag => `None` => caller's default).
-fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
-    arg_value(args, flag).map(|v| {
-        v.parse()
-            .unwrap_or_else(|_| fail(&format!("invalid value '{v}' for {flag}")))
-    })
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
-    if args.iter().any(|a| a == "--help" || a == "-h") {
+    if has_flag(&args, "--help") || has_flag(&args, "-h") {
         println!("{USAGE}");
         return;
     }
-    if args.iter().any(|a| a == "--list-schemes") {
+    if has_flag(&args, "--list-schemes") {
         for scheme in registry::schemes() {
             println!("{scheme}");
         }
         return;
     }
-    if args.iter().any(|a| a == "--print-template") {
+    if has_flag(&args, "--print-template") {
         println!("{}", ScenarioSpec::new("sprinklers", 32).to_json());
         return;
     }
 
     let spec = if let Some(path) = arg_value(&args, "--spec") {
-        let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| fail(&format!("cannot read spec file {path}: {e}")));
-        ScenarioSpec::from_json(&text).unwrap_or_else(|e| fail(&e.to_string()))
+        load_spec_file(&path)
     } else {
         let scheme = arg_value(&args, "--scheme").unwrap_or_else(|| "sprinklers".into());
         let n: usize = parse_flag(&args, "--n").unwrap_or(32);
@@ -81,7 +60,7 @@ fn main() {
             Some("diagonal") => TrafficSpec::Diagonal { load },
             Some(other) => fail(&format!("unknown --pattern {other} (uniform|diagonal)")),
         };
-        let run = if args.iter().any(|a| a == "--quick") {
+        let run = if has_flag(&args, "--quick") {
             RunConfig::quick()
         } else {
             RunConfig::default()

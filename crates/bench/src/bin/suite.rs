@@ -1,0 +1,161 @@
+//! Run a whole directory of scenario specs across every core.
+//!
+//! The suite runner is the entry point for figure-scale experiment batches:
+//! it loads every `*.json` [`ScenarioSpec`] in a directory, optionally
+//! crosses each with a scheme list and a load grid (the shape of the paper's
+//! Figures 6/7), fans the expanded cases out over a worker pool, and merges
+//! the per-run reports into one CSV — byte-identical at any worker count,
+//! because results are reassembled in case order and every run is seeded
+//! from its spec alone.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p sprinklers-bench --bin suite -- --dir specs/smoke
+//! cargo run --release -p sprinklers-bench --bin suite -- \
+//!     --dir specs/smoke --workers 4 --quick \
+//!     --schemes sprinklers,foff --loads 0.3,0.6,0.9 --out merged.csv
+//! ```
+
+use sprinklers_bench::cli::{arg_value, fail, has_flag, parse_flag, parse_list_flag};
+use sprinklers_sim::engine::RunConfig;
+use sprinklers_sim::parallel::{default_workers, run_specs_parallel};
+use sprinklers_sim::report::{merge_csv, SimReport};
+use sprinklers_sim::spec::{ScenarioSpec, SuiteSpec};
+
+const USAGE: &str = "\
+Run every ScenarioSpec JSON file in a directory, in parallel, and merge the
+reports into one CSV (stdout or --out).  A per-scheme summary goes to stderr.
+
+Usage:
+  suite --dir <specs-dir> [options]
+
+Options:
+  --dir <path>         directory of *.json ScenarioSpec files (required)
+  --workers <N>        worker threads (default: one per core; 0 means that too)
+  --schemes <a,b,c>    re-run every spec once per scheme (overrides the spec)
+  --loads <x,y,z>      re-run every (spec, scheme) once per offered load
+  --quick              shrink every run to the quick RunConfig
+  --out <file.csv>     write the merged CSV to a file instead of stdout
+
+The merged CSV is deterministic: same specs + seeds give byte-identical
+output at any --workers value.";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if has_flag(&args, "--help") || has_flag(&args, "-h") {
+        println!("{USAGE}");
+        return;
+    }
+
+    let dir = arg_value(&args, "--dir").unwrap_or_else(|| fail("--dir is required (see --help)"));
+    let workers = parse_flag::<usize>(&args, "--workers").unwrap_or(0);
+    let mut suite = SuiteSpec::new(&dir);
+    if let Some(schemes) = parse_list_flag::<String>(&args, "--schemes") {
+        suite = suite.with_schemes(schemes);
+    }
+    if let Some(loads) = parse_list_flag::<f64>(&args, "--loads") {
+        suite = suite.with_loads(loads);
+    }
+
+    let mut cases = suite.load_cases().unwrap_or_else(|e| fail(&e.to_string()));
+    if has_flag(&args, "--quick") {
+        for case in &mut cases {
+            case.spec.run = RunConfig::quick();
+        }
+    }
+
+    let effective_workers = if workers == 0 {
+        default_workers()
+    } else {
+        workers
+    };
+    eprintln!(
+        "suite: {} case(s) from {dir} across {effective_workers} worker(s)",
+        cases.len()
+    );
+
+    let specs: Vec<ScenarioSpec> = cases.iter().map(|c| c.spec.clone()).collect();
+    let t0 = std::time::Instant::now();
+    let results = run_specs_parallel(&specs, workers);
+    let elapsed = t0.elapsed();
+
+    // Fail on the earliest failing case (deterministic), naming it.
+    let mut reports: Vec<SimReport> = Vec::with_capacity(results.len());
+    for (case, result) in cases.iter().zip(results) {
+        match result {
+            Ok(report) => reports.push(report),
+            Err(e) => fail(&e.context(format!("case '{}'", case.name)).to_string()),
+        }
+    }
+
+    let csv = merge_csv(cases.iter().map(|c| c.name.as_str()).zip(reports.iter()));
+    match arg_value(&args, "--out") {
+        Some(path) => {
+            std::fs::write(&path, &csv)
+                .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+            eprintln!("suite: wrote {} rows to {path}", reports.len());
+        }
+        None => print!("{csv}"),
+    }
+
+    print_summary(&cases, &reports);
+    eprintln!(
+        "suite: {} run(s) in {:.2} s ({:.2} s/run effective)",
+        reports.len(),
+        elapsed.as_secs_f64(),
+        elapsed.as_secs_f64() / reports.len().max(1) as f64,
+    );
+}
+
+/// Per-scheme aggregate table on stderr, sorted by scheme name.
+fn print_summary(cases: &[sprinklers_sim::spec::SuiteCase], reports: &[SimReport]) {
+    struct Agg {
+        runs: usize,
+        delay_sum: f64,
+        worst_p99: u64,
+        reorders: u64,
+        min_delivery: f64,
+    }
+    let mut schemes: Vec<(String, Agg)> = Vec::new();
+    for (case, report) in cases.iter().zip(reports) {
+        let key = case.spec.scheme.clone();
+        let agg = match schemes.iter_mut().find(|(name, _)| *name == key) {
+            Some((_, agg)) => agg,
+            None => {
+                schemes.push((
+                    key,
+                    Agg {
+                        runs: 0,
+                        delay_sum: 0.0,
+                        worst_p99: 0,
+                        reorders: 0,
+                        min_delivery: f64::INFINITY,
+                    },
+                ));
+                &mut schemes.last_mut().unwrap().1
+            }
+        };
+        agg.runs += 1;
+        agg.delay_sum += report.delay.mean();
+        agg.worst_p99 = agg.worst_p99.max(report.delay.percentile(0.99));
+        agg.reorders += report.reordering.voq_reorder_events;
+        agg.min_delivery = agg.min_delivery.min(report.delivery_ratio());
+    }
+    schemes.sort_by(|a, b| a.0.cmp(&b.0));
+
+    eprintln!(
+        "{:<22} {:>5} {:>12} {:>10} {:>9} {:>9}",
+        "scheme", "runs", "mean_delay", "worst_p99", "reorders", "min_dlvr"
+    );
+    for (name, agg) in &schemes {
+        eprintln!(
+            "{:<22} {:>5} {:>12.2} {:>10} {:>9} {:>8.1}%",
+            name,
+            agg.runs,
+            agg.delay_sum / agg.runs as f64,
+            agg.worst_p99,
+            agg.reorders,
+            agg.min_delivery * 100.0,
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Minimal flag parsing and spec loading shared by the bench binaries.
+//!
+//! Every binary in this crate takes `--flag value` style arguments; these
+//! helpers keep the parsing (and its failure behaviour: print, exit 2)
+//! identical across `scenario`, `suite` and the figure drivers, and provide
+//! the one place that reads a [`ScenarioSpec`] from a JSON file.
+
+use sprinklers_sim::spec::ScenarioSpec;
+
+/// The value following `--flag`, if present.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// True if the bare flag is present.
+pub fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Print an error and exit with status 2 (usage / input error).
+pub fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Parse a flag's value, failing loudly on garbage instead of silently
+/// substituting the default (absent flag => `None` => caller's default).
+pub fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    arg_value(args, flag).map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| fail(&format!("invalid value '{v}' for {flag}")))
+    })
+}
+
+/// Parse a comma-separated list flag (e.g. `--loads 0.1,0.5,0.9`).  A
+/// present-but-empty list (e.g. an unset shell variable) is an error, not an
+/// empty vector — an empty override would silently expand every suite to
+/// zero cases.
+pub fn parse_list_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<Vec<T>> {
+    arg_value(args, flag).map(|v| {
+        let values: Vec<T> = v
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("invalid value '{s}' in {flag}")))
+            })
+            .collect();
+        if values.is_empty() {
+            fail(&format!("{flag} requires at least one value"));
+        }
+        values
+    })
+}
+
+/// Read and parse a `ScenarioSpec` JSON file, exiting with a clear message
+/// on I/O or parse failure.
+pub fn load_spec_file(path: &str) -> ScenarioSpec {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read spec file {path}: {e}")));
+    ScenarioSpec::from_json(&text).unwrap_or_else(|e| fail(&e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn arg_value_finds_the_following_token() {
+        let a = args(&["--n", "32", "--quick"]);
+        assert_eq!(arg_value(&a, "--n").as_deref(), Some("32"));
+        assert_eq!(arg_value(&a, "--quick"), None);
+        assert_eq!(arg_value(&a, "--missing"), None);
+        assert!(has_flag(&a, "--quick"));
+        assert!(!has_flag(&a, "--slow"));
+    }
+
+    #[test]
+    fn parse_flag_reads_typed_values() {
+        let a = args(&["--n", "32", "--load", "0.85"]);
+        assert_eq!(parse_flag::<usize>(&a, "--n"), Some(32));
+        assert_eq!(parse_flag::<f64>(&a, "--load"), Some(0.85));
+        assert_eq!(parse_flag::<usize>(&a, "--workers"), None);
+    }
+
+    #[test]
+    fn parse_list_flag_splits_on_commas() {
+        let a = args(&["--loads", "0.1, 0.5,0.9", "--schemes", "oq,foff"]);
+        assert_eq!(
+            parse_list_flag::<f64>(&a, "--loads"),
+            Some(vec![0.1, 0.5, 0.9])
+        );
+        assert_eq!(
+            parse_list_flag::<String>(&a, "--schemes"),
+            Some(vec!["oq".to_string(), "foff".to_string()])
+        );
+        assert_eq!(parse_list_flag::<f64>(&a, "--absent"), None);
+    }
+}

@@ -9,6 +9,7 @@
 //! | Ablation: input discipline × alignment | [`experiments::ablation_alignment`] | `ablation_alignment` |
 //! | Ablation: stripe sizing policy | [`experiments::ablation_sizing`] | `ablation_sizing` |
 //! | Any scheme × traffic × size (JSON `ScenarioSpec`) | — | `scenario` |
+//! | A directory of specs × scheme/load overrides, run in parallel | — | `suite` |
 //!
 //! Each binary prints a CSV to stdout; `cargo bench` (the `experiments_quick`
 //! bench target) runs reduced-size versions of all of them so the whole
@@ -21,4 +22,5 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod cli;
 pub mod experiments;

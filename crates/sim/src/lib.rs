@@ -7,11 +7,12 @@
 //! delay percentiles, throughput, queue occupancy and — crucially — packet
 //! reordering, both per VOQ and per application flow.
 //!
-//! The crate is organized around three pieces:
+//! The crate is organized around four pieces:
 //!
 //! * [`spec::ScenarioSpec`] — a declarative, serde-able description of one
 //!   run: `{ scheme, n, sizing, traffic, run, seed }`, with a JSON
-//!   round-trip for scenario files.
+//!   round-trip for scenario files.  [`spec::SuiteSpec`] lifts that to a
+//!   directory of spec files crossed with optional scheme/load overrides.
 //! * [`registry`] — builds any scheme by name (`registry::schemes()` lists
 //!   Sprinklers, its ablation variants, and all six baselines) as a
 //!   `Box<dyn Switch>`.
@@ -19,6 +20,9 @@
 //!   and produces a [`report::SimReport`].  Deliveries flow through the
 //!   [`metrics::MetricsSink`], so the steady-state loop performs no per-slot
 //!   heap allocation.
+//! * [`parallel::run_specs_parallel`] — fans many specs across worker
+//!   threads (one engine each) and reassembles results in submission order,
+//!   so sweeps and suites are deterministic at any worker count.
 //!
 //! # Example
 //!
@@ -39,6 +43,7 @@
 
 pub mod engine;
 pub mod metrics;
+pub mod parallel;
 pub mod registry;
 pub mod report;
 pub mod spec;
@@ -51,10 +56,14 @@ pub mod prelude {
     pub use crate::metrics::delay::DelayStats;
     pub use crate::metrics::reorder::ReorderStats;
     pub use crate::metrics::sink::MetricsSink;
+    pub use crate::parallel::{default_workers, run_specs_parallel, run_specs_parallel_ok};
     pub use crate::registry;
-    pub use crate::report::SimReport;
-    pub use crate::spec::{ScenarioSpec, SizingSpec, SpecError, TrafficSpec};
-    pub use crate::sweep::{paper_load_grid, sweep_loads, sweep_schemes, LoadSweepPoint};
+    pub use crate::report::{merge_csv, merged_csv_header, SimReport};
+    pub use crate::spec::{ScenarioSpec, SizingSpec, SpecError, SuiteCase, SuiteSpec, TrafficSpec};
+    pub use crate::sweep::{
+        grid_specs, paper_load_grid, sweep_loads, sweep_loads_with, sweep_schemes,
+        sweep_schemes_with, LoadSweepPoint,
+    };
     pub use crate::traffic::bernoulli::BernoulliTraffic;
     pub use crate::traffic::bursty::BurstyTraffic;
     pub use crate::traffic::flows::FlowTraffic;
@@ -63,6 +72,7 @@ pub mod prelude {
 }
 
 pub use engine::{Engine, RunConfig};
+pub use parallel::{run_specs_parallel, run_specs_parallel_ok};
 pub use report::SimReport;
-pub use spec::{ScenarioSpec, SizingSpec, SpecError, TrafficSpec};
+pub use spec::{ScenarioSpec, SizingSpec, SpecError, SuiteCase, SuiteSpec, TrafficSpec};
 pub use traffic::TrafficGenerator;

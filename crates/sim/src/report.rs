@@ -81,6 +81,28 @@ impl SimReport {
     }
 }
 
+/// Header of a merged multi-run CSV: a leading `case` column (the suite
+/// case label) followed by the standard [`SimReport::csv_header`] columns.
+pub fn merged_csv_header() -> String {
+    format!("case,{}", SimReport::csv_header())
+}
+
+/// Merge labeled reports into one CSV document — a single header plus one
+/// row per report, in input order.  This is what the `suite` binary emits;
+/// the determinism test asserts the output is byte-identical across worker
+/// counts, so keep the formatting free of anything run-dependent.
+pub fn merge_csv<'a>(rows: impl IntoIterator<Item = (&'a str, &'a SimReport)>) -> String {
+    let mut out = merged_csv_header();
+    out.push('\n');
+    for (case, report) in rows {
+        out.push_str(case);
+        out.push(',');
+        out.push_str(&report.csv_row());
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +149,24 @@ mod tests {
         r.offered_packets = 0;
         r.delivered_packets = 0;
         assert_eq!(r.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn merged_csv_has_one_header_and_one_row_per_report() {
+        let (a, b) = (dummy(), dummy());
+        let csv = merge_csv([("case-a", &a), ("case-b", &b)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], merged_csv_header());
+        assert!(lines[1].starts_with("case-a,sprinklers,"));
+        assert!(lines[2].starts_with("case-b,sprinklers,"));
+        // Every row matches the header's column count.
+        let cols = lines[0].split(',').count();
+        assert!(lines.iter().all(|l| l.split(',').count() == cols));
+    }
+
+    #[test]
+    fn merging_nothing_is_just_the_header() {
+        assert_eq!(merge_csv([]), format!("{}\n", merged_csv_header()));
     }
 }

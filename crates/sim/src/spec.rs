@@ -260,17 +260,17 @@ impl ScenarioSpec {
     pub fn from_json(text: &str) -> Result<Self, SpecError> {
         let value = json::parse(text)?;
         let obj = value.as_object("top level")?;
-        let mut spec = ScenarioSpec::new(obj.get_str("scheme")?, obj.get_num("n")? as usize);
+        let mut spec = ScenarioSpec::new(obj.get_str("scheme")?, obj.get_u64("n")? as usize);
         for (key, val) in &obj.entries {
             match key.as_str() {
                 "scheme" | "n" => {}
-                "seed" => spec.seed = val.as_number(key)? as u64,
+                "seed" => spec.seed = val.as_u64(key)?,
                 "run" => {
                     let run = val.as_object(key)?;
                     spec.run = RunConfig {
-                        slots: run.get_num("slots")? as u64,
-                        warmup_slots: run.get_num("warmup_slots")? as u64,
-                        drain_slots: run.get_num("drain_slots")? as u64,
+                        slots: run.get_u64("slots")?,
+                        warmup_slots: run.get_u64("warmup_slots")?,
+                        drain_slots: run.get_u64("drain_slots")?,
                     };
                 }
                 "sizing" => {
@@ -278,7 +278,7 @@ impl ScenarioSpec {
                     spec.sizing = match sizing.get_str("mode")?.as_str() {
                         "matrix" => SizingSpec::Matrix,
                         "adaptive" => SizingSpec::Adaptive,
-                        "fixed" => SizingSpec::Fixed(sizing.get_num("size")? as usize),
+                        "fixed" => SizingSpec::Fixed(sizing.get_u64("size")? as usize),
                         other => {
                             return Err(SpecError::new(format!("unknown sizing mode '{other}'")))
                         }
@@ -328,6 +328,132 @@ impl ScenarioSpec {
     }
 }
 
+/// A suite of scenarios: a directory of [`ScenarioSpec`] JSON files, plus
+/// optional scheme and load grid overrides that cross every base spec.
+///
+/// A suite is the unit the `suite` binary executes: the directory provides
+/// the base scenarios (sorted by file name, so expansion order — and
+/// therefore the merged CSV — is deterministic), and the overrides turn each
+/// base spec into a scheme × load grid, which is exactly the shape of the
+/// paper's figure experiments.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SuiteSpec {
+    /// Directory containing the `*.json` scenario files.
+    pub dir: std::path::PathBuf,
+    /// When set, each base spec is re-run once per scheme name, overriding
+    /// the spec's own scheme.
+    pub schemes: Option<Vec<String>>,
+    /// When set, each (spec, scheme) pair is re-run once per load,
+    /// overriding the spec traffic's load.
+    pub loads: Option<Vec<f64>>,
+}
+
+/// One expanded member of a suite: a stable name (file stem plus any
+/// override suffixes) and the fully resolved spec to run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteCase {
+    /// Deterministic case label, e.g. `smoke_uniform+foff@0.80`.
+    pub name: String,
+    /// The resolved scenario.
+    pub spec: ScenarioSpec,
+}
+
+impl SuiteSpec {
+    /// A suite over `dir` with no overrides.
+    pub fn new(dir: impl Into<std::path::PathBuf>) -> Self {
+        SuiteSpec {
+            dir: dir.into(),
+            schemes: None,
+            loads: None,
+        }
+    }
+
+    /// Cross every base spec with these scheme names.
+    #[must_use]
+    pub fn with_schemes(mut self, schemes: Vec<String>) -> Self {
+        self.schemes = Some(schemes);
+        self
+    }
+
+    /// Cross every (spec, scheme) pair with these offered loads.
+    #[must_use]
+    pub fn with_loads(mut self, loads: Vec<f64>) -> Self {
+        self.loads = Some(loads);
+        self
+    }
+
+    /// Read and parse every `*.json` file in the suite directory (sorted by
+    /// file name) and expand the scheme/load overrides into the full case
+    /// list.  Errors carry the offending file's path as context.
+    pub fn load_cases(&self) -> Result<Vec<SuiteCase>, SpecError> {
+        let entries = std::fs::read_dir(&self.dir).map_err(|e| {
+            SpecError::new(format!("cannot read suite dir {}: {e}", self.dir.display()))
+        })?;
+        let mut paths: Vec<std::path::PathBuf> = entries
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Err(SpecError::new(format!(
+                "no *.json scenario specs in {}",
+                self.dir.display()
+            )));
+        }
+        let mut cases = Vec::new();
+        for path in &paths {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| SpecError::new(format!("cannot read {}: {e}", path.display())))?;
+            let base = ScenarioSpec::from_json(&text)
+                .map_err(|e| e.context(format!("spec file {}", path.display())))?;
+            let stem = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "spec".to_string());
+            cases.extend(self.expand(&stem, &base));
+        }
+        Ok(cases)
+    }
+
+    /// Cross one base spec with the suite's overrides.  With no overrides
+    /// the base spec is the single case; each applied override is recorded
+    /// in the case name (`+scheme` / `@load`).
+    pub fn expand(&self, name: &str, base: &ScenarioSpec) -> Vec<SuiteCase> {
+        let schemes: Vec<Option<&str>> = match &self.schemes {
+            Some(list) => list.iter().map(|s| Some(s.as_str())).collect(),
+            None => vec![None],
+        };
+        let loads: Vec<Option<f64>> = match &self.loads {
+            Some(list) => list.iter().copied().map(Some).collect(),
+            None => vec![None],
+        };
+        let mut cases = Vec::with_capacity(schemes.len() * loads.len());
+        for scheme in &schemes {
+            for load in &loads {
+                let mut spec = base.clone();
+                let mut case_name = name.to_string();
+                if let Some(scheme) = scheme {
+                    spec.scheme = scheme.to_string();
+                    case_name.push('+');
+                    case_name.push_str(scheme);
+                }
+                if let Some(load) = *load {
+                    spec.traffic = spec.traffic.with_load(load);
+                    // Full float Display (shortest round-trip form), not a
+                    // rounded rendering: distinct loads must yield distinct
+                    // case names or merged CSV rows become unattributable.
+                    case_name.push_str(&format!("@{load}"));
+                }
+                cases.push(SuiteCase {
+                    name: case_name,
+                    spec,
+                });
+            }
+        }
+        cases
+    }
+}
+
 /// Escape a string for embedding in a JSON string literal, so
 /// [`ScenarioSpec::to_json`] round-trips through [`ScenarioSpec::from_json`]
 /// even when the (unvalidated-at-spec-level) scheme name contains quotes,
@@ -360,6 +486,16 @@ impl SpecError {
             message: message.into(),
         }
     }
+
+    /// Prefix the error with where it happened (a scheme name, a sweep point,
+    /// a spec file path), so grid and suite runners can attribute a failure
+    /// to the exact run that produced it.
+    #[must_use]
+    pub fn context(self, ctx: impl fmt::Display) -> Self {
+        SpecError {
+            message: format!("{ctx}: {}", self.message),
+        }
+    }
 }
 
 impl fmt::Display for SpecError {
@@ -375,11 +511,14 @@ mod json {
     use super::SpecError;
 
     // The spec format only needs objects, numbers and strings; booleans,
-    // null and arrays are rejected at parse time.
+    // null and arrays are rejected at parse time.  Numbers carry the exact
+    // u64 alongside the f64 when the literal is a plain non-negative
+    // integer, because seeds and slot counts exceed f64's 2^53 exact-integer
+    // range (a round-trip through f64 alone silently corrupts large seeds).
     #[derive(Debug, Clone)]
     pub(super) enum Value {
         Object(Object),
-        Number(f64),
+        Number { value: f64, integer: Option<u64> },
         String(String),
     }
 
@@ -409,6 +548,10 @@ mod json {
         pub fn get_num(&self, key: &str) -> Result<f64, SpecError> {
             self.get(key)?.as_number(key)
         }
+
+        pub fn get_u64(&self, key: &str) -> Result<u64, SpecError> {
+            self.get(key)?.as_u64(key)
+        }
     }
 
     impl Value {
@@ -423,9 +566,22 @@ mod json {
 
         pub fn as_number(&self, what: &str) -> Result<f64, SpecError> {
             match self {
-                Value::Number(x) => Ok(*x),
+                Value::Number { value, .. } => Ok(*value),
                 other => Err(SpecError::new(format!(
                     "{what} should be a number, got {other:?}"
+                ))),
+            }
+        }
+
+        /// The exact integer value — unlike [`Self::as_number`] this never
+        /// goes through f64, so 64-bit seeds round-trip losslessly.
+        pub fn as_u64(&self, what: &str) -> Result<u64, SpecError> {
+            match self {
+                Value::Number {
+                    integer: Some(i), ..
+                } => Ok(*i),
+                other => Err(SpecError::new(format!(
+                    "{what} should be a non-negative integer, got {other:?}"
                 ))),
             }
         }
@@ -571,12 +727,16 @@ mod json {
                     break;
                 }
             }
-            self.text[start..end]
+            let literal = &self.text[start..end];
+            let value = literal
                 .parse::<f64>()
-                .map(Value::Number)
-                .map_err(|e| {
-                    SpecError::new(format!("bad number '{}': {e}", &self.text[start..end]))
-                })
+                .map_err(|e| SpecError::new(format!("bad number '{literal}': {e}")))?;
+            Ok(Value::Number {
+                value,
+                // Plain digit strings keep their exact u64 so integer fields
+                // (seeds, slot counts) survive values beyond 2^53.
+                integer: literal.parse::<u64>().ok(),
+            })
         }
     }
 }
@@ -642,6 +802,28 @@ mod tests {
     }
 
     #[test]
+    fn seeds_beyond_f64_precision_round_trip_exactly() {
+        // Found by the spec_roundtrip_prop property suite: the JSON reader
+        // used to funnel integers through f64, corrupting seeds > 2^53.
+        for seed in [u64::MAX, u64::MAX - 1, (1 << 53) + 1, 16591238828776808448] {
+            let spec = ScenarioSpec::new("oq", 8).with_seed(seed);
+            let parsed = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(parsed.seed, seed);
+        }
+    }
+
+    #[test]
+    fn integer_fields_reject_fractional_values() {
+        for bad in [
+            r#"{"scheme": "oq", "n": 8.5}"#,
+            r#"{"scheme": "oq", "n": 8, "seed": 1.25}"#,
+            r#"{"scheme": "oq", "n": 8, "run": {"slots":1e3,"warmup_slots":0,"drain_slots":0}}"#,
+        ] {
+            assert!(ScenarioSpec::from_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
     fn missing_blocks_fall_back_to_defaults() {
         let spec = ScenarioSpec::from_json(r#"{"scheme": "oq", "n": 8}"#).unwrap();
         assert_eq!(spec, ScenarioSpec::new("oq", 8));
@@ -678,5 +860,101 @@ mod tests {
     fn label_is_compact() {
         let spec = ScenarioSpec::new("sprinklers", 32);
         assert_eq!(spec.label(), "sprinklers/n=32/uniform@0.60");
+    }
+
+    #[test]
+    fn context_prefixes_the_error_message() {
+        let err = SpecError::new("boom").context("file x.json");
+        assert_eq!(err.to_string(), "scenario spec error: file x.json: boom");
+    }
+
+    #[test]
+    fn suite_expand_without_overrides_is_the_base_spec() {
+        let base = ScenarioSpec::new("oq", 8);
+        let cases = SuiteSpec::new("unused").expand("case", &base);
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].name, "case");
+        assert_eq!(cases[0].spec, base);
+    }
+
+    #[test]
+    fn suite_expand_crosses_schemes_and_loads_deterministically() {
+        let base = ScenarioSpec::new("oq", 8);
+        let suite = SuiteSpec::new("unused")
+            .with_schemes(vec!["sprinklers".into(), "foff".into()])
+            .with_loads(vec![0.3, 0.9]);
+        let cases = suite.expand("base", &base);
+        assert_eq!(cases.len(), 4);
+        let names: Vec<&str> = cases.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "base+sprinklers@0.3",
+                "base+sprinklers@0.9",
+                "base+foff@0.3",
+                "base+foff@0.9",
+            ]
+        );
+        assert_eq!(cases[0].spec.scheme, "sprinklers");
+        assert_eq!(cases[3].spec.scheme, "foff");
+        assert_eq!(cases[3].spec.traffic.load(), 0.9);
+        // Everything not overridden is inherited from the base spec.
+        assert!(cases.iter().all(|c| c.spec.n == 8 && c.spec.seed == 1));
+    }
+
+    #[test]
+    fn suite_case_names_distinguish_nearby_loads() {
+        // Labels must never round loads: distinct override values need
+        // distinct case names or merged CSV rows become unattributable.
+        let base = ScenarioSpec::new("oq", 8);
+        let suite = SuiteSpec::new("unused").with_loads(vec![0.301, 0.299]);
+        let cases = suite.expand("x", &base);
+        assert_eq!(cases[0].name, "x@0.301");
+        assert_eq!(cases[1].name, "x@0.299");
+        let unique: std::collections::HashSet<&str> =
+            cases.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(unique.len(), cases.len());
+    }
+
+    #[test]
+    fn suite_loads_a_directory_sorted_by_file_name() {
+        let dir = std::env::temp_dir().join(format!("sprinklers-suite-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("b_second.json"),
+            ScenarioSpec::new("foff", 8).to_json(),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("a_first.json"),
+            ScenarioSpec::new("oq", 8).to_json(),
+        )
+        .unwrap();
+        std::fs::write(dir.join("ignored.txt"), "not a spec").unwrap();
+
+        let cases = SuiteSpec::new(&dir).load_cases().unwrap();
+        assert_eq!(cases.len(), 2);
+        assert_eq!(cases[0].name, "a_first");
+        assert_eq!(cases[0].spec.scheme, "oq");
+        assert_eq!(cases[1].name, "b_second");
+
+        // A malformed member file fails with the file path in the message.
+        std::fs::write(dir.join("c_bad.json"), "{ nope").unwrap();
+        let err = SuiteSpec::new(&dir).load_cases().unwrap_err().to_string();
+        assert!(err.contains("c_bad.json"), "{err}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn suite_rejects_missing_and_empty_directories() {
+        let missing = SuiteSpec::new("/nonexistent/sprinklers-suite");
+        assert!(missing.load_cases().is_err());
+
+        let dir = std::env::temp_dir().join(format!("sprinklers-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = SuiteSpec::new(&dir).load_cases().unwrap_err().to_string();
+        assert!(err.contains("no *.json"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

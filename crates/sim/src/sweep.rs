@@ -6,8 +6,15 @@
 //! every scheme and traffic pattern; [`sweep_schemes`] crosses a set of
 //! scheme names with a set of loads, which is exactly the shape of the
 //! paper's figures.
+//!
+//! Both sweeps delegate to [`crate::parallel::run_specs_parallel`]: the grid
+//! is expanded into plain [`ScenarioSpec`]s up front, executed across worker
+//! threads, and reassembled in grid order — so results are identical whether
+//! the sweep ran on one core or all of them.  The `*_with` variants take an
+//! explicit worker count (`0` = one per core); the original names keep their
+//! signatures and use every core.
 
-use crate::engine::Engine;
+use crate::parallel::run_specs_parallel;
 use crate::report::SimReport;
 use crate::spec::{ScenarioSpec, SpecError};
 use serde::{Deserialize, Serialize};
@@ -30,14 +37,34 @@ impl LoadSweepPoint {
     }
 }
 
-/// Run one simulation per load value, varying the base spec's traffic load.
-pub fn sweep_loads(base: &ScenarioSpec, loads: &[f64]) -> Result<Vec<LoadSweepPoint>, SpecError> {
-    let mut engine = Engine::new();
-    loads
-        .iter()
-        .map(|&load| {
-            let spec = base.clone().with_traffic(base.traffic.with_load(load));
-            let report = engine.run(&spec)?;
+/// Expand a scheme × load grid into one [`ScenarioSpec`] per point, in
+/// row-major (scheme-outer) order.  All points share the base spec's size,
+/// sizing policy, run length and seed.
+pub fn grid_specs(base: &ScenarioSpec, schemes: &[&str], loads: &[f64]) -> Vec<ScenarioSpec> {
+    let mut specs = Vec::with_capacity(schemes.len() * loads.len());
+    for &scheme in schemes {
+        for &load in loads {
+            let mut spec = base.clone().with_traffic(base.traffic.with_load(load));
+            spec.scheme = scheme.to_string();
+            specs.push(spec);
+        }
+    }
+    specs
+}
+
+/// Run a pre-expanded list of sweep specs across `workers` threads and wrap
+/// the reports as [`LoadSweepPoint`]s.  A failing point's error names the
+/// scheme and load that produced it; the earliest failing point (in grid
+/// order) wins, so errors are deterministic too.
+fn run_grid(specs: Vec<ScenarioSpec>, workers: usize) -> Result<Vec<LoadSweepPoint>, SpecError> {
+    let results = run_specs_parallel(&specs, workers);
+    specs
+        .into_iter()
+        .zip(results)
+        .map(|(spec, result)| {
+            let load = spec.traffic.load();
+            let report = result
+                .map_err(|e| e.context(format!("scheme '{}' at load {:.2}", spec.scheme, load)))?;
             Ok(LoadSweepPoint {
                 scheme: spec.scheme,
                 load,
@@ -47,20 +74,40 @@ pub fn sweep_loads(base: &ScenarioSpec, loads: &[f64]) -> Result<Vec<LoadSweepPo
         .collect()
 }
 
+/// Run one simulation per load value, varying the base spec's traffic load.
+/// Uses one worker thread per core; see [`sweep_loads_with`] to control it.
+pub fn sweep_loads(base: &ScenarioSpec, loads: &[f64]) -> Result<Vec<LoadSweepPoint>, SpecError> {
+    sweep_loads_with(base, loads, 0)
+}
+
+/// [`sweep_loads`] with an explicit worker count (`0` = one per core).
+pub fn sweep_loads_with(
+    base: &ScenarioSpec,
+    loads: &[f64],
+    workers: usize,
+) -> Result<Vec<LoadSweepPoint>, SpecError> {
+    run_grid(grid_specs(base, &[base.scheme.as_str()], loads), workers)
+}
+
 /// Cross a set of schemes with a set of loads (the shape of Figures 6/7).
 /// All runs share the base spec's size, sizing policy, run length and seed.
+/// Uses one worker thread per core; see [`sweep_schemes_with`] to control it.
 pub fn sweep_schemes(
     base: &ScenarioSpec,
     schemes: &[&str],
     loads: &[f64],
 ) -> Result<Vec<LoadSweepPoint>, SpecError> {
-    let mut out = Vec::with_capacity(schemes.len() * loads.len());
-    for &scheme in schemes {
-        let mut spec = base.clone();
-        spec.scheme = scheme.to_string();
-        out.extend(sweep_loads(&spec, loads)?);
-    }
-    Ok(out)
+    sweep_schemes_with(base, schemes, loads, 0)
+}
+
+/// [`sweep_schemes`] with an explicit worker count (`0` = one per core).
+pub fn sweep_schemes_with(
+    base: &ScenarioSpec,
+    schemes: &[&str],
+    loads: &[f64],
+    workers: usize,
+) -> Result<Vec<LoadSweepPoint>, SpecError> {
+    run_grid(grid_specs(base, schemes, loads), workers)
 }
 
 /// The load grid used by the paper's Figures 6 and 7 (0.1 … 0.95).
@@ -99,12 +146,66 @@ mod tests {
         let points = sweep_schemes(&base, &["oq", "baseline-lb"], &[0.2, 0.4, 0.6]).unwrap();
         assert_eq!(points.len(), 6);
         assert_eq!(points.iter().filter(|p| p.scheme == "oq").count(), 3);
+        // Grid order: scheme-outer, load-inner.
+        assert_eq!(points[0].scheme, "oq");
+        assert_eq!(points[0].load, 0.2);
+        assert_eq!(points[5].scheme, "baseline-lb");
+        assert_eq!(points[5].load, 0.6);
     }
 
     #[test]
     fn sweep_propagates_unknown_scheme_errors() {
         let base = ScenarioSpec::new("bogus", 8).with_run(RunConfig::quick());
         assert!(sweep_loads(&base, &[0.5]).is_err());
+    }
+
+    #[test]
+    fn sweep_schemes_errors_name_the_failing_scheme_and_load() {
+        let base = ScenarioSpec::new("sprinklers", 8).with_run(RunConfig::quick());
+        let err = sweep_schemes(&base, &["oq", "not-a-scheme", "foff"], &[0.2, 0.4])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("scheme 'not-a-scheme' at load 0.20"), "{err}");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_sweep_results() {
+        let base = ScenarioSpec::new("sprinklers", 8)
+            .with_run(RunConfig {
+                slots: 2_000,
+                warmup_slots: 200,
+                drain_slots: 4_000,
+            })
+            .with_seed(3);
+        let schemes = ["oq", "sprinklers"];
+        let loads = [0.3, 0.7];
+        let serial = sweep_schemes_with(&base, &schemes, &loads, 1).unwrap();
+        let parallel = sweep_schemes_with(&base, &schemes, &loads, 4).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.scheme, b.scheme);
+            assert_eq!(a.load, b.load);
+            assert_eq!(a.report.csv_row(), b.report.csv_row());
+        }
+    }
+
+    #[test]
+    fn grid_specs_expand_in_row_major_order() {
+        let base = ScenarioSpec::new("x", 8);
+        let specs = grid_specs(&base, &["a", "b"], &[0.1, 0.2]);
+        let labels: Vec<(String, f64)> = specs
+            .iter()
+            .map(|s| (s.scheme.clone(), s.traffic.load()))
+            .collect();
+        assert_eq!(
+            labels,
+            [
+                ("a".into(), 0.1),
+                ("a".into(), 0.2),
+                ("b".into(), 0.1),
+                ("b".into(), 0.2),
+            ]
+        );
     }
 
     #[test]

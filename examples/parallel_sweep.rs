@@ -1,0 +1,82 @@
+//! Serial vs parallel figure-grid execution.
+//!
+//! Runs the full 10-scheme × 10-load grid of the paper's figure experiments
+//! at n = 32 (shortened runs) twice — once on a single worker, once with one
+//! worker per core — verifies the two result sets are byte-identical, and
+//! prints the wall-clock comparison.  On a multi-core machine the parallel
+//! run wins by roughly the core count; on a single core it ties.
+//!
+//! ```text
+//! cargo run --release --example parallel_sweep
+//! ```
+
+use sprinklers_sim::engine::RunConfig;
+use sprinklers_sim::parallel::default_workers;
+use sprinklers_sim::registry;
+use sprinklers_sim::report::merge_csv;
+use sprinklers_sim::spec::ScenarioSpec;
+use sprinklers_sim::sweep::{paper_load_grid, sweep_schemes_with, LoadSweepPoint};
+
+fn main() {
+    let schemes: Vec<&str> = registry::schemes().to_vec();
+    let loads = paper_load_grid();
+    let base = ScenarioSpec::new("sprinklers", 32)
+        .with_run(RunConfig {
+            slots: 3_000,
+            warmup_slots: 300,
+            drain_slots: 6_000,
+        })
+        .with_seed(2014);
+
+    println!(
+        "grid: {} schemes x {} loads at n = {} ({} runs)",
+        schemes.len(),
+        loads.len(),
+        base.n,
+        schemes.len() * loads.len()
+    );
+
+    let t0 = std::time::Instant::now();
+    let serial = sweep_schemes_with(&base, &schemes, &loads, 1).unwrap();
+    let serial_time = t0.elapsed();
+
+    let workers = default_workers();
+    let t1 = std::time::Instant::now();
+    let parallel = sweep_schemes_with(&base, &schemes, &loads, 0).unwrap();
+    let parallel_time = t1.elapsed();
+
+    assert_eq!(
+        csv(&serial),
+        csv(&parallel),
+        "parallel results must be byte-identical to serial"
+    );
+
+    println!(
+        "serial   (1 worker):   {:>8.2} s",
+        serial_time.as_secs_f64()
+    );
+    println!(
+        "parallel ({workers} worker{}): {:>8.2} s",
+        if workers == 1 { "" } else { "s" },
+        parallel_time.as_secs_f64()
+    );
+    println!(
+        "speedup: {:.2}x (results byte-identical)",
+        serial_time.as_secs_f64() / parallel_time.as_secs_f64()
+    );
+
+    // A taste of the merged output: the first row per scheme.
+    println!("\nfirst point per scheme (load {:.2}):", loads[0]);
+    for point in parallel.iter().filter(|p| p.load == loads[0]) {
+        println!(
+            "  {:<22} mean delay {:>8.2} slots, reorders {}",
+            point.scheme,
+            point.mean_delay(),
+            point.report.reordering.voq_reorder_events
+        );
+    }
+}
+
+fn csv(points: &[LoadSweepPoint]) -> String {
+    merge_csv(points.iter().map(|p| (p.scheme.as_str(), &p.report)))
+}

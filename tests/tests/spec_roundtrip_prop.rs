@@ -1,0 +1,177 @@
+//! Property tests for the `ScenarioSpec` JSON round-trip.
+//!
+//! The scenario files the `suite` runner consumes are produced and parsed by
+//! the hand-rolled JSON in `spec.rs` (the offline serde shims are marker
+//! traits), so `parse(serialize(spec)) == spec` has to hold over the whole
+//! spec space, not just the handful of examples the unit tests pin.  These
+//! properties randomize every field — scheme (including hostile names),
+//! size, sizing mode, all five traffic patterns, run lengths and seeds —
+//! and also assert the *rejection* side: truncated or corrupted documents
+//! must fail to parse, never silently mis-parse.
+
+use proptest::prelude::*;
+use sprinklers_sim::engine::RunConfig;
+use sprinklers_sim::registry;
+use sprinklers_sim::spec::{ScenarioSpec, SizingSpec, TrafficSpec};
+
+/// Build a spec from randomized raw draws.  Index-based selection keeps the
+/// strategy surface inside what the proptest shim supports (ranges/tuples);
+/// one parameter per drawn value is the point, hence the argument count.
+#[allow(clippy::too_many_arguments)]
+fn spec_from_draws(
+    scheme_idx: usize,
+    n: usize,
+    sizing_idx: usize,
+    fixed_size: usize,
+    traffic_idx: usize,
+    load: f64,
+    aux_a: f64,
+    aux_b: f64,
+    run: (u64, u64, u64),
+    seed: u64,
+) -> ScenarioSpec {
+    // Registry names plus hostile strings the escaper must survive.
+    let hostile = ["quo\"te", "back\\slash", "new\nline", "tab\there"];
+    let scheme: &str = if scheme_idx < registry::schemes().len() {
+        registry::schemes()[scheme_idx]
+    } else {
+        hostile[(scheme_idx - registry::schemes().len()) % hostile.len()]
+    };
+    let sizing = match sizing_idx % 3 {
+        0 => SizingSpec::Matrix,
+        1 => SizingSpec::Adaptive,
+        _ => SizingSpec::Fixed(fixed_size),
+    };
+    let traffic = match traffic_idx % 5 {
+        0 => TrafficSpec::Uniform { load },
+        1 => TrafficSpec::Diagonal { load },
+        2 => TrafficSpec::Hotspot {
+            load,
+            hot_fraction: aux_a,
+        },
+        3 => TrafficSpec::Bursty {
+            load,
+            peak: aux_a,
+            mean_burst: 1.0 + aux_b * 100.0,
+        },
+        _ => TrafficSpec::Flows {
+            load,
+            mean_flow_len: 1.0 + aux_b * 50.0,
+        },
+    };
+    ScenarioSpec::new(scheme, n)
+        .with_sizing(sizing)
+        .with_traffic(traffic)
+        .with_run(RunConfig {
+            slots: run.0,
+            warmup_slots: run.1,
+            drain_slots: run.2,
+        })
+        .with_seed(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn json_round_trip_is_the_identity(
+        scheme_idx in 0usize..14,
+        n in 2usize..512,
+        sizing_idx in 0usize..3,
+        fixed_size in 1usize..64,
+        traffic_idx in 0usize..5,
+        load in 0.01f64..0.99,
+        aux_a in 0.05f64..1.0,
+        aux_b in 0.0f64..1.0,
+        run in (0u64..200_000, 0u64..50_000, 0u64..100_000),
+        seed in 0u64..u64::MAX,
+    ) {
+        let spec = spec_from_draws(
+            scheme_idx, n, sizing_idx, fixed_size, traffic_idx,
+            load, aux_a, aux_b, run, seed,
+        );
+        let json = spec.to_json();
+        let parsed = ScenarioSpec::from_json(&json);
+        prop_assert!(parsed.is_ok(), "serialize produced unparseable JSON: {json}");
+        prop_assert_eq!(parsed.unwrap(), spec);
+    }
+
+    #[test]
+    fn serialization_is_deterministic(
+        scheme_idx in 0usize..14,
+        n in 2usize..128,
+        traffic_idx in 0usize..5,
+        load in 0.01f64..0.99,
+        seed in 0u64..u64::MAX,
+    ) {
+        let spec = spec_from_draws(
+            scheme_idx, n, 0, 1, traffic_idx, load, 0.5, 0.5, (1000, 100, 1000), seed,
+        );
+        prop_assert_eq!(spec.to_json(), spec.clone().to_json());
+    }
+
+    #[test]
+    fn every_strict_prefix_is_rejected(
+        scheme_idx in 0usize..14,
+        n in 2usize..64,
+        traffic_idx in 0usize..5,
+        load in 0.01f64..0.99,
+        cut in 0.0f64..1.0,
+    ) {
+        // A truncated spec document must never parse: the top-level object's
+        // closing brace is always last, so any strict prefix is unbalanced.
+        let spec = spec_from_draws(
+            scheme_idx, n, 0, 1, traffic_idx, load, 0.5, 0.5, (1000, 100, 1000), 1,
+        );
+        let json = spec.to_json();
+        let mut end = ((json.len() as f64) * cut) as usize;
+        while end > 0 && !json.is_char_boundary(end) {
+            end -= 1;
+        }
+        prop_assume!(end < json.len());
+        prop_assert!(
+            ScenarioSpec::from_json(&json[..end]).is_err(),
+            "prefix of length {end} parsed"
+        );
+    }
+
+    #[test]
+    fn corrupted_key_names_are_rejected(
+        n in 2usize..64,
+        load in 0.01f64..0.99,
+        victim in 0usize..4,
+    ) {
+        // Renaming any required/known key must produce an error (unknown
+        // keys are rejected, and scheme/n are mandatory).
+        let spec = ScenarioSpec::new("oq", n).with_traffic(TrafficSpec::Uniform { load });
+        let json = spec.to_json();
+        let key = ["\"scheme\"", "\"n\"", "\"traffic\"", "\"seed\""][victim];
+        let broken = json.replacen(key, "\"bogus_key\"", 1);
+        prop_assert!(broken != json, "key {key} not present in {json}");
+        prop_assert!(ScenarioSpec::from_json(&broken).is_err());
+    }
+}
+
+#[test]
+fn structurally_malformed_documents_are_rejected() {
+    for bad in [
+        "",
+        "{",
+        "}",
+        "null",
+        "[1,2,3]",
+        "true",
+        r#"{"scheme": "oq"}"#,                   // missing n
+        r#"{"n": 8}"#,                           // missing scheme
+        r#"{"scheme": "oq", "n": "eight"}"#,     // wrong type
+        r#"{"scheme": "oq", "n": 8} trailing"#,  // trailing garbage
+        r#"{"scheme": "oq", "n": 8, "run": 3}"#, // run not an object
+        r#"{"scheme": "oq", "n": 8, "sizing": {"mode": "warp"}}"#,
+        r#"{"scheme": "oq", "n": 8, "traffic": {"pattern": "psychic", "load": 0.5}}"#,
+    ] {
+        assert!(
+            ScenarioSpec::from_json(bad).is_err(),
+            "malformed document parsed: {bad}"
+        );
+    }
+}
