@@ -10,10 +10,10 @@
 //! different queueing delays, so departures can be badly out of order.  The
 //! paper uses it as the delay lower bound in Figures 6 and 7.
 
-use crate::fabric::{first_fabric, second_fabric_output};
+use crate::fabric::{first_fabric_at, second_fabric_output_at};
 use crate::intermediate::SimpleIntermediate;
 use sprinklers_core::packet::{DeliveredPacket, Packet};
-use sprinklers_core::switch::{DeliverySink, Switch, SwitchStats};
+use sprinklers_core::switch::{step_batch_rotating, DeliverySink, Switch, SwitchStats};
 use std::collections::VecDeque;
 
 /// The baseline (unordered) load-balanced switch.
@@ -37,6 +37,29 @@ impl BaselineLbSwitch {
             departures: 0,
         }
     }
+
+    /// Advance one slot whose fabric phase `t == slot mod N` is already
+    /// reduced (shared by `step` and the phase-rotating `step_batch`).
+    fn step_at(&mut self, slot: u64, t: usize, sink: &mut dyn DeliverySink) {
+        // Second fabric first (store-and-forward).
+        for l in 0..self.n {
+            let output = second_fabric_output_at(l, t, self.n);
+            if let Some(packet) = self.intermediates[l].dequeue(output) {
+                self.departures += 1;
+                sink.deliver(DeliveredPacket::new(packet, slot));
+            }
+        }
+        // First fabric: every input forwards its head-of-line packet to the
+        // intermediate port it is connected to in this slot.
+        for i in 0..self.n {
+            if let Some(mut packet) = self.inputs[i].pop_front() {
+                let l = first_fabric_at(i, t, self.n);
+                packet.intermediate = l;
+                packet.stripe_size = 1;
+                self.intermediates[l].receive(packet);
+            }
+        }
+    }
 }
 
 impl Switch for BaselineLbSwitch {
@@ -55,24 +78,19 @@ impl Switch for BaselineLbSwitch {
     }
 
     fn step(&mut self, slot: u64, sink: &mut dyn DeliverySink) {
-        // Second fabric first (store-and-forward).
-        for l in 0..self.n {
-            let output = second_fabric_output(l, slot, self.n);
-            if let Some(packet) = self.intermediates[l].dequeue(output) {
-                self.departures += 1;
-                sink.deliver(DeliveredPacket::new(packet, slot));
+        let t = (slot % self.n as u64) as usize;
+        self.step_at(slot, t, sink);
+    }
+
+    fn step_batch(&mut self, first_slot: u64, count: u32, sink: &mut dyn DeliverySink) {
+        step_batch_rotating(self.n, first_slot, count, |slot, t| {
+            // An empty switch is a no-op to step; elide the rest of the batch.
+            if self.arrivals == self.departures {
+                return false;
             }
-        }
-        // First fabric: every input forwards its head-of-line packet to the
-        // intermediate port it is connected to in this slot.
-        for i in 0..self.n {
-            if let Some(mut packet) = self.inputs[i].pop_front() {
-                let l = first_fabric(i, slot, self.n);
-                packet.intermediate = l;
-                packet.stripe_size = 1;
-                self.intermediates[l].receive(packet);
-            }
-        }
+            self.step_at(slot, t, sink);
+            true
+        });
     }
 
     fn stats(&self) -> SwitchStats {

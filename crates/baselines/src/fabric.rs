@@ -9,13 +9,39 @@
 
 /// Intermediate port connected to `input` at slot `t` by the first fabric.
 pub fn first_fabric(input: usize, slot: u64, n: usize) -> usize {
-    (input + (slot % n as u64) as usize) % n
+    first_fabric_at(input, (slot % n as u64) as usize, n)
+}
+
+/// [`first_fabric`] with the fabric phase `t == slot mod n` already reduced.
+///
+/// The batched `step_batch` paths rotate `t` across a batch instead of
+/// recomputing the `u64` modulo once per port per slot.
+#[inline]
+pub fn first_fabric_at(input: usize, t: usize, n: usize) -> usize {
+    debug_assert!(t < n);
+    let l = input + t;
+    if l >= n {
+        l - n
+    } else {
+        l
+    }
 }
 
 /// Output port connected to `intermediate` at slot `t` by the second fabric.
 pub fn second_fabric_output(intermediate: usize, slot: u64, n: usize) -> usize {
-    let t = (slot % n as u64) as usize;
-    (intermediate + n - t) % n
+    second_fabric_output_at(intermediate, (slot % n as u64) as usize, n)
+}
+
+/// [`second_fabric_output`] with the phase `t == slot mod n` already reduced.
+#[inline]
+pub fn second_fabric_output_at(intermediate: usize, t: usize, n: usize) -> usize {
+    debug_assert!(t < n);
+    let j = intermediate + n - t;
+    if j >= n {
+        j - n
+    } else {
+        j
+    }
 }
 
 /// Intermediate port from which `output` receives at slot `t`.
@@ -47,6 +73,22 @@ mod tests {
                 let j = second_fabric_output(i, slot, n);
                 assert!(!seen_out[j]);
                 seen_out[j] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn phase_variants_agree_with_the_slot_variants() {
+        for n in [2usize, 8, 16] {
+            for slot in 0..3 * n as u64 {
+                let t = (slot % n as u64) as usize;
+                for p in 0..n {
+                    assert_eq!(first_fabric_at(p, t, n), first_fabric(p, slot, n));
+                    assert_eq!(
+                        second_fabric_output_at(p, t, n),
+                        second_fabric_output(p, slot, n)
+                    );
+                }
             }
         }
     }

@@ -11,12 +11,12 @@
 //! the baseline load-balanced switch, but FOFF avoids UFS's frame-building
 //! delay at light load.
 
-use crate::fabric::{first_fabric, second_fabric_output};
+use crate::fabric::{first_fabric_at, second_fabric_output_at};
 use crate::frame::{FrameInService, FrameVoq};
 use crate::intermediate::SimpleIntermediate;
 use crate::resequencer::Resequencer;
 use sprinklers_core::packet::{DeliveredPacket, Packet};
-use sprinklers_core::switch::{DeliverySink, Switch, SwitchStats};
+use sprinklers_core::switch::{step_batch_rotating, DeliverySink, Switch, SwitchStats};
 use std::collections::VecDeque;
 
 /// One FOFF input port.
@@ -67,6 +67,8 @@ pub struct FoffSwitch {
     inputs: Vec<FoffInput>,
     intermediates: Vec<SimpleIntermediate>,
     resequencers: Vec<Resequencer>,
+    /// Recycled frame buffers shared by every input (see [`UfsSwitch`]).
+    frame_pool: Vec<Vec<Packet>>,
     arrivals: u64,
     departures: u64,
 }
@@ -79,9 +81,54 @@ impl FoffSwitch {
             n,
             inputs: (0..n).map(|_| FoffInput::new(n)).collect(),
             intermediates: (0..n).map(|l| SimpleIntermediate::new(l, n)).collect(),
-            resequencers: (0..n).map(|_| Resequencer::new()).collect(),
+            resequencers: (0..n).map(|_| Resequencer::new(n)).collect(),
+            frame_pool: Vec::new(),
             arrivals: 0,
             departures: 0,
+        }
+    }
+
+    /// Advance one slot whose fabric phase `t == slot mod N` is already
+    /// reduced (shared by `step` and the phase-rotating `step_batch`).
+    fn step_at(&mut self, slot: u64, t: usize, sink: &mut dyn DeliverySink) {
+        // Second fabric: move packets into the output resequencers, then let
+        // each output release at most one in-order packet (its line rate).
+        for l in 0..self.n {
+            let output = second_fabric_output_at(l, t, self.n);
+            if let Some(packet) = self.intermediates[l].dequeue(output) {
+                self.resequencers[output].receive(packet);
+            }
+        }
+        for (output, reseq) in self.resequencers.iter_mut().enumerate() {
+            if let Some(packet) = reseq.release_one() {
+                debug_assert_eq!(packet.output, output);
+                self.departures += 1;
+                sink.deliver(DeliveredPacket::new(packet, slot));
+            }
+        }
+        // First fabric: full frames first, round-robin partial service
+        // otherwise.
+        for i in 0..self.n {
+            let connected = first_fabric_at(i, t, self.n);
+            let input = &mut self.inputs[i];
+            if input.in_service.is_none() && connected == 0 {
+                if let Some(frame) = input.ready_frames.pop_front() {
+                    input.in_service = Some(FrameInService::new(frame));
+                }
+            }
+            if let Some(svc) = &mut input.in_service {
+                debug_assert_eq!(svc.next_port(), connected);
+                let packet = svc.serve_next();
+                self.intermediates[connected].receive(packet);
+                if svc.finished() {
+                    let done = input.in_service.take().expect("frame is in service");
+                    self.frame_pool.push(done.recycle());
+                }
+            } else if let Some(mut packet) = input.pop_round_robin() {
+                packet.intermediate = connected;
+                packet.stripe_size = 1;
+                self.intermediates[connected].receive(packet);
+            }
         }
     }
 }
@@ -103,50 +150,28 @@ impl Switch for FoffSwitch {
         let input = &mut self.inputs[packet.input];
         let output = packet.output;
         input.voqs[output].push(packet);
-        if let Some(frame) = input.voqs[output].pop_full_frame(self.n) {
+        if input.voqs[output].len() >= self.n {
+            let mut frame = self.frame_pool.pop().unwrap_or_default();
+            let formed = input.voqs[output].pop_full_frame_into(self.n, &mut frame);
+            debug_assert!(formed);
             input.ready_frames.push_back(frame);
         }
     }
 
     fn step(&mut self, slot: u64, sink: &mut dyn DeliverySink) {
-        // Second fabric: move packets into the output resequencers, then let
-        // each output release at most one in-order packet (its line rate).
-        for l in 0..self.n {
-            let output = second_fabric_output(l, slot, self.n);
-            if let Some(packet) = self.intermediates[l].dequeue(output) {
-                self.resequencers[output].receive(packet);
+        let t = (slot % self.n as u64) as usize;
+        self.step_at(slot, t, sink);
+    }
+
+    fn step_batch(&mut self, first_slot: u64, count: u32, sink: &mut dyn DeliverySink) {
+        step_batch_rotating(self.n, first_slot, count, |slot, t| {
+            // An empty switch is a no-op to step; elide the rest of the batch.
+            if self.arrivals == self.departures {
+                return false;
             }
-        }
-        for (output, reseq) in self.resequencers.iter_mut().enumerate() {
-            if let Some(packet) = reseq.release_one() {
-                debug_assert_eq!(packet.output, output);
-                self.departures += 1;
-                sink.deliver(DeliveredPacket::new(packet, slot));
-            }
-        }
-        // First fabric: full frames first, round-robin partial service
-        // otherwise.
-        for i in 0..self.n {
-            let connected = first_fabric(i, slot, self.n);
-            let input = &mut self.inputs[i];
-            if input.in_service.is_none() && connected == 0 {
-                if let Some(frame) = input.ready_frames.pop_front() {
-                    input.in_service = Some(FrameInService::new(frame));
-                }
-            }
-            if let Some(svc) = &mut input.in_service {
-                debug_assert_eq!(svc.next_port(), connected);
-                let packet = svc.serve_next();
-                self.intermediates[connected].receive(packet);
-                if svc.finished() {
-                    input.in_service = None;
-                }
-            } else if let Some(mut packet) = input.pop_round_robin() {
-                packet.intermediate = connected;
-                packet.stripe_size = 1;
-                self.intermediates[connected].receive(packet);
-            }
-        }
+            self.step_at(slot, t, sink);
+            true
+        });
     }
 
     fn stats(&self) -> SwitchStats {

@@ -40,11 +40,22 @@ impl FrameVoq {
 
     /// Pop a full frame of `frame_size` packets if available.
     pub fn pop_full_frame(&mut self, frame_size: usize) -> Option<Vec<Packet>> {
-        if self.buffer.len() >= frame_size {
-            Some(self.buffer.drain(..frame_size).collect())
-        } else {
-            None
+        let mut frame = Vec::new();
+        self.pop_full_frame_into(frame_size, &mut frame)
+            .then_some(frame)
+    }
+
+    /// Pop a full frame of `frame_size` packets into a caller-provided buffer
+    /// (cleared first), returning whether a frame was available.  The buffer
+    /// comes from the switch's frame pool, so steady-state frame formation
+    /// reuses capacity instead of allocating a fresh `Vec` per frame.
+    pub fn pop_full_frame_into(&mut self, frame_size: usize, frame: &mut Vec<Packet>) -> bool {
+        frame.clear();
+        if self.buffer.len() < frame_size {
+            return false;
         }
+        frame.extend(self.buffer.drain(..frame_size));
+        true
     }
 
     /// Pop everything that is buffered and pad with fake packets up to
@@ -57,15 +68,30 @@ impl FrameVoq {
         output: usize,
         now: u64,
     ) -> Option<Vec<Packet>> {
+        let mut frame = Vec::new();
+        self.pop_padded_frame_into(frame_size, input, output, now, &mut frame)
+            .then_some(frame)
+    }
+
+    /// [`Self::pop_padded_frame`] into a caller-provided (pooled) buffer.
+    pub fn pop_padded_frame_into(
+        &mut self,
+        frame_size: usize,
+        input: usize,
+        output: usize,
+        now: u64,
+        frame: &mut Vec<Packet>,
+    ) -> bool {
+        frame.clear();
         if self.buffer.is_empty() {
-            return None;
+            return false;
         }
         let take = self.buffer.len().min(frame_size);
-        let mut frame: Vec<Packet> = self.buffer.drain(..take).collect();
+        frame.extend(self.buffer.drain(..take));
         while frame.len() < frame_size {
             frame.push(Packet::padding(input, output, now));
         }
-        Some(frame)
+        true
     }
 
     /// Pop the oldest buffered packet (used by FOFF's round-robin service of
@@ -117,6 +143,14 @@ impl FrameInService {
     pub fn remaining(&self) -> usize {
         self.packets.len() - self.next
     }
+
+    /// Tear down a finished frame and hand its (cleared) buffer back for
+    /// pooling, so the next frame formed at this switch reuses the capacity.
+    pub fn recycle(self) -> Vec<Packet> {
+        let mut buffer = self.packets;
+        buffer.clear();
+        buffer
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +201,30 @@ mod tests {
         }
         assert!(svc.finished());
         assert_eq!(svc.remaining(), 0);
+    }
+
+    #[test]
+    fn pooled_buffers_round_trip_through_frame_service() {
+        let mut voq = FrameVoq::new();
+        for i in 0..4 {
+            voq.push(pkt(i));
+        }
+        let mut buf = Vec::with_capacity(4);
+        assert!(voq.pop_full_frame_into(4, &mut buf));
+        assert_eq!(buf.len(), 4);
+        let cap = buf.capacity();
+        let mut svc = FrameInService::new(buf);
+        while !svc.finished() {
+            svc.serve_next();
+        }
+        let recycled = svc.recycle();
+        assert!(recycled.is_empty());
+        assert_eq!(recycled.capacity(), cap, "capacity survives recycling");
+        // An empty VOQ leaves the buffer cleared and reports no frame.
+        let mut buf = recycled;
+        assert!(!voq.pop_full_frame_into(4, &mut buf));
+        assert!(!voq.pop_padded_frame_into(4, 0, 1, 0, &mut buf));
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -9,11 +9,11 @@
 //! UFS's frame-accumulation delay at light load while preserving packet
 //! order (padding does not disturb the equal-queue-length invariant).
 
-use crate::fabric::{first_fabric, second_fabric_output};
+use crate::fabric::{first_fabric_at, second_fabric_output_at};
 use crate::frame::{FrameInService, FrameVoq};
 use crate::intermediate::SimpleIntermediate;
 use sprinklers_core::packet::{DeliveredPacket, Packet};
-use sprinklers_core::switch::{DeliverySink, Switch, SwitchStats};
+use sprinklers_core::switch::{step_batch_rotating, DeliverySink, Switch, SwitchStats};
 use std::collections::VecDeque;
 
 /// One PF input port.
@@ -62,9 +62,12 @@ pub struct PaddedFramesSwitch {
     threshold: usize,
     inputs: Vec<PfInput>,
     intermediates: Vec<SimpleIntermediate>,
+    /// Recycled frame buffers shared by every input (see [`crate::UfsSwitch`]).
+    frame_pool: Vec<Vec<Packet>>,
     arrivals: u64,
     departures: u64,
     padding_sent: u64,
+    padding_delivered: u64,
 }
 
 impl PaddedFramesSwitch {
@@ -82,9 +85,11 @@ impl PaddedFramesSwitch {
             threshold,
             inputs: (0..n).map(|_| PfInput::new(n)).collect(),
             intermediates: (0..n).map(|l| SimpleIntermediate::new(l, n)).collect(),
+            frame_pool: Vec::new(),
             arrivals: 0,
             departures: 0,
             padding_sent: 0,
+            padding_delivered: 0,
         }
     }
 
@@ -96,6 +101,56 @@ impl PaddedFramesSwitch {
     /// Number of fake packets transmitted so far.
     pub fn padding_sent(&self) -> u64 {
         self.padding_sent
+    }
+
+    /// Advance one slot whose fabric phase `t == slot mod N` is already
+    /// reduced (shared by `step` and the phase-rotating `step_batch`).
+    fn step_at(&mut self, slot: u64, t: usize, sink: &mut dyn DeliverySink) {
+        for l in 0..self.n {
+            let output = second_fabric_output_at(l, t, self.n);
+            if let Some(packet) = self.intermediates[l].dequeue(output) {
+                if packet.is_padding {
+                    self.padding_delivered += 1;
+                } else {
+                    self.departures += 1;
+                }
+                sink.deliver(DeliveredPacket::new(packet, slot));
+            }
+        }
+        for i in 0..self.n {
+            let connected = first_fabric_at(i, t, self.n);
+            let input = &mut self.inputs[i];
+            if input.in_service.is_none() && connected == 0 {
+                // Full frames first; otherwise pad the longest VOQ if it has
+                // reached the threshold.
+                if let Some(frame) = input.ready_frames.pop_front() {
+                    input.in_service = Some(FrameInService::new(frame));
+                } else {
+                    let (longest, len) = input.longest_voq();
+                    if len >= self.threshold {
+                        let mut frame = self.frame_pool.pop().unwrap_or_default();
+                        if input.voqs[longest]
+                            .pop_padded_frame_into(self.n, i, longest, slot, &mut frame)
+                        {
+                            self.padding_sent +=
+                                frame.iter().filter(|p| p.is_padding).count() as u64;
+                            input.in_service = Some(FrameInService::new(frame));
+                        } else {
+                            self.frame_pool.push(frame);
+                        }
+                    }
+                }
+            }
+            if let Some(svc) = &mut input.in_service {
+                debug_assert_eq!(svc.next_port(), connected);
+                let packet = svc.serve_next();
+                self.intermediates[connected].receive(packet);
+                if svc.finished() {
+                    let done = input.in_service.take().expect("frame is in service");
+                    self.frame_pool.push(done.recycle());
+                }
+            }
+        }
     }
 }
 
@@ -114,51 +169,30 @@ impl Switch for PaddedFramesSwitch {
         let input = &mut self.inputs[packet.input];
         let output = packet.output;
         input.voqs[output].push(packet);
-        if let Some(frame) = input.voqs[output].pop_full_frame(self.n) {
+        if input.voqs[output].len() >= self.n {
+            let mut frame = self.frame_pool.pop().unwrap_or_default();
+            let formed = input.voqs[output].pop_full_frame_into(self.n, &mut frame);
+            debug_assert!(formed);
             input.ready_frames.push_back(frame);
         }
     }
 
     fn step(&mut self, slot: u64, sink: &mut dyn DeliverySink) {
-        for l in 0..self.n {
-            let output = second_fabric_output(l, slot, self.n);
-            if let Some(packet) = self.intermediates[l].dequeue(output) {
-                if !packet.is_padding {
-                    self.departures += 1;
-                }
-                sink.deliver(DeliveredPacket::new(packet, slot));
+        let t = (slot % self.n as u64) as usize;
+        self.step_at(slot, t, sink);
+    }
+
+    fn step_batch(&mut self, first_slot: u64, count: u32, sink: &mut dyn DeliverySink) {
+        step_batch_rotating(self.n, first_slot, count, |slot, t| {
+            // An empty switch is a no-op to step; elide the rest of the
+            // batch.  "Empty" must count in-flight padding too: fake packets
+            // occupy the fabric and still have to be flushed to the outputs.
+            if self.arrivals == self.departures && self.padding_sent == self.padding_delivered {
+                return false;
             }
-        }
-        for i in 0..self.n {
-            let connected = first_fabric(i, slot, self.n);
-            let input = &mut self.inputs[i];
-            if input.in_service.is_none() && connected == 0 {
-                // Full frames first; otherwise pad the longest VOQ if it has
-                // reached the threshold.
-                if let Some(frame) = input.ready_frames.pop_front() {
-                    input.in_service = Some(FrameInService::new(frame));
-                } else {
-                    let (longest, len) = input.longest_voq();
-                    if len >= self.threshold {
-                        if let Some(frame) =
-                            input.voqs[longest].pop_padded_frame(self.n, i, longest, slot)
-                        {
-                            self.padding_sent +=
-                                frame.iter().filter(|p| p.is_padding).count() as u64;
-                            input.in_service = Some(FrameInService::new(frame));
-                        }
-                    }
-                }
-            }
-            if let Some(svc) = &mut input.in_service {
-                debug_assert_eq!(svc.next_port(), connected);
-                let packet = svc.serve_next();
-                self.intermediates[connected].receive(packet);
-                if svc.finished() {
-                    input.in_service = None;
-                }
-            }
-        }
+            self.step_at(slot, t, sink);
+            true
+        });
     }
 
     fn stats(&self) -> SwitchStats {

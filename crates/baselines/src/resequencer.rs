@@ -5,38 +5,60 @@
 //! therefore keeps a resequencing buffer: packets are held until every
 //! earlier packet of the same VOQ has departed, and the output releases at
 //! most one packet per time slot (its line rate).
+//!
+//! The buffer is deliberately allocation-free in steady state: per-input
+//! state lives in flat `Vec`s sized at construction (an output's resequencer
+//! only ever sees packets from the switch's `N` inputs), the out-of-order
+//! packets of each input sit in a small sorted vector rather than a
+//! node-allocating `BTreeMap`, and every container keeps its capacity across
+//! the fill/drain cycle.  FOFF's per-packet `receive` therefore stops heap
+//! allocating once the buffers have warmed up, which is what lets the
+//! batched `step_batch` path run allocation-free end to end.
 
 use sprinklers_core::packet::Packet;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::VecDeque;
 
-/// A per-output resequencer.
+/// A per-output resequencer of an `n`-input switch.
 ///
 /// Packets of each VOQ must carry strictly increasing `voq_seq` values in
 /// arrival order (the simulation harness guarantees this); the resequencer
 /// releases them in exactly that order.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Resequencer {
-    /// Buffered out-of-order packets per input, keyed by sequence number.
-    pending: HashMap<usize, BTreeMap<u64, Packet>>,
-    /// Next expected sequence per input (populated lazily from the arrival
-    /// log the switch feeds us).
-    expected: HashMap<usize, VecDeque<u64>>,
+    /// Buffered out-of-order packets per input, sorted by **descending**
+    /// `voq_seq` so the next candidate (the smallest) pops from the tail.
+    pending: Vec<Vec<Packet>>,
+    /// Next expected sequence numbers per input, in release order (populated
+    /// from the arrival log the switch feeds us).
+    expected: Vec<VecDeque<u64>>,
     /// Packets ready to depart, in the order they became ready.
     ready: VecDeque<Packet>,
     buffered: usize,
 }
 
 impl Resequencer {
-    /// Create an empty resequencer.
-    pub fn new() -> Self {
-        Self::default()
+    /// Create an empty resequencer for an `n`-input switch.
+    ///
+    /// The per-input out-of-order buffers are pre-sized to `2n`: FOFF's
+    /// uncommitted packets race across at most the `n` intermediate paths,
+    /// so per-input displacement beyond that is rare and the usual fill /
+    /// drain cycle never reallocates.
+    pub fn new(n: usize) -> Self {
+        Resequencer {
+            pending: (0..n).map(|_| Vec::with_capacity(2 * n)).collect(),
+            expected: (0..n).map(|_| VecDeque::with_capacity(2 * n)).collect(),
+            // A single promote can release a whole blocked backlog at once,
+            // so the ready line-rate queue gets the same headroom.
+            ready: VecDeque::with_capacity(4 * n),
+            buffered: 0,
+        }
     }
 
     /// Record that a packet with this `(input, voq_seq)` was accepted by the
     /// switch, so the resequencer knows the order in which to release packets
     /// of that VOQ.  Must be called in arrival order.
     pub fn note_arrival(&mut self, input: usize, voq_seq: u64) {
-        self.expected.entry(input).or_default().push_back(voq_seq);
+        self.expected[input].push_back(voq_seq);
     }
 
     /// Accept a (possibly out-of-order) packet from the second fabric.
@@ -47,10 +69,9 @@ impl Resequencer {
             return;
         }
         let input = packet.input;
-        self.pending
-            .entry(input)
-            .or_default()
-            .insert(packet.voq_seq, packet);
+        let pending = &mut self.pending[input];
+        let pos = pending.partition_point(|p| p.voq_seq > packet.voq_seq);
+        pending.insert(pos, packet);
         self.buffered += 1;
         self.promote(input);
     }
@@ -67,20 +88,16 @@ impl Resequencer {
     }
 
     fn promote(&mut self, input: usize) {
-        let Some(expected) = self.expected.get_mut(&input) else {
-            return;
-        };
-        let Some(pending) = self.pending.get_mut(&input) else {
-            return;
-        };
-        while let Some(&next_seq) = expected.front() {
-            if let Some(packet) = pending.remove(&next_seq) {
-                expected.pop_front();
-                self.buffered -= 1;
-                self.ready.push_back(packet);
-            } else {
+        let expected = &mut self.expected[input];
+        let pending = &mut self.pending[input];
+        while let (Some(&next_seq), Some(candidate)) = (expected.front(), pending.last()) {
+            if candidate.voq_seq != next_seq {
                 break;
             }
+            let packet = pending.pop().expect("checked last above");
+            expected.pop_front();
+            self.buffered -= 1;
+            self.ready.push_back(packet);
         }
     }
 }
@@ -95,7 +112,7 @@ mod tests {
 
     #[test]
     fn in_order_packets_flow_straight_through() {
-        let mut r = Resequencer::new();
+        let mut r = Resequencer::new(4);
         for seq in 0..5 {
             r.note_arrival(0, seq);
         }
@@ -108,7 +125,7 @@ mod tests {
 
     #[test]
     fn out_of_order_packets_are_held_back() {
-        let mut r = Resequencer::new();
+        let mut r = Resequencer::new(8);
         for seq in 0..3 {
             r.note_arrival(4, seq);
         }
@@ -125,7 +142,7 @@ mod tests {
 
     #[test]
     fn one_release_per_call_models_the_line_rate() {
-        let mut r = Resequencer::new();
+        let mut r = Resequencer::new(2);
         for seq in 0..4 {
             r.note_arrival(1, seq);
         }
@@ -142,7 +159,7 @@ mod tests {
 
     #[test]
     fn inputs_are_independent() {
-        let mut r = Resequencer::new();
+        let mut r = Resequencer::new(2);
         r.note_arrival(0, 0);
         r.note_arrival(1, 0);
         r.receive(pkt(1, 0));
@@ -153,7 +170,7 @@ mod tests {
     fn non_contiguous_sequence_numbers_are_handled() {
         // FOFF only needs relative order; the harness's voq_seq values are
         // contiguous, but the resequencer must not assume that.
-        let mut r = Resequencer::new();
+        let mut r = Resequencer::new(1);
         r.note_arrival(0, 10);
         r.note_arrival(0, 20);
         r.receive(pkt(0, 20));
@@ -161,5 +178,28 @@ mod tests {
         r.receive(pkt(0, 10));
         assert_eq!(r.release_one().unwrap().voq_seq, 10);
         assert_eq!(r.release_one().unwrap().voq_seq, 20);
+    }
+
+    #[test]
+    fn steady_state_cycle_retains_capacity() {
+        // Fill/drain the same input repeatedly: the internal vectors must
+        // reuse their capacity rather than reallocating each cycle.
+        let mut r = Resequencer::new(2);
+        let mut seq = 0u64;
+        for _ in 0..100 {
+            for k in 0..8 {
+                r.note_arrival(0, seq + k);
+            }
+            for k in (0..8).rev() {
+                r.receive(pkt(0, seq + k));
+            }
+            seq += 8;
+            let mut got = 0;
+            while r.release_one().is_some() {
+                got += 1;
+            }
+            assert_eq!(got, 8);
+            assert_eq!(r.buffered_packets(), 0);
+        }
     }
 }

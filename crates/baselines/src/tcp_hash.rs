@@ -8,10 +8,10 @@
 //! load-aware, variable-size striping).  Per-VOQ order is *not* preserved:
 //! different flows of the same VOQ may take different paths.
 
-use crate::fabric::{first_fabric, second_fabric_output};
+use crate::fabric::{first_fabric_at, second_fabric_output_at};
 use crate::intermediate::SimpleIntermediate;
 use sprinklers_core::packet::{DeliveredPacket, Packet};
-use sprinklers_core::switch::{DeliverySink, Switch, SwitchStats};
+use sprinklers_core::switch::{step_batch_rotating, DeliverySink, Switch, SwitchStats};
 use std::collections::VecDeque;
 
 /// One TCP-hashing input port: a FIFO per intermediate port.
@@ -22,7 +22,14 @@ struct HashInput {
 impl HashInput {
     fn new(n: usize) -> Self {
         HashInput {
-            per_intermediate: (0..n).map(|_| VecDeque::new()).collect(),
+            // Pre-sized so the modest per-path queues of a stable run never
+            // hit a first-time capacity growth on the hot arrive path.  The
+            // cap keeps the up-front cost linear-per-queue at large N (there
+            // are n² queues per switch, so an uncapped 2n here would be
+            // cubic in ports).
+            per_intermediate: (0..n)
+                .map(|_| VecDeque::with_capacity((2 * n).min(32)))
+                .collect(),
         }
     }
 
@@ -66,6 +73,26 @@ impl TcpHashSwitch {
         x ^= x >> 31;
         (x % self.n as u64) as usize
     }
+
+    /// Advance one slot whose fabric phase `t == slot mod N` is already
+    /// reduced (shared by `step` and the phase-rotating `step_batch`).
+    fn step_at(&mut self, slot: u64, t: usize, sink: &mut dyn DeliverySink) {
+        for l in 0..self.n {
+            let output = second_fabric_output_at(l, t, self.n);
+            if let Some(packet) = self.intermediates[l].dequeue(output) {
+                self.departures += 1;
+                sink.deliver(DeliveredPacket::new(packet, slot));
+            }
+        }
+        for i in 0..self.n {
+            let l = first_fabric_at(i, t, self.n);
+            if let Some(mut packet) = self.inputs[i].per_intermediate[l].pop_front() {
+                packet.intermediate = l;
+                packet.stripe_size = 1;
+                self.intermediates[l].receive(packet);
+            }
+        }
+    }
 }
 
 impl Switch for TcpHashSwitch {
@@ -85,21 +112,19 @@ impl Switch for TcpHashSwitch {
     }
 
     fn step(&mut self, slot: u64, sink: &mut dyn DeliverySink) {
-        for l in 0..self.n {
-            let output = second_fabric_output(l, slot, self.n);
-            if let Some(packet) = self.intermediates[l].dequeue(output) {
-                self.departures += 1;
-                sink.deliver(DeliveredPacket::new(packet, slot));
+        let t = (slot % self.n as u64) as usize;
+        self.step_at(slot, t, sink);
+    }
+
+    fn step_batch(&mut self, first_slot: u64, count: u32, sink: &mut dyn DeliverySink) {
+        step_batch_rotating(self.n, first_slot, count, |slot, t| {
+            // An empty switch is a no-op to step; elide the rest of the batch.
+            if self.arrivals == self.departures {
+                return false;
             }
-        }
-        for i in 0..self.n {
-            let l = first_fabric(i, slot, self.n);
-            if let Some(mut packet) = self.inputs[i].per_intermediate[l].pop_front() {
-                packet.intermediate = l;
-                packet.stripe_size = 1;
-                self.intermediates[l].receive(packet);
-            }
-        }
+            self.step_at(slot, t, sink);
+            true
+        });
     }
 
     fn stats(&self) -> SwitchStats {

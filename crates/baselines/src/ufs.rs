@@ -14,11 +14,11 @@
 //! packets (the O(N³) worst case the paper cites), which is exactly the
 //! behaviour Figures 6 and 7 show and Sprinklers is designed to avoid.
 
-use crate::fabric::{first_fabric, second_fabric_output};
+use crate::fabric::{first_fabric_at, second_fabric_output_at};
 use crate::frame::{FrameInService, FrameVoq};
 use crate::intermediate::SimpleIntermediate;
 use sprinklers_core::packet::{DeliveredPacket, Packet};
-use sprinklers_core::switch::{DeliverySink, Switch, SwitchStats};
+use sprinklers_core::switch::{step_batch_rotating, DeliverySink, Switch, SwitchStats};
 use std::collections::VecDeque;
 
 /// One UFS input port.
@@ -53,6 +53,10 @@ pub struct UfsSwitch {
     n: usize,
     inputs: Vec<UfsInput>,
     intermediates: Vec<SimpleIntermediate>,
+    /// Recycled frame buffers: frames finished by any input return here and
+    /// are reused by the next frame formed, so steady-state frame formation
+    /// performs no heap allocation.
+    frame_pool: Vec<Vec<Packet>>,
     arrivals: u64,
     departures: u64,
 }
@@ -65,8 +69,41 @@ impl UfsSwitch {
             n,
             inputs: (0..n).map(|_| UfsInput::new(n)).collect(),
             intermediates: (0..n).map(|l| SimpleIntermediate::new(l, n)).collect(),
+            frame_pool: Vec::new(),
             arrivals: 0,
             departures: 0,
+        }
+    }
+
+    /// Advance one slot whose fabric phase `t == slot mod N` is already
+    /// reduced (shared by `step` and the phase-rotating `step_batch`).
+    fn step_at(&mut self, slot: u64, t: usize, sink: &mut dyn DeliverySink) {
+        for l in 0..self.n {
+            let output = second_fabric_output_at(l, t, self.n);
+            if let Some(packet) = self.intermediates[l].dequeue(output) {
+                self.departures += 1;
+                sink.deliver(DeliveredPacket::new(packet, slot));
+            }
+        }
+        for i in 0..self.n {
+            let connected = first_fabric_at(i, t, self.n);
+            let input = &mut self.inputs[i];
+            // Start a new frame only when connected to intermediate port 0, so
+            // that packet k of every frame lands on intermediate port k.
+            if input.in_service.is_none() && connected == 0 {
+                if let Some(frame) = input.ready_frames.pop_front() {
+                    input.in_service = Some(FrameInService::new(frame));
+                }
+            }
+            if let Some(svc) = &mut input.in_service {
+                debug_assert_eq!(svc.next_port(), connected);
+                let packet = svc.serve_next();
+                self.intermediates[connected].receive(packet);
+                if svc.finished() {
+                    let done = input.in_service.take().expect("frame is in service");
+                    self.frame_pool.push(done.recycle());
+                }
+            }
         }
     }
 }
@@ -86,38 +123,28 @@ impl Switch for UfsSwitch {
         let input = &mut self.inputs[packet.input];
         let output = packet.output;
         input.voqs[output].push(packet);
-        if let Some(frame) = input.voqs[output].pop_full_frame(self.n) {
+        if input.voqs[output].len() >= self.n {
+            let mut frame = self.frame_pool.pop().unwrap_or_default();
+            let formed = input.voqs[output].pop_full_frame_into(self.n, &mut frame);
+            debug_assert!(formed);
             input.ready_frames.push_back(frame);
         }
     }
 
     fn step(&mut self, slot: u64, sink: &mut dyn DeliverySink) {
-        for l in 0..self.n {
-            let output = second_fabric_output(l, slot, self.n);
-            if let Some(packet) = self.intermediates[l].dequeue(output) {
-                self.departures += 1;
-                sink.deliver(DeliveredPacket::new(packet, slot));
+        let t = (slot % self.n as u64) as usize;
+        self.step_at(slot, t, sink);
+    }
+
+    fn step_batch(&mut self, first_slot: u64, count: u32, sink: &mut dyn DeliverySink) {
+        step_batch_rotating(self.n, first_slot, count, |slot, t| {
+            // An empty switch is a no-op to step; elide the rest of the batch.
+            if self.arrivals == self.departures {
+                return false;
             }
-        }
-        for i in 0..self.n {
-            let connected = first_fabric(i, slot, self.n);
-            let input = &mut self.inputs[i];
-            // Start a new frame only when connected to intermediate port 0, so
-            // that packet k of every frame lands on intermediate port k.
-            if input.in_service.is_none() && connected == 0 {
-                if let Some(frame) = input.ready_frames.pop_front() {
-                    input.in_service = Some(FrameInService::new(frame));
-                }
-            }
-            if let Some(svc) = &mut input.in_service {
-                debug_assert_eq!(svc.next_port(), connected);
-                let packet = svc.serve_next();
-                self.intermediates[connected].receive(packet);
-                if svc.finished() {
-                    input.in_service = None;
-                }
-            }
-        }
+            self.step_at(slot, t, sink);
+            true
+        });
     }
 
     fn stats(&self) -> SwitchStats {

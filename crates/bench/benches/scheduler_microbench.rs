@@ -153,12 +153,79 @@ fn bench_step_into_reusable_sink(c: &mut Criterion) {
     group.finish();
 }
 
+/// The batched companion of `sprinklers_step_into_sink`: slots/sec of
+/// `Switch::step_batch` through a `Box<dyn Switch>` (the same dispatch path
+/// the engine uses) at batch ∈ {1, 16, 64} and n = 64, in the arrival-sparse
+/// regime that batching targets — the shape of the engine's drain phase,
+/// which is 50k arrival-free slots per run under the default `RunConfig`.
+///
+/// Each window injects one burst (one packet per input) and then steps the
+/// window in `batch`-sized chunks: the switch goes busy for the ~2N slots
+/// the burst needs to cross both fabrics and is empty for the rest.  The
+/// window length (48k slots) matches the default `RunConfig`'s 50k-slot
+/// drain phase, so the idle:busy ratio is the one a real engine run ends
+/// with.  Every batch size steps the *exact same* switch trajectory (that is
+/// the `step_batch` equivalence contract), so the measured difference is
+/// purely what the batch amortizes: one virtual call per chunk instead of
+/// per slot, the hoisted `slot mod N` fabric phase, and the empty-switch
+/// elision that lets one call skip the idle tail the slot-at-a-time loop
+/// must still visit call by call.  batch=1 is the PR 1 baseline loop;
+/// batch=64 is the engine's default.
+fn bench_step_batch_into_sink(c: &mut Criterion) {
+    let n = 64usize;
+    let window = 49_152u32;
+    let windows_per_iter = 1u64;
+    let slots_per_iter = windows_per_iter * u64::from(window);
+    let mut group = c.benchmark_group("sprinklers_step_into_sink_batched");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(slots_per_iter));
+    for batch in [1u32, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            // Dyn-boxed on purpose: the per-call dispatch cost is part of
+            // what the batch amortizes in the real engine.
+            let mut switch: Box<dyn Switch> = Box::new(SprinklersSwitch::new(
+                SprinklersConfig::new(n).with_sizing(SizingMode::FixedSize(1)),
+                7,
+            ));
+            let mut sink = CountingSink::default();
+            let mut voq_seq = vec![0u64; n * n];
+            let mut slot = 0u64;
+            b.iter(|| {
+                for w in 0..windows_per_iter {
+                    // One burst per window: input i sends a single packet to
+                    // output (i + w) mod n (a permutation, so trivially
+                    // admissible), then the window drains and idles.
+                    for input in 0..n {
+                        let output = (input + w as usize) % n;
+                        let key = input * n + output;
+                        let p = Packet::new(input, output, slot, slot).with_voq_seq(voq_seq[key]);
+                        voq_seq[key] += 1;
+                        switch.arrive(p);
+                    }
+                    // Step the window in `batch`-sized chunks.
+                    let mut done = 0u32;
+                    while done < window {
+                        let count = batch.min(window - done);
+                        switch.step_batch(slot + u64::from(done), count, &mut sink);
+                        done += count;
+                    }
+                    slot += u64::from(window);
+                }
+                black_box(sink.total())
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_ols_generation,
     bench_stripe_size_rule,
     bench_lsf_insert_serve,
     bench_step_into_reusable_sink,
+    bench_step_batch_into_sink,
     bench_chernoff_bound
 );
 criterion_main!(benches);

@@ -23,11 +23,16 @@ const USAGE: &str = "\
 Run one simulation scenario described by a JSON ScenarioSpec.
 
 Usage:
-  scenario --spec <file.json>
+  scenario --spec <file.json> [--batch <slots>]
   scenario [--scheme <name>] [--n <ports>] [--load <rho>]
            [--pattern uniform|diagonal] [--seed <u64>] [--quick]
+           [--batch <slots>]
   scenario --print-template    print a ScenarioSpec JSON template
   scenario --list-schemes      list every scheme the registry knows
+
+--batch sets how many slots each Switch::step_batch call advances (default
+64; effectively capped at n by the occupancy-sampling period).  It is a
+pure performance knob: the report is byte-identical at any value.
 
 Defaults: --scheme sprinklers --n 32 --load 0.6 --pattern uniform --seed 2014";
 
@@ -49,7 +54,7 @@ fn main() {
         return;
     }
 
-    let spec = if let Some(path) = arg_value(&args, "--spec") {
+    let mut spec = if let Some(path) = arg_value(&args, "--spec") {
         load_spec_file(&path)
     } else {
         let scheme = arg_value(&args, "--scheme").unwrap_or_else(|| "sprinklers".into());
@@ -71,6 +76,12 @@ fn main() {
             .with_run(run)
             .with_seed(seed)
     };
+    if let Some(batch) = parse_flag::<u32>(&args, "--batch") {
+        if batch == 0 {
+            fail("--batch must be at least 1");
+        }
+        spec.batch = batch;
+    }
 
     eprintln!("running scenario: {}", spec.label());
     eprintln!("{}", spec.to_json());

@@ -34,11 +34,13 @@ Options:
   --workers <N>        worker threads (default: one per core; 0 means that too)
   --schemes <a,b,c>    re-run every spec once per scheme (overrides the spec)
   --loads <x,y,z>      re-run every (spec, scheme) once per offered load
+  --batch <slots>      slots per Switch::step_batch call (perf knob, default
+                       from each spec; results are identical at any value)
   --quick              shrink every run to the quick RunConfig
   --out <file.csv>     write the merged CSV to a file instead of stdout
 
 The merged CSV is deterministic: same specs + seeds give byte-identical
-output at any --workers value.";
+output at any --workers and any --batch value.";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +57,12 @@ fn main() {
     }
     if let Some(loads) = parse_list_flag::<f64>(&args, "--loads") {
         suite = suite.with_loads(loads);
+    }
+    if let Some(batch) = parse_flag::<u32>(&args, "--batch") {
+        if batch == 0 {
+            fail("--batch must be at least 1");
+        }
+        suite = suite.with_batch(batch);
     }
 
     let mut cases = suite.load_cases().unwrap_or_else(|e| fail(&e.to_string()));

@@ -41,6 +41,11 @@ pub struct SprinklersIntermediatePort {
     queues: Vec<Vec<VecDeque<Packet>>>,
     /// Packets waiting for stripe-completion alignment.
     staged: Vec<StagedPacket>,
+    /// Scratch for [`Self::release_eligible`], held on the struct so the
+    /// per-slot release pass allocates nothing in steady state.
+    ready_scratch: Vec<StagedPacket>,
+    /// Second scratch for the not-yet-eligible half of the partition.
+    waiting_scratch: Vec<StagedPacket>,
     queued: usize,
 }
 
@@ -58,6 +63,8 @@ impl SprinklersIntermediatePort {
                 .map(|_| (0..lv).map(|_| VecDeque::new()).collect())
                 .collect(),
             staged: Vec::new(),
+            ready_scratch: Vec::new(),
+            waiting_scratch: Vec::new(),
             queued: 0,
         }
     }
@@ -118,8 +125,14 @@ impl SprinklersIntermediatePort {
         if self.alignment == AlignmentMode::Immediate || self.staged.is_empty() {
             return;
         }
-        let mut ready: Vec<StagedPacket> = Vec::new();
-        let mut waiting: Vec<StagedPacket> = Vec::new();
+        // Partition into the two reusable scratch buffers, preserving staging
+        // order (the stable sort below falls back to it on key ties), then
+        // swap the waiting half back in.  In steady state all three vectors
+        // keep their capacity, so this per-slot pass allocates nothing.
+        let mut ready = std::mem::take(&mut self.ready_scratch);
+        let mut waiting = std::mem::take(&mut self.waiting_scratch);
+        ready.clear();
+        waiting.clear();
         for s in self.staged.drain(..) {
             if s.eligible_at <= now {
                 ready.push(s);
@@ -127,13 +140,15 @@ impl SprinklersIntermediatePort {
                 waiting.push(s);
             }
         }
-        self.staged = waiting;
+        std::mem::swap(&mut self.staged, &mut waiting);
         // Insert in a canonical order so every intermediate port builds its
         // FIFOs in the same stripe order.
         ready.sort_by_key(|s| (s.eligible_at, s.stripe_key));
-        for s in ready {
+        for s in ready.drain(..) {
             self.enqueue(s.packet);
         }
+        self.ready_scratch = ready;
+        self.waiting_scratch = waiting;
     }
 
     /// Serve output `output`: return the packet to send over the second

@@ -88,6 +88,32 @@ impl DeliverySink for CountingSink {
     }
 }
 
+/// Drive a phase-rotating batched step loop: calls `step(slot, t)` for every
+/// slot in `[first_slot, first_slot + count)` with the fabric phase
+/// `t == slot mod n` maintained incrementally (one add + compare per slot
+/// instead of a `u64` modulo), stopping early when `step` returns `false`
+/// (the idle-switch elision).
+///
+/// This is the one shared loop behind every scheme's [`Switch::step_batch`]
+/// override: each implementation passes a closure that performs its own
+/// emptiness check and delegates to its per-slot `step_at`, so the rotation
+/// and elision mechanics live in exactly one place.
+pub fn step_batch_rotating<F>(n: usize, first_slot: u64, count: u32, mut step: F)
+where
+    F: FnMut(u64, usize) -> bool,
+{
+    let mut t = (first_slot % n as u64) as usize;
+    for k in 0..u64::from(count) {
+        if !step(first_slot + k, t) {
+            return;
+        }
+        t += 1;
+        if t == n {
+            t = 0;
+        }
+    }
+}
+
 /// Aggregate occupancy/throughput counters a switch exposes for metrics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SwitchStats {
@@ -135,6 +161,28 @@ pub trait Switch {
     /// Implementations must not allocate on this path in steady state.
     fn step(&mut self, slot: u64, sink: &mut dyn DeliverySink);
 
+    /// Advance the switch by `count` consecutive slots starting at
+    /// `first_slot`, pushing every delivery into `sink`.
+    ///
+    /// Semantically this is **exactly** `for k in 0..count { step(first_slot
+    /// + k, sink) }` — same packets, same order, same departure slots — and
+    /// the default implementation is that loop.  The batched form exists so
+    /// callers that step many slots with no interleaved [`Switch::arrive`]
+    /// calls (the engine's drain phase, empty arrival slots at light load)
+    /// cross the `dyn Switch` boundary once per batch instead of once per
+    /// slot, and so implementations can hoist per-slot setup — the
+    /// `slot mod N` fabric phase, schedule lookups — out of the inner loop.
+    ///
+    /// Callers must uphold the same contract as [`Switch::step`]: slots
+    /// advance by exactly 1 overall, and packets arriving at slot `s` are
+    /// injected before the call that steps `s` — so a batch may never span a
+    /// slot whose arrivals have not been injected yet.
+    fn step_batch(&mut self, first_slot: u64, count: u32, sink: &mut dyn DeliverySink) {
+        for k in 0..u64::from(count) {
+            self.step(first_slot + k, sink);
+        }
+    }
+
     /// Current occupancy and throughput counters.
     fn stats(&self) -> SwitchStats;
 }
@@ -151,6 +199,9 @@ impl<T: Switch + ?Sized> Switch for Box<T> {
     }
     fn step(&mut self, slot: u64, sink: &mut dyn DeliverySink) {
         (**self).step(slot, sink)
+    }
+    fn step_batch(&mut self, first_slot: u64, count: u32, sink: &mut dyn DeliverySink) {
+        (**self).step_batch(first_slot, count, sink)
     }
     fn stats(&self) -> SwitchStats {
         (**self).stats()
@@ -169,6 +220,9 @@ impl<T: Switch + ?Sized> Switch for &mut T {
     }
     fn step(&mut self, slot: u64, sink: &mut dyn DeliverySink) {
         (**self).step(slot, sink)
+    }
+    fn step_batch(&mut self, first_slot: u64, count: u32, sink: &mut dyn DeliverySink) {
+        (**self).step_batch(first_slot, count, sink)
     }
     fn stats(&self) -> SwitchStats {
         (**self).stats()
@@ -243,5 +297,74 @@ mod tests {
             sink.deliver(delivered(false));
         }
         assert_eq!(inner.data_packets, 1);
+    }
+
+    /// A switch that records the slot of every step, to pin the default
+    /// `step_batch` (and the blanket impls) to the slot-at-a-time semantics.
+    struct SlotRecorder {
+        slots: Vec<u64>,
+    }
+
+    impl Switch for SlotRecorder {
+        fn n(&self) -> usize {
+            2
+        }
+        fn name(&self) -> &'static str {
+            "slot-recorder"
+        }
+        fn arrive(&mut self, _packet: Packet) {}
+        fn step(&mut self, slot: u64, sink: &mut dyn DeliverySink) {
+            self.slots.push(slot);
+            sink.deliver(DeliveredPacket::new(Packet::new(0, 1, slot, 0), slot));
+        }
+        fn stats(&self) -> SwitchStats {
+            SwitchStats::default()
+        }
+    }
+
+    #[test]
+    fn default_step_batch_is_the_sequential_step_loop() {
+        let mut sw = SlotRecorder { slots: Vec::new() };
+        let mut sink: Vec<DeliveredPacket> = Vec::new();
+        sw.step_batch(10, 4, &mut sink);
+        assert_eq!(sw.slots, vec![10, 11, 12, 13]);
+        let departures: Vec<u64> = sink.iter().map(|d| d.departure_slot).collect();
+        assert_eq!(departures, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn default_step_batch_of_zero_slots_is_a_noop() {
+        let mut sw = SlotRecorder { slots: Vec::new() };
+        sw.step_batch(7, 0, &mut NullSink);
+        assert!(sw.slots.is_empty());
+    }
+
+    #[test]
+    fn step_batch_rotating_tracks_the_phase_and_stops_on_false() {
+        let n = 4;
+        let mut seen: Vec<(u64, usize)> = Vec::new();
+        step_batch_rotating(n, 6, 7, |slot, t| {
+            assert_eq!(t, (slot % n as u64) as usize);
+            seen.push((slot, t));
+            slot < 10 // ask to stop once slot 10 has been attempted
+        });
+        let slots: Vec<u64> = seen.iter().map(|&(s, _)| s).collect();
+        assert_eq!(slots, vec![6, 7, 8, 9, 10], "stops after the false slot");
+        step_batch_rotating(n, 0, 0, |_, _| panic!("zero-slot batch must not step"));
+    }
+
+    #[test]
+    fn boxed_and_borrowed_switches_forward_step_batch() {
+        let mut boxed: Box<dyn Switch> = Box::new(SlotRecorder { slots: Vec::new() });
+        boxed.step_batch(0, 3, &mut NullSink);
+
+        // Drive through a generic bound so the `impl Switch for &mut T`
+        // blanket impl (not auto-deref) is the code path exercised.
+        fn drive<S: Switch>(mut switch: S) {
+            switch.step_batch(3, 2, &mut NullSink);
+        }
+        let mut concrete = SlotRecorder { slots: Vec::new() };
+        drive(&mut concrete);
+        assert_eq!(concrete.slots, vec![3, 4]);
     }
 }

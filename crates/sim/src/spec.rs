@@ -13,7 +13,7 @@
 //! [`ScenarioSpec::from_json`]) so scenario files work regardless of which
 //! serde is linked.
 
-use crate::engine::RunConfig;
+use crate::engine::{RunConfig, DEFAULT_BATCH};
 use crate::traffic::bernoulli::BernoulliTraffic;
 use crate::traffic::bursty::BurstyTraffic;
 use crate::traffic::flows::FlowTraffic;
@@ -159,6 +159,15 @@ pub struct ScenarioSpec {
     pub run: RunConfig,
     /// Seed for the switch's and the traffic generator's randomness.
     pub seed: u64,
+    /// Slots per [`sprinklers_core::switch::Switch::step_batch`] call in the
+    /// engine's hot loop.  Purely a performance knob: any value produces a
+    /// byte-identical report (the `batch-parity` CI job and the differential
+    /// property suite enforce this), so it is *not* part of the scenario's
+    /// scientific identity even though it round-trips through JSON.  The
+    /// engine's occupancy-sampling boundaries additionally cap the effective
+    /// batch at `n` (see the `engine` module docs), so values above `n`
+    /// simply saturate.
+    pub batch: u32,
 }
 
 impl ScenarioSpec {
@@ -172,6 +181,7 @@ impl ScenarioSpec {
             traffic: TrafficSpec::Uniform { load: 0.6 },
             run: RunConfig::default(),
             seed: 1,
+            batch: DEFAULT_BATCH,
         }
     }
 
@@ -200,6 +210,13 @@ impl ScenarioSpec {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Set the stepping batch size (clamped to at least 1 by the engine).
+    #[must_use]
+    pub fn with_batch(mut self, batch: u32) -> Self {
+        self.batch = batch;
         self
     }
 
@@ -240,7 +257,8 @@ impl ScenarioSpec {
                 "  \"sizing\": {},\n",
                 "  \"traffic\": {},\n",
                 "  \"run\": {{\"slots\":{},\"warmup_slots\":{},\"drain_slots\":{}}},\n",
-                "  \"seed\": {}\n",
+                "  \"seed\": {},\n",
+                "  \"batch\": {}\n",
                 "}}"
             ),
             escape_json_string(&self.scheme),
@@ -251,6 +269,7 @@ impl ScenarioSpec {
             self.run.warmup_slots,
             self.run.drain_slots,
             self.seed,
+            self.batch,
         )
     }
 
@@ -265,6 +284,15 @@ impl ScenarioSpec {
             match key.as_str() {
                 "scheme" | "n" => {}
                 "seed" => spec.seed = val.as_u64(key)?,
+                "batch" => {
+                    let batch = val.as_u64(key)?;
+                    if batch == 0 || batch > u64::from(u32::MAX) {
+                        return Err(SpecError::new(format!(
+                            "batch must be in 1..=u32::MAX, got {batch}"
+                        )));
+                    }
+                    spec.batch = batch as u32;
+                }
                 "run" => {
                     let run = val.as_object(key)?;
                     spec.run = RunConfig {
@@ -346,6 +374,12 @@ pub struct SuiteSpec {
     /// When set, each (spec, scheme) pair is re-run once per load,
     /// overriding the spec traffic's load.
     pub loads: Option<Vec<f64>>,
+    /// When set, every expanded case runs with this stepping batch size
+    /// (overriding each spec's own `batch`).  Pure performance knob: the
+    /// merged CSV is byte-identical at any value, which is exactly what the
+    /// `batch-parity` CI job exercises — so, unlike the scheme and load
+    /// overrides, it never appears in case names.
+    pub batch: Option<u32>,
 }
 
 /// One expanded member of a suite: a stable name (file stem plus any
@@ -365,6 +399,7 @@ impl SuiteSpec {
             dir: dir.into(),
             schemes: None,
             loads: None,
+            batch: None,
         }
     }
 
@@ -379,6 +414,13 @@ impl SuiteSpec {
     #[must_use]
     pub fn with_loads(mut self, loads: Vec<f64>) -> Self {
         self.loads = Some(loads);
+        self
+    }
+
+    /// Run every expanded case with this stepping batch size.
+    #[must_use]
+    pub fn with_batch(mut self, batch: u32) -> Self {
+        self.batch = Some(batch);
         self
     }
 
@@ -443,6 +485,9 @@ impl SuiteSpec {
                     // rounded rendering: distinct loads must yield distinct
                     // case names or merged CSV rows become unattributable.
                     case_name.push_str(&format!("@{load}"));
+                }
+                if let Some(batch) = self.batch {
+                    spec.batch = batch;
                 }
                 cases.push(SuiteCase {
                     name: case_name,
@@ -802,6 +847,28 @@ mod tests {
     }
 
     #[test]
+    fn batch_round_trips_and_defaults() {
+        let spec = ScenarioSpec::new("sprinklers", 8).with_batch(17);
+        let parsed = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(parsed.batch, 17);
+        assert_eq!(parsed, spec);
+        // Specs written before the batch knob existed parse to the default.
+        let legacy = ScenarioSpec::from_json(r#"{"scheme": "oq", "n": 8}"#).unwrap();
+        assert_eq!(legacy.batch, crate::engine::DEFAULT_BATCH);
+    }
+
+    #[test]
+    fn zero_and_fractional_batches_are_rejected() {
+        for bad in [
+            r#"{"scheme": "oq", "n": 8, "batch": 0}"#,
+            r#"{"scheme": "oq", "n": 8, "batch": 1.5}"#,
+            r#"{"scheme": "oq", "n": 8, "batch": 4294967296}"#,
+        ] {
+            assert!(ScenarioSpec::from_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
     fn seeds_beyond_f64_precision_round_trip_exactly() {
         // Found by the spec_roundtrip_prop property suite: the JSON reader
         // used to funnel integers through f64, corrupting seeds > 2^53.
@@ -900,6 +967,23 @@ mod tests {
         assert_eq!(cases[3].spec.traffic.load(), 0.9);
         // Everything not overridden is inherited from the base spec.
         assert!(cases.iter().all(|c| c.spec.n == 8 && c.spec.seed == 1));
+    }
+
+    #[test]
+    fn suite_batch_override_reaches_every_case_but_not_the_names() {
+        let base = ScenarioSpec::new("oq", 8);
+        let suite = SuiteSpec::new("unused")
+            .with_schemes(vec!["sprinklers".into(), "foff".into()])
+            .with_batch(5);
+        let cases = suite.expand("base", &base);
+        assert!(cases.iter().all(|c| c.spec.batch == 5));
+        // Batch is a perf knob, not part of the case identity: names must be
+        // stable so batch-parity runs can `cmp` their CSVs.
+        let without = SuiteSpec::new("unused")
+            .with_schemes(vec!["sprinklers".into(), "foff".into()])
+            .expand("base", &base);
+        let names = |cs: &[SuiteCase]| cs.iter().map(|c| c.name.clone()).collect::<Vec<_>>();
+        assert_eq!(names(&cases), names(&without));
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Golden snapshot tests for the suite runner's merged CSV.
+//!
+//! `tests/fixtures/smoke_quick.csv` is the checked-in output of running the
+//! `specs/smoke` suite with the quick run configuration (exactly what the CI
+//! smoke jobs execute).  Reproducing it byte for byte pins *every* number
+//! the metrics pipeline emits — delays, percentiles, reorder counts,
+//! occupancy — so any future hot-path change that silently perturbs
+//! simulation results (a hoisted computation that drifts by one slot, a
+//! resequencer probed at the wrong time) fails loudly here instead of
+//! shipping as a quiet scientific regression.
+//!
+//! To regenerate after an *intentional* semantic change:
+//!
+//! ```text
+//! cargo run --release -p sprinklers-bench --bin suite -- \
+//!     --dir specs/smoke --quick --out tests/fixtures/smoke_quick.csv
+//! ```
+
+use sprinklers_sim::engine::RunConfig;
+use sprinklers_sim::parallel::run_specs_parallel;
+use sprinklers_sim::report::{merge_csv, SimReport};
+use sprinklers_sim::spec::{ScenarioSpec, SuiteSpec};
+
+const GOLDEN: &str = include_str!("../fixtures/smoke_quick.csv");
+
+fn smoke_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../specs/smoke")
+}
+
+/// Run the smoke suite exactly as `suite --dir specs/smoke --quick` does.
+fn run_suite(suite: SuiteSpec, workers: usize) -> String {
+    let mut cases = suite.load_cases().expect("specs/smoke loads");
+    for case in &mut cases {
+        case.spec.run = RunConfig::quick();
+    }
+    let specs: Vec<ScenarioSpec> = cases.iter().map(|c| c.spec.clone()).collect();
+    let reports: Vec<SimReport> = run_specs_parallel(&specs, workers)
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .expect("every smoke case runs");
+    merge_csv(cases.iter().map(|c| c.name.as_str()).zip(reports.iter()))
+}
+
+#[test]
+fn smoke_suite_reproduces_the_golden_csv() {
+    for workers in [1, 2] {
+        let csv = run_suite(SuiteSpec::new(smoke_dir()), workers);
+        assert_eq!(
+            csv, GOLDEN,
+            "merged CSV diverged from tests/fixtures/smoke_quick.csv at \
+             workers={workers}; if the change is intentional, regenerate the \
+             fixture (see module docs)"
+        );
+    }
+}
+
+#[test]
+fn batch_override_cannot_perturb_the_golden_csv() {
+    // The in-test mirror of the batch-parity CI job: stepping batch size is
+    // a pure performance knob, so even extreme values must reproduce the
+    // snapshot byte for byte.
+    for batch in [1u32, 2, 64, 512] {
+        let csv = run_suite(SuiteSpec::new(smoke_dir()).with_batch(batch), 2);
+        assert_eq!(csv, GOLDEN, "batch={batch} changed the merged CSV");
+    }
+}
