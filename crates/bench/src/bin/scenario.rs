@@ -27,8 +27,14 @@ Usage:
   scenario [--scheme <name>] [--n <ports>] [--load <rho>]
            [--pattern uniform|diagonal] [--seed <u64>] [--quick]
            [--batch <slots>]
+  scenario [--scheme <name>] [--n <ports>] --trace <file.{csv,sprt}>
+           [--repeat <copies>] [--scale <factor>] [--seed <u64>] [--quick]
   scenario --print-template    print a ScenarioSpec JSON template
   scenario --list-schemes      list every scheme the registry knows
+
+--trace replays a recorded trace file (see the `trace` binary) instead of a
+synthetic pattern; --repeat tiles it and --scale compresses (>1) or
+stretches (<1) its timebase.
 
 --batch sets how many slots each Switch::step_batch call advances (default
 64; effectively capped at n by the occupancy-sampling period).  It is a
@@ -60,10 +66,25 @@ fn main() {
         let scheme = arg_value(&args, "--scheme").unwrap_or_else(|| "sprinklers".into());
         let n: usize = parse_flag(&args, "--n").unwrap_or(32);
         let load: f64 = parse_flag(&args, "--load").unwrap_or(0.6);
-        let traffic = match arg_value(&args, "--pattern").as_deref() {
-            None | Some("uniform") => TrafficSpec::Uniform { load },
-            Some("diagonal") => TrafficSpec::Diagonal { load },
-            Some(other) => fail(&format!("unknown --pattern {other} (uniform|diagonal)")),
+        let traffic = if let Some(trace) = arg_value(&args, "--trace") {
+            // Silently ignoring --load/--pattern here would let a user
+            // believe they swept a trace's load; the trace knobs are
+            // --scale and --repeat.
+            if arg_value(&args, "--load").is_some() || arg_value(&args, "--pattern").is_some() {
+                fail("--trace replays the recorded workload; use --scale (not --load/--pattern) to reshape it");
+            }
+            TrafficSpec::Trace {
+                path: trace,
+                format: None,
+                repeat: parse_flag(&args, "--repeat").unwrap_or(1),
+                scale: parse_flag(&args, "--scale").unwrap_or(1.0),
+            }
+        } else {
+            match arg_value(&args, "--pattern").as_deref() {
+                None | Some("uniform") => TrafficSpec::Uniform { load },
+                Some("diagonal") => TrafficSpec::Diagonal { load },
+                Some(other) => fail(&format!("unknown --pattern {other} (uniform|diagonal)")),
+            }
         };
         let run = if has_flag(&args, "--quick") {
             RunConfig::quick()

@@ -57,11 +57,17 @@ pub fn parse_list_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Opt
 }
 
 /// Read and parse a `ScenarioSpec` JSON file, exiting with a clear message
-/// on I/O or parse failure.
+/// on I/O or parse failure.  Relative trace paths inside the spec are
+/// resolved against the spec file's directory, so specs can reference
+/// traces checked in next to them regardless of the working directory.
 pub fn load_spec_file(path: &str) -> ScenarioSpec {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| fail(&format!("cannot read spec file {path}: {e}")));
-    ScenarioSpec::from_json(&text).unwrap_or_else(|e| fail(&e.to_string()))
+    let mut spec = ScenarioSpec::from_json(&text).unwrap_or_else(|e| fail(&e.to_string()));
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        spec.rebase_paths(parent);
+    }
+    spec
 }
 
 #[cfg(test)]

@@ -100,8 +100,14 @@ impl Engine {
     /// Run one scenario end to end: build the switch from the registry and
     /// the traffic generator from the spec, simulate, and report.
     pub fn run(&mut self, spec: &ScenarioSpec) -> Result<SimReport, SpecError> {
-        let switch = registry::build(spec)?;
-        let traffic = spec.traffic.build(spec.n, spec.seed.wrapping_add(1));
+        // Build the traffic first and size the switch from the *generator's*
+        // rate matrix.  For synthetic patterns this is the identical matrix
+        // `TrafficSpec::try_matrix` constructs (every generator clones the
+        // analytic matrix it was built from); for traces it avoids opening
+        // and validating the file twice per run.
+        let traffic = spec.build_traffic()?;
+        let matrix = traffic.rate_matrix();
+        let switch = registry::build_named(&spec.scheme, spec.n, &spec.sizing, &matrix, spec.seed)?;
         Ok(self.run_parts_batched(switch, traffic, spec.run, spec.batch))
     }
 

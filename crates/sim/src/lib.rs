@@ -68,6 +68,10 @@ pub mod prelude {
     pub use crate::traffic::bursty::BurstyTraffic;
     pub use crate::traffic::flows::FlowTraffic;
     pub use crate::traffic::trace::TraceTraffic;
+    pub use crate::traffic::trace_io::{
+        record_spec, TraceFormat, TraceMeta, TraceReader, TraceRecord, TraceWriter,
+    };
+    pub use crate::traffic::trace_stream::TraceStream;
     pub use crate::traffic::TrafficGenerator;
 }
 

@@ -63,7 +63,7 @@ pub fn is_reordering_free(scheme: &str) -> bool {
 /// the rate matrix of the scenario's traffic pattern, exactly as the paper's
 /// evaluation assumes the matrix is known a priori.
 pub fn build(spec: &ScenarioSpec) -> Result<Box<dyn Switch>, SpecError> {
-    let matrix = spec.traffic.matrix(spec.n);
+    let matrix = spec.traffic.try_matrix(spec.n)?;
     build_named(&spec.scheme, spec.n, &spec.sizing, &matrix, spec.seed)
 }
 

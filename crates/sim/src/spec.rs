@@ -17,10 +17,13 @@ use crate::engine::{RunConfig, DEFAULT_BATCH};
 use crate::traffic::bernoulli::BernoulliTraffic;
 use crate::traffic::bursty::BurstyTraffic;
 use crate::traffic::flows::FlowTraffic;
+use crate::traffic::trace_io::{TraceFormat, MAX_REPEAT};
+use crate::traffic::trace_stream::TraceStream;
 use crate::traffic::TrafficGenerator;
 use serde::{Deserialize, Serialize};
 use sprinklers_core::matrix::TrafficMatrix;
 use std::fmt;
+use std::path::Path;
 
 /// How the Sprinklers switch chooses stripe sizes in this scenario
 /// (baselines ignore it).
@@ -35,8 +38,9 @@ pub enum SizingSpec {
     Fixed(usize),
 }
 
-/// The offered traffic pattern of a scenario.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// The offered traffic pattern of a scenario: one of the synthetic
+/// generators, or a recorded trace replayed from disk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TrafficSpec {
     /// Bernoulli arrivals, uniform destinations (Figure 6).
     Uniform {
@@ -72,54 +76,113 @@ pub enum TrafficSpec {
         /// Mean flow length in packets.
         mean_flow_len: f64,
     },
+    /// Replay a recorded workload trace from disk, streamed with bounded
+    /// memory (see [`crate::traffic::trace_stream::TraceStream`]).
+    Trace {
+        /// Trace file path.  Relative paths in spec files are resolved
+        /// against the spec file's directory by the loaders
+        /// ([`ScenarioSpec::rebase_paths`]).
+        path: String,
+        /// On-disk encoding; `None` selects by file extension.
+        format: Option<TraceFormat>,
+        /// Number of back-to-back copies to replay (each offset by the
+        /// recorded slot span).
+        repeat: u32,
+        /// Time-dilation factor: recorded slots map to `floor(slot/scale)`,
+        /// so `scale < 1` lowers the offered load and `scale > 1` raises it
+        /// (up to inadmissible overload).  This is the knob load sweeps
+        /// drive for traces ([`Self::with_load`]).
+        scale: f64,
+    },
 }
 
 impl TrafficSpec {
-    /// The long-run rate matrix of this pattern at size `n`.
-    pub fn matrix(&self, n: usize) -> TrafficMatrix {
-        match *self {
-            TrafficSpec::Uniform { load } => TrafficMatrix::uniform(n, load),
-            TrafficSpec::Diagonal { load } => TrafficMatrix::diagonal(n, load),
-            TrafficSpec::Hotspot { load, hot_fraction } => {
-                TrafficMatrix::hotspot(n, load, hot_fraction)
-            }
-            TrafficSpec::Bursty { load, .. } => TrafficMatrix::uniform(n, load),
-            TrafficSpec::Flows { load, .. } => TrafficMatrix::uniform(n, load),
+    /// A trace replay at its recorded timebase (`repeat = 1`, `scale = 1`),
+    /// format chosen by file extension.
+    pub fn trace(path: impl Into<String>) -> Self {
+        TrafficSpec::Trace {
+            path: path.into(),
+            format: None,
+            repeat: 1,
+            scale: 1.0,
         }
     }
 
-    /// Instantiate the traffic generator.
-    pub fn build(&self, n: usize, seed: u64) -> Box<dyn TrafficGenerator> {
-        match *self {
-            TrafficSpec::Uniform { load } => Box::new(BernoulliTraffic::uniform(n, load, seed)),
-            TrafficSpec::Diagonal { load } => Box::new(BernoulliTraffic::diagonal(n, load, seed)),
+    /// The long-run rate matrix of this pattern at size `n`.  For traces
+    /// this opens and validates the file: the recorded analytic matrix when
+    /// the header carries one, else empirical rates from the data.
+    pub fn try_matrix(&self, n: usize) -> Result<TrafficMatrix, SpecError> {
+        Ok(match self {
+            TrafficSpec::Uniform { load } => TrafficMatrix::uniform(n, *load),
+            TrafficSpec::Diagonal { load } => TrafficMatrix::diagonal(n, *load),
             TrafficSpec::Hotspot { load, hot_fraction } => {
-                Box::new(BernoulliTraffic::hotspot(n, load, hot_fraction, seed))
+                TrafficMatrix::hotspot(n, *load, *hot_fraction)
+            }
+            TrafficSpec::Bursty { load, .. } => TrafficMatrix::uniform(n, *load),
+            TrafficSpec::Flows { load, .. } => TrafficMatrix::uniform(n, *load),
+            TrafficSpec::Trace {
+                path,
+                format,
+                repeat,
+                scale,
+            } => TraceStream::open(path, *format, n, *repeat, *scale)?.rate_matrix(),
+        })
+    }
+
+    /// Infallible form of [`Self::try_matrix`] for the synthetic patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`TrafficSpec::Trace`] when the trace file cannot be read
+    /// or validated; fallible callers should use [`Self::try_matrix`].
+    pub fn matrix(&self, n: usize) -> TrafficMatrix {
+        self.try_matrix(n)
+            .expect("trace specs need try_matrix for error handling")
+    }
+
+    /// Instantiate the traffic generator.  Only trace replay can fail (the
+    /// file is opened and validated here); synthetic patterns always build.
+    pub fn build(&self, n: usize, seed: u64) -> Result<Box<dyn TrafficGenerator>, SpecError> {
+        Ok(match self {
+            TrafficSpec::Uniform { load } => Box::new(BernoulliTraffic::uniform(n, *load, seed)),
+            TrafficSpec::Diagonal { load } => Box::new(BernoulliTraffic::diagonal(n, *load, seed)),
+            TrafficSpec::Hotspot { load, hot_fraction } => {
+                Box::new(BernoulliTraffic::hotspot(n, *load, *hot_fraction, seed))
             }
             TrafficSpec::Bursty {
                 load,
                 peak,
                 mean_burst,
-            } => Box::new(BurstyTraffic::uniform(n, load, peak, mean_burst, seed)),
+            } => Box::new(BurstyTraffic::uniform(n, *load, *peak, *mean_burst, seed)),
             TrafficSpec::Flows {
                 load,
                 mean_flow_len,
-            } => Box::new(FlowTraffic::uniform(n, load, mean_flow_len, seed)),
-        }
+            } => Box::new(FlowTraffic::uniform(n, *load, *mean_flow_len, seed)),
+            TrafficSpec::Trace {
+                path,
+                format,
+                repeat,
+                scale,
+            } => Box::new(TraceStream::open(path, *format, n, *repeat, *scale)?),
+        })
     }
 
-    /// The pattern's offered load.
+    /// The pattern's offered load.  For traces this is the `scale` knob —
+    /// the load multiplier relative to the recorded workload.
     pub fn load(&self) -> f64 {
-        match *self {
+        match self {
             TrafficSpec::Uniform { load }
             | TrafficSpec::Diagonal { load }
             | TrafficSpec::Hotspot { load, .. }
             | TrafficSpec::Bursty { load, .. }
-            | TrafficSpec::Flows { load, .. } => load,
+            | TrafficSpec::Flows { load, .. } => *load,
+            TrafficSpec::Trace { scale, .. } => *scale,
         }
     }
 
-    /// The same pattern at a different offered load (for load sweeps).
+    /// The same pattern at a different offered load (for load sweeps).  For
+    /// traces the load knob is `scale`: sweeping loads over a trace sweeps
+    /// its time compression.
     #[must_use]
     pub fn with_load(mut self, new_load: f64) -> Self {
         match &mut self {
@@ -128,6 +191,7 @@ impl TrafficSpec {
             | TrafficSpec::Hotspot { load, .. }
             | TrafficSpec::Bursty { load, .. }
             | TrafficSpec::Flows { load, .. } => *load = new_load,
+            TrafficSpec::Trace { scale, .. } => *scale = new_load,
         }
         self
     }
@@ -139,6 +203,7 @@ impl TrafficSpec {
             TrafficSpec::Hotspot { .. } => "hotspot",
             TrafficSpec::Bursty { .. } => "bursty",
             TrafficSpec::Flows { .. } => "flows",
+            TrafficSpec::Trace { .. } => "trace",
         }
     }
 }
@@ -220,6 +285,32 @@ impl ScenarioSpec {
         self
     }
 
+    /// The seed handed to this scenario's traffic generator.  Derived from
+    /// the spec seed; the engine and the `trace record` pipeline both go
+    /// through here, so a recorded trace captures exactly the arrival
+    /// stream the engine would have generated.
+    pub fn traffic_seed(&self) -> u64 {
+        self.seed.wrapping_add(1)
+    }
+
+    /// Instantiate this scenario's traffic generator (see
+    /// [`Self::traffic_seed`]).
+    pub fn build_traffic(&self) -> Result<Box<dyn TrafficGenerator>, SpecError> {
+        self.traffic.build(self.n, self.traffic_seed())
+    }
+
+    /// Resolve any relative trace path against `base` (typically the
+    /// directory of the spec file this scenario was loaded from), so specs
+    /// can reference traces checked in next to them regardless of the
+    /// process working directory.  Absolute paths are left untouched.
+    pub fn rebase_paths(&mut self, base: &Path) {
+        if let TrafficSpec::Trace { path, .. } = &mut self.traffic {
+            if Path::new(path.as_str()).is_relative() && !base.as_os_str().is_empty() {
+                *path = base.join(path.as_str()).to_string_lossy().into_owned();
+            }
+        }
+    }
+
     /// Render the spec as JSON.
     pub fn to_json(&self) -> String {
         let sizing = match self.sizing {
@@ -227,7 +318,7 @@ impl ScenarioSpec {
             SizingSpec::Adaptive => r#"{"mode":"adaptive"}"#.to_string(),
             SizingSpec::Fixed(size) => format!(r#"{{"mode":"fixed","size":{size}}}"#),
         };
-        let traffic = match self.traffic {
+        let traffic = match &self.traffic {
             TrafficSpec::Uniform { load } => {
                 format!(r#"{{"pattern":"uniform","load":{load}}}"#)
             }
@@ -248,6 +339,21 @@ impl ScenarioSpec {
                 load,
                 mean_flow_len,
             } => format!(r#"{{"pattern":"flows","load":{load},"mean_flow_len":{mean_flow_len}}}"#),
+            TrafficSpec::Trace {
+                path,
+                format,
+                repeat,
+                scale,
+            } => {
+                let format = match format {
+                    Some(f) => format!(r#","format":"{}""#, f.name()),
+                    None => String::new(),
+                };
+                format!(
+                    r#"{{"kind":"trace","path":"{}"{format},"repeat":{repeat},"scale":{scale}}}"#,
+                    escape_json_string(path),
+                )
+            }
         };
         format!(
             concat!(
@@ -313,30 +419,7 @@ impl ScenarioSpec {
                     };
                 }
                 "traffic" => {
-                    let traffic = val.as_object(key)?;
-                    let load = traffic.get_num("load")?;
-                    spec.traffic = match traffic.get_str("pattern")?.as_str() {
-                        "uniform" => TrafficSpec::Uniform { load },
-                        "diagonal" => TrafficSpec::Diagonal { load },
-                        "hotspot" => TrafficSpec::Hotspot {
-                            load,
-                            hot_fraction: traffic.get_num("hot_fraction")?,
-                        },
-                        "bursty" => TrafficSpec::Bursty {
-                            load,
-                            peak: traffic.get_num("peak")?,
-                            mean_burst: traffic.get_num("mean_burst")?,
-                        },
-                        "flows" => TrafficSpec::Flows {
-                            load,
-                            mean_flow_len: traffic.get_num("mean_flow_len")?,
-                        },
-                        other => {
-                            return Err(SpecError::new(format!(
-                                "unknown traffic pattern '{other}'"
-                            )))
-                        }
-                    };
+                    spec.traffic = parse_traffic(val.as_object(key)?)?;
                 }
                 other => return Err(SpecError::new(format!("unknown key '{other}'"))),
             }
@@ -446,8 +529,10 @@ impl SuiteSpec {
         for path in &paths {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| SpecError::new(format!("cannot read {}: {e}", path.display())))?;
-            let base = ScenarioSpec::from_json(&text)
+            let mut base = ScenarioSpec::from_json(&text)
                 .map_err(|e| e.context(format!("spec file {}", path.display())))?;
+            // Trace paths in suite members are relative to the spec file.
+            base.rebase_paths(path.parent().unwrap_or_else(|| Path::new("")));
             let stem = path
                 .file_stem()
                 .map(|s| s.to_string_lossy().into_owned())
@@ -497,6 +582,81 @@ impl SuiteSpec {
         }
         cases
     }
+}
+
+/// Parse the `traffic` object of a spec.  Synthetic patterns carry a
+/// `"pattern"` key; trace replays are written `{"kind": "trace", "path":
+/// ..., ["format": "csv"|"sprt",] ["repeat": R,] ["scale": S]}`.
+fn parse_traffic(traffic: &json::Object) -> Result<TrafficSpec, SpecError> {
+    if traffic.maybe("pattern").is_some() {
+        let load = traffic.get_num("load")?;
+        return Ok(match traffic.get_str("pattern")?.as_str() {
+            "uniform" => TrafficSpec::Uniform { load },
+            "diagonal" => TrafficSpec::Diagonal { load },
+            "hotspot" => TrafficSpec::Hotspot {
+                load,
+                hot_fraction: traffic.get_num("hot_fraction")?,
+            },
+            "bursty" => TrafficSpec::Bursty {
+                load,
+                peak: traffic.get_num("peak")?,
+                mean_burst: traffic.get_num("mean_burst")?,
+            },
+            "flows" => TrafficSpec::Flows {
+                load,
+                mean_flow_len: traffic.get_num("mean_flow_len")?,
+            },
+            other => return Err(SpecError::new(format!("unknown traffic pattern '{other}'"))),
+        });
+    }
+    let kind = traffic.get_str("kind").map_err(|_| {
+        SpecError::new("traffic needs a 'pattern' (synthetic) or 'kind' (trace) key".to_string())
+    })?;
+    if kind != "trace" {
+        return Err(SpecError::new(format!("unknown traffic kind '{kind}'")));
+    }
+    let path = traffic.get_str("path")?;
+    let format = match traffic.maybe("format") {
+        None => None,
+        Some(value) => match value {
+            json::Value::String(name) => Some(TraceFormat::from_name(name)?),
+            other => {
+                return Err(SpecError::new(format!(
+                    "format should be a string, got {other:?}"
+                )))
+            }
+        },
+    };
+    let repeat = match traffic.maybe("repeat") {
+        None => 1,
+        Some(value) => {
+            let repeat = value.as_u64("repeat")?;
+            if repeat == 0 || repeat > u64::from(MAX_REPEAT) {
+                return Err(SpecError::new(format!(
+                    "trace repeat must be in 1..={MAX_REPEAT}, got {repeat}"
+                )));
+            }
+            repeat as u32
+        }
+    };
+    let scale = match traffic.maybe("scale") {
+        None => 1.0,
+        Some(value) => {
+            let scale = value.as_number("scale")?;
+            if !scale.is_finite() || scale <= 0.0 {
+                return Err(SpecError::new(format!(
+                    "trace scale must be finite and positive, got {scale}"
+                )));
+            }
+            scale
+        }
+    };
+    Ok(TrafficSpec::Trace {
+        path,
+        format,
+        repeat,
+        scale,
+    })
 }
 
 /// Escape a string for embedding in a JSON string literal, so
@@ -574,11 +734,13 @@ mod json {
 
     impl Object {
         fn get(&self, key: &str) -> Result<&Value, SpecError> {
-            self.entries
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v)
+            self.maybe(key)
                 .ok_or_else(|| SpecError::new(format!("missing key '{key}'")))
+        }
+
+        /// The value under `key`, when present (for optional fields).
+        pub fn maybe(&self, key: &str) -> Option<&Value> {
+            self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
         }
 
         pub fn get_str(&self, key: &str) -> Result<String, SpecError> {
@@ -1028,6 +1190,108 @@ mod tests {
         assert!(err.contains("c_bad.json"), "{err}");
 
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_specs_round_trip_through_json() {
+        use crate::traffic::trace_io::TraceFormat;
+        for traffic in [
+            TrafficSpec::trace("traces/capture.sprt"),
+            TrafficSpec::Trace {
+                path: "with \"quotes\"\\and\\slashes.csv".into(),
+                format: Some(TraceFormat::Csv),
+                repeat: 7,
+                scale: 1.75,
+            },
+            TrafficSpec::Trace {
+                path: "/abs/path.sprt".into(),
+                format: Some(TraceFormat::Sprt),
+                repeat: 1,
+                scale: 0.25,
+            },
+        ] {
+            let spec = ScenarioSpec::new("foff", 8).with_traffic(traffic);
+            let parsed = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(parsed, spec, "json was: {}", spec.to_json());
+        }
+    }
+
+    #[test]
+    fn trace_json_accepts_the_kind_key_with_defaults() {
+        let spec = ScenarioSpec::from_json(
+            r#"{"scheme": "oq", "n": 8,
+                "traffic": {"kind": "trace", "path": "t.sprt"}}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.traffic, TrafficSpec::trace("t.sprt"));
+        assert_eq!(spec.traffic.load(), 1.0);
+    }
+
+    #[test]
+    fn malformed_trace_traffic_json_is_rejected() {
+        for bad in [
+            // Missing path.
+            r#"{"scheme": "oq", "n": 8, "traffic": {"kind": "trace"}}"#,
+            // Unknown kind.
+            r#"{"scheme": "oq", "n": 8, "traffic": {"kind": "pcap", "path": "t"}}"#,
+            // Neither pattern nor kind.
+            r#"{"scheme": "oq", "n": 8, "traffic": {"path": "t.sprt"}}"#,
+            // Unknown format.
+            r#"{"scheme": "oq", "n": 8, "traffic": {"kind": "trace", "path": "t", "format": "pcap"}}"#,
+            // Repeat out of range.
+            r#"{"scheme": "oq", "n": 8, "traffic": {"kind": "trace", "path": "t", "repeat": 0}}"#,
+            r#"{"scheme": "oq", "n": 8, "traffic": {"kind": "trace", "path": "t", "repeat": 1000000}}"#,
+            // Scale must be positive.
+            r#"{"scheme": "oq", "n": 8, "traffic": {"kind": "trace", "path": "t", "scale": 0}}"#,
+            r#"{"scheme": "oq", "n": 8, "traffic": {"kind": "trace", "path": "t", "scale": -2}}"#,
+        ] {
+            assert!(ScenarioSpec::from_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn trace_load_knob_is_the_scale() {
+        let t = TrafficSpec::trace("t.sprt").with_load(1.5);
+        assert_eq!(t.load(), 1.5);
+        match t {
+            TrafficSpec::Trace { scale, repeat, .. } => {
+                assert_eq!(scale, 1.5);
+                assert_eq!(repeat, 1);
+            }
+            _ => panic!("pattern changed"),
+        }
+    }
+
+    #[test]
+    fn rebase_resolves_relative_trace_paths_only() {
+        let mut spec = ScenarioSpec::new("oq", 8).with_traffic(TrafficSpec::trace("traces/t.sprt"));
+        spec.rebase_paths(Path::new("/specs/smoke"));
+        match &spec.traffic {
+            TrafficSpec::Trace { path, .. } => {
+                assert_eq!(path, "/specs/smoke/traces/t.sprt")
+            }
+            _ => panic!("pattern changed"),
+        }
+        // Absolute paths and synthetic patterns are untouched.
+        let mut abs = ScenarioSpec::new("oq", 8).with_traffic(TrafficSpec::trace("/t.sprt"));
+        abs.rebase_paths(Path::new("/specs/smoke"));
+        assert_eq!(abs.traffic, TrafficSpec::trace("/t.sprt"));
+        let mut synth = ScenarioSpec::new("oq", 8);
+        synth.rebase_paths(Path::new("/specs/smoke"));
+        assert_eq!(synth.traffic, TrafficSpec::Uniform { load: 0.6 });
+    }
+
+    #[test]
+    fn build_traffic_uses_the_engine_seed_derivation() {
+        // The recorded-trace pipeline relies on record and replay agreeing
+        // on how the generator is seeded; pin the derivation.
+        let spec = ScenarioSpec::new("oq", 8).with_seed(41);
+        assert_eq!(spec.traffic_seed(), 42);
+        let mut a = spec.build_traffic().unwrap();
+        let mut b = spec.traffic.build(spec.n, 42).unwrap();
+        for slot in 0..64 {
+            assert_eq!(a.arrivals(slot).len(), b.arrivals(slot).len());
+        }
     }
 
     #[test]

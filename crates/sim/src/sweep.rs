@@ -44,7 +44,9 @@ pub fn grid_specs(base: &ScenarioSpec, schemes: &[&str], loads: &[f64]) -> Vec<S
     let mut specs = Vec::with_capacity(schemes.len() * loads.len());
     for &scheme in schemes {
         for &load in loads {
-            let mut spec = base.clone().with_traffic(base.traffic.with_load(load));
+            let mut spec = base
+                .clone()
+                .with_traffic(base.traffic.clone().with_load(load));
             spec.scheme = scheme.to_string();
             specs.push(spec);
         }

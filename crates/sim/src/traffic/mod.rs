@@ -10,13 +10,17 @@
 //! arrivals with uniform destinations and with quasi-diagonal destinations;
 //! both are provided by [`bernoulli::BernoulliTraffic`].  The other generators
 //! extend the evaluation: bursty on/off sources, application-flow-structured
-//! traffic (needed by the TCP-hashing baseline), and deterministic trace
-//! replay for tests.
+//! traffic (needed by the TCP-hashing baseline), deterministic in-memory
+//! trace replay for tests ([`trace::TraceTraffic`]), and streaming replay of
+//! recorded trace files ([`trace_stream::TraceStream`], with the on-disk
+//! formats in [`trace_io`]).
 
 pub mod bernoulli;
 pub mod bursty;
 pub mod flows;
 pub mod trace;
+pub mod trace_io;
+pub mod trace_stream;
 
 use sprinklers_core::matrix::TrafficMatrix;
 use sprinklers_core::packet::Packet;

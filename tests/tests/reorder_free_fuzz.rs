@@ -14,6 +14,8 @@ use proptest::prelude::*;
 use sprinklers_sim::engine::{Engine, RunConfig};
 use sprinklers_sim::registry;
 use sprinklers_sim::spec::{ScenarioSpec, TrafficSpec};
+use sprinklers_sim::traffic::trace_io::{TraceFormat, TraceMeta, TraceRecord, TraceWriter};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 fn run_config() -> RunConfig {
     RunConfig {
@@ -22,6 +24,8 @@ fn run_config() -> RunConfig {
         drain_slots: 4_000,
     }
 }
+
+static TRACE_CASE: AtomicU64 = AtomicU64::new(0);
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -62,6 +66,94 @@ proptest! {
                 scheme,
             );
         }
+    }
+
+    #[test]
+    fn ordered_schemes_never_reorder_replaying_trace_files(
+        raw in collection::vec((0u64..3, 0usize..16, 0usize..16, 0u64..6), 8..300),
+        repeat in 1u32..4,
+        scale_pct in 25u32..101,
+        fmt in 0usize..2,
+        batch in 1u32..128,
+    ) {
+        // Trace-sourced arrivals through the full disk pipeline: build an
+        // admissible random stream, write it to a real trace file (either
+        // format), and replay it through `TrafficSpec::Trace` with the
+        // repeat/scale knobs engaged.  Ordered schemes must stay inversion-
+        // free no matter what the recorded workload looks like.
+        let n = 16usize;
+        let mut last: Vec<Option<u64>> = vec![None; n];
+        let mut slot = 0u64;
+        let mut records = Vec::new();
+        for &(gap, input, output, flow) in &raw {
+            slot += gap;
+            if last[input] == Some(slot) {
+                continue; // one packet per input per slot
+            }
+            last[input] = Some(slot);
+            records.push(TraceRecord { slot, input, output, flow });
+        }
+        prop_assume!(!records.is_empty());
+        let span = slot + 1;
+        // scale <= 1.0 only: compression past line rate is a typed open-time
+        // error (covered by unit tests), not a fuzzable replay.
+        let scale = f64::from(scale_pct) / 100.0;
+
+        let format = [TraceFormat::Csv, TraceFormat::Sprt][fmt];
+        let path = std::env::temp_dir().join(format!(
+            "sprinklers-reorder-fuzz-{}-{}.{}",
+            std::process::id(),
+            TRACE_CASE.fetch_add(1, Ordering::Relaxed),
+            format.name(),
+        ));
+        let meta = TraceMeta { n: Some(n), slots: span, ..TraceMeta::default() };
+        let mut writer = TraceWriter::create(&path, format, &meta).unwrap();
+        for rec in &records {
+            writer.write(rec).unwrap();
+        }
+        writer.finish().unwrap();
+
+        // Cover the whole effective (repeated + dilated) stream, plus drain.
+        let effective_span =
+            (span * u64::from(repeat)) as f64 / scale;
+        let run = RunConfig {
+            slots: effective_span as u64 + 4,
+            warmup_slots: 0,
+            drain_slots: 4_000,
+        };
+        let mut engine = Engine::new();
+        for scheme in registry::ORDERED_SCHEMES {
+            let spec = ScenarioSpec::new(scheme, n)
+                .with_traffic(TrafficSpec::Trace {
+                    path: path.to_string_lossy().into_owned(),
+                    format: Some(format),
+                    repeat,
+                    scale,
+                })
+                .with_run(run)
+                .with_seed(3)
+                .with_batch(batch);
+            let report = engine.run(&spec).unwrap();
+            prop_assert!(
+                report.reordering.is_ordered(),
+                "{} reordered replaying a {} trace (repeat={} scale={} batch={}): \
+                 {} VOQ / {} flow inversions",
+                scheme, format.name(), repeat, scale, batch,
+                report.reordering.voq_reorder_events,
+                report.reordering.flow_reorder_events,
+            );
+            prop_assert_eq!(
+                report.offered_packets,
+                records.len() as u64 * u64::from(repeat),
+                "{} lost arrivals from the trace path", scheme
+            );
+            // Work-conserving OQ must deliver everything it was offered
+            // (frame/stripe schemes may legitimately strand partial groups).
+            if scheme == "oq" {
+                prop_assert_eq!(report.residual_packets, 0, "oq stranded packets");
+            }
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -42,7 +42,7 @@ fn spec_from_draws(
         1 => SizingSpec::Adaptive,
         _ => SizingSpec::Fixed(fixed_size),
     };
-    let traffic = match traffic_idx % 5 {
+    let traffic = match traffic_idx % 7 {
         0 => TrafficSpec::Uniform { load },
         1 => TrafficSpec::Diagonal { load },
         2 => TrafficSpec::Hotspot {
@@ -54,9 +54,21 @@ fn spec_from_draws(
             peak: aux_a,
             mean_burst: 1.0 + aux_b * 100.0,
         },
-        _ => TrafficSpec::Flows {
+        4 => TrafficSpec::Flows {
             load,
             mean_flow_len: 1.0 + aux_b * 50.0,
+        },
+        5 => TrafficSpec::trace(format!("traces/capture-{fixed_size}.sprt")),
+        _ => TrafficSpec::Trace {
+            // Hostile path exercising the JSON string escaper.
+            path: format!("dir with \"quotes\"\\and\\tabs\t{fixed_size}.csv"),
+            format: Some(if fixed_size.is_multiple_of(2) {
+                sprinklers_sim::traffic::trace_io::TraceFormat::Csv
+            } else {
+                sprinklers_sim::traffic::trace_io::TraceFormat::Sprt
+            }),
+            repeat: fixed_size as u32,
+            scale: 0.25 + aux_b * 3.0,
         },
     };
     ScenarioSpec::new(scheme, n)
@@ -79,7 +91,7 @@ proptest! {
         n in 2usize..512,
         sizing_idx in 0usize..3,
         fixed_size in 1usize..64,
-        traffic_idx in 0usize..5,
+        traffic_idx in 0usize..7,
         load in 0.01f64..0.99,
         aux_a in 0.05f64..1.0,
         aux_b in 0.0f64..1.0,
@@ -100,7 +112,7 @@ proptest! {
     fn serialization_is_deterministic(
         scheme_idx in 0usize..14,
         n in 2usize..128,
-        traffic_idx in 0usize..5,
+        traffic_idx in 0usize..7,
         load in 0.01f64..0.99,
         seed in 0u64..u64::MAX,
     ) {
@@ -114,7 +126,7 @@ proptest! {
     fn every_strict_prefix_is_rejected(
         scheme_idx in 0usize..14,
         n in 2usize..64,
-        traffic_idx in 0usize..5,
+        traffic_idx in 0usize..7,
         load in 0.01f64..0.99,
         cut in 0.0f64..1.0,
     ) {
