@@ -12,6 +12,7 @@
 
 use crate::fabric::{first_fabric_at, second_fabric_output_at};
 use crate::intermediate::SimpleIntermediate;
+use sprinklers_core::occupancy::OccupancySet;
 use sprinklers_core::packet::{DeliveredPacket, Packet};
 use sprinklers_core::switch::{step_batch_rotating, DeliverySink, Switch, SwitchStats};
 use std::collections::VecDeque;
@@ -21,18 +22,33 @@ pub struct BaselineLbSwitch {
     n: usize,
     inputs: Vec<VecDeque<Packet>>,
     intermediates: Vec<SimpleIntermediate>,
+    /// Inputs with a buffered packet / intermediates with any queued packet —
+    /// the only ports a step has to visit.
+    occupied_inputs: OccupancySet,
+    occupied_intermediates: OccupancySet,
+    /// Running totals so `stats()` is O(1) at every sampling boundary.
+    queued_inputs: usize,
+    queued_intermediates: usize,
     arrivals: u64,
     departures: u64,
 }
 
 impl BaselineLbSwitch {
-    /// Create an `n`-port baseline load-balanced switch.
+    /// Create an `n`-port baseline load-balanced switch.  The input FIFOs
+    /// are pre-sized so a lightly loaded warm-up never reallocates.
     pub fn new(n: usize) -> Self {
         assert!(n >= 2, "a switch needs at least two ports");
+        sprinklers_core::packet::assert_ports_fit(n);
         BaselineLbSwitch {
             n,
-            inputs: (0..n).map(|_| VecDeque::new()).collect(),
+            inputs: (0..n)
+                .map(|_| VecDeque::with_capacity((2 * n).min(64)))
+                .collect(),
             intermediates: (0..n).map(|l| SimpleIntermediate::new(l, n)).collect(),
+            occupied_inputs: OccupancySet::new(n),
+            occupied_intermediates: OccupancySet::new(n),
+            queued_inputs: 0,
+            queued_intermediates: 0,
             arrivals: 0,
             departures: 0,
         }
@@ -40,22 +56,43 @@ impl BaselineLbSwitch {
 
     /// Advance one slot whose fabric phase `t == slot mod N` is already
     /// reduced (shared by `step` and the phase-rotating `step_batch`).
+    /// Both passes walk the occupancy bitsets in ascending port order, which
+    /// skips exactly the ports the dense loops probed to no effect.
     fn step_at(&mut self, slot: u64, t: usize, sink: &mut dyn DeliverySink) {
         // Second fabric first (store-and-forward).
-        for l in 0..self.n {
-            let output = second_fabric_output_at(l, t, self.n);
-            if let Some(packet) = self.intermediates[l].dequeue(output) {
-                self.departures += 1;
-                sink.deliver(DeliveredPacket::new(packet, slot));
+        for w in 0..self.occupied_intermediates.word_count() {
+            let mut bits = self.occupied_intermediates.word(w);
+            while bits != 0 {
+                let l = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let output = second_fabric_output_at(l, t, self.n);
+                if let Some(packet) = self.intermediates[l].dequeue(output) {
+                    if self.intermediates[l].queued_packets() == 0 {
+                        self.occupied_intermediates.remove(l);
+                    }
+                    self.queued_intermediates -= 1;
+                    self.departures += 1;
+                    sink.deliver(DeliveredPacket::new(packet, slot));
+                }
             }
         }
-        // First fabric: every input forwards its head-of-line packet to the
-        // intermediate port it is connected to in this slot.
-        for i in 0..self.n {
-            if let Some(mut packet) = self.inputs[i].pop_front() {
+        // First fabric: every backlogged input forwards its head-of-line
+        // packet to the intermediate port it is connected to in this slot.
+        for w in 0..self.occupied_inputs.word_count() {
+            let mut bits = self.occupied_inputs.word(w);
+            while bits != 0 {
+                let i = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let mut packet = self.inputs[i].pop_front().expect("occupied input");
+                if self.inputs[i].is_empty() {
+                    self.occupied_inputs.remove(i);
+                }
                 let l = first_fabric_at(i, t, self.n);
-                packet.intermediate = l;
-                packet.stripe_size = 1;
+                packet.set_intermediate(l);
+                packet.set_stripe_size(1);
+                self.queued_inputs -= 1;
+                self.queued_intermediates += 1;
+                self.occupied_intermediates.insert(l);
                 self.intermediates[l].receive(packet);
             }
         }
@@ -72,9 +109,11 @@ impl Switch for BaselineLbSwitch {
     }
 
     fn arrive(&mut self, packet: Packet) {
-        debug_assert!(packet.input < self.n && packet.output < self.n);
+        debug_assert!(packet.input() < self.n && packet.output() < self.n);
         self.arrivals += 1;
-        self.inputs[packet.input].push_back(packet);
+        self.queued_inputs += 1;
+        self.occupied_inputs.insert(packet.input());
+        self.inputs[packet.input()].push_back(packet);
     }
 
     fn step(&mut self, slot: u64, sink: &mut dyn DeliverySink) {
@@ -84,8 +123,10 @@ impl Switch for BaselineLbSwitch {
 
     fn step_batch(&mut self, first_slot: u64, count: u32, sink: &mut dyn DeliverySink) {
         step_batch_rotating(self.n, first_slot, count, |slot, t| {
-            // An empty switch is a no-op to step; elide the rest of the batch.
-            if self.arrivals == self.departures {
+            // An empty switch — the degenerate case of the per-port
+            // occupancy check — is a no-op to step; elide the rest of the
+            // batch.
+            if self.occupied_inputs.is_empty() && self.occupied_intermediates.is_empty() {
                 return false;
             }
             self.step_at(slot, t, sink);
@@ -95,8 +136,8 @@ impl Switch for BaselineLbSwitch {
 
     fn stats(&self) -> SwitchStats {
         SwitchStats {
-            queued_at_inputs: self.inputs.iter().map(VecDeque::len).sum(),
-            queued_at_intermediates: self.intermediates.iter().map(|p| p.queued_packets()).sum(),
+            queued_at_inputs: self.queued_inputs,
+            queued_at_intermediates: self.queued_intermediates,
             queued_at_outputs: 0,
             total_arrivals: self.arrivals,
             total_departures: self.departures,
@@ -121,7 +162,7 @@ mod tests {
             sw.step(slot, &mut delivered);
         }
         assert_eq!(delivered.len(), 1);
-        assert_eq!(delivered[0].packet.output, 5);
+        assert_eq!(delivered[0].packet.output(), 5);
         assert_eq!(sw.stats().total_departures, 1);
     }
 

@@ -15,6 +15,7 @@ use crate::fabric::{first_fabric_at, second_fabric_output_at};
 use crate::frame::{FrameInService, FrameVoq};
 use crate::intermediate::SimpleIntermediate;
 use crate::resequencer::Resequencer;
+use sprinklers_core::occupancy::OccupancySet;
 use sprinklers_core::packet::{DeliveredPacket, Packet};
 use sprinklers_core::switch::{step_batch_rotating, DeliverySink, Switch, SwitchStats};
 use std::collections::VecDeque;
@@ -26,6 +27,9 @@ struct FoffInput {
     in_service: Option<FrameInService>,
     /// Round-robin pointer over VOQs for partial-frame service.
     rr: usize,
+    /// Running packet count (VOQs + ready frames + frame in service), so the
+    /// occupancy bitset and `stats()` never rescan the n VOQs.
+    queued: usize,
 }
 
 impl FoffInput {
@@ -35,16 +39,8 @@ impl FoffInput {
             ready_frames: VecDeque::new(),
             in_service: None,
             rr: 0,
+            queued: 0,
         }
-    }
-
-    fn queued_packets(&self) -> usize {
-        self.voqs.iter().map(FrameVoq::len).sum::<usize>()
-            + self.ready_frames.iter().map(Vec::len).sum::<usize>()
-            + self
-                .in_service
-                .as_ref()
-                .map_or(0, FrameInService::remaining)
     }
 
     /// Pop one packet from the next non-empty VOQ in round-robin order.
@@ -67,8 +63,18 @@ pub struct FoffSwitch {
     inputs: Vec<FoffInput>,
     intermediates: Vec<SimpleIntermediate>,
     resequencers: Vec<Resequencer>,
-    /// Recycled frame buffers shared by every input (see [`UfsSwitch`]).
+    /// Inputs holding any packet (FOFF's round-robin partial service can
+    /// always move one), intermediates with queued packets, and outputs whose
+    /// resequencer buffers anything — the ports a step visits.
+    occupied_inputs: OccupancySet,
+    occupied_intermediates: OccupancySet,
+    occupied_outputs: OccupancySet,
+    /// Recycled frame buffers shared by every input (see [`crate::UfsSwitch`]).
     frame_pool: Vec<Vec<Packet>>,
+    /// Running totals so `stats()` is O(1) at every sampling boundary.
+    queued_inputs: usize,
+    queued_intermediates: usize,
+    queued_outputs: usize,
     arrivals: u64,
     departures: u64,
 }
@@ -77,12 +83,19 @@ impl FoffSwitch {
     /// Create an `n`-port FOFF switch.
     pub fn new(n: usize) -> Self {
         assert!(n >= 2);
+        sprinklers_core::packet::assert_ports_fit(n);
         FoffSwitch {
             n,
             inputs: (0..n).map(|_| FoffInput::new(n)).collect(),
             intermediates: (0..n).map(|l| SimpleIntermediate::new(l, n)).collect(),
             resequencers: (0..n).map(|_| Resequencer::new(n)).collect(),
+            occupied_inputs: OccupancySet::new(n),
+            occupied_intermediates: OccupancySet::new(n),
+            occupied_outputs: OccupancySet::new(n),
             frame_pool: Vec::new(),
+            queued_inputs: 0,
+            queued_intermediates: 0,
+            queued_outputs: 0,
             arrivals: 0,
             departures: 0,
         }
@@ -90,44 +103,82 @@ impl FoffSwitch {
 
     /// Advance one slot whose fabric phase `t == slot mod N` is already
     /// reduced (shared by `step` and the phase-rotating `step_batch`).
+    /// All three passes walk their occupancy bitsets in ascending port order.
     fn step_at(&mut self, slot: u64, t: usize, sink: &mut dyn DeliverySink) {
         // Second fabric: move packets into the output resequencers, then let
         // each output release at most one in-order packet (its line rate).
-        for l in 0..self.n {
-            let output = second_fabric_output_at(l, t, self.n);
-            if let Some(packet) = self.intermediates[l].dequeue(output) {
-                self.resequencers[output].receive(packet);
+        for w in 0..self.occupied_intermediates.word_count() {
+            let mut bits = self.occupied_intermediates.word(w);
+            while bits != 0 {
+                let l = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let output = second_fabric_output_at(l, t, self.n);
+                if let Some(packet) = self.intermediates[l].dequeue(output) {
+                    if self.intermediates[l].queued_packets() == 0 {
+                        self.occupied_intermediates.remove(l);
+                    }
+                    self.queued_intermediates -= 1;
+                    self.queued_outputs += 1;
+                    self.occupied_outputs.insert(output);
+                    self.resequencers[output].receive(packet);
+                }
             }
         }
-        for (output, reseq) in self.resequencers.iter_mut().enumerate() {
-            if let Some(packet) = reseq.release_one() {
-                debug_assert_eq!(packet.output, output);
-                self.departures += 1;
-                sink.deliver(DeliveredPacket::new(packet, slot));
+        // A resequencer can be occupied and still release nothing: all of
+        // its buffered packets may be waiting for an earlier sequence number.
+        for w in 0..self.occupied_outputs.word_count() {
+            let mut bits = self.occupied_outputs.word(w);
+            while bits != 0 {
+                let output = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if let Some(packet) = self.resequencers[output].release_one() {
+                    debug_assert_eq!(packet.output(), output);
+                    if self.resequencers[output].buffered_packets() == 0 {
+                        self.occupied_outputs.remove(output);
+                    }
+                    self.queued_outputs -= 1;
+                    self.departures += 1;
+                    sink.deliver(DeliveredPacket::new(packet, slot));
+                }
             }
         }
         // First fabric: full frames first, round-robin partial service
         // otherwise.
-        for i in 0..self.n {
-            let connected = first_fabric_at(i, t, self.n);
-            let input = &mut self.inputs[i];
-            if input.in_service.is_none() && connected == 0 {
-                if let Some(frame) = input.ready_frames.pop_front() {
-                    input.in_service = Some(FrameInService::new(frame));
+        for w in 0..self.occupied_inputs.word_count() {
+            let mut bits = self.occupied_inputs.word(w);
+            while bits != 0 {
+                let i = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let connected = first_fabric_at(i, t, self.n);
+                let input = &mut self.inputs[i];
+                if input.in_service.is_none() && connected == 0 {
+                    if let Some(frame) = input.ready_frames.pop_front() {
+                        input.in_service = Some(FrameInService::new(frame));
+                    }
                 }
-            }
-            if let Some(svc) = &mut input.in_service {
-                debug_assert_eq!(svc.next_port(), connected);
-                let packet = svc.serve_next();
-                self.intermediates[connected].receive(packet);
-                if svc.finished() {
-                    let done = input.in_service.take().expect("frame is in service");
-                    self.frame_pool.push(done.recycle());
+                let mut sent = None;
+                if let Some(svc) = &mut input.in_service {
+                    debug_assert_eq!(svc.next_port(), connected);
+                    sent = Some(svc.serve_next());
+                    if svc.finished() {
+                        let done = input.in_service.take().expect("frame is in service");
+                        self.frame_pool.push(done.recycle());
+                    }
+                } else if let Some(mut packet) = input.pop_round_robin() {
+                    packet.set_intermediate(connected);
+                    packet.set_stripe_size(1);
+                    sent = Some(packet);
                 }
-            } else if let Some(mut packet) = input.pop_round_robin() {
-                packet.intermediate = connected;
-                packet.stripe_size = 1;
-                self.intermediates[connected].receive(packet);
+                if let Some(packet) = sent {
+                    input.queued -= 1;
+                    if input.queued == 0 {
+                        self.occupied_inputs.remove(i);
+                    }
+                    self.queued_inputs -= 1;
+                    self.queued_intermediates += 1;
+                    self.occupied_intermediates.insert(connected);
+                    self.intermediates[connected].receive(packet);
+                }
             }
         }
     }
@@ -143,12 +194,16 @@ impl Switch for FoffSwitch {
     }
 
     fn arrive(&mut self, packet: Packet) {
-        debug_assert!(packet.input < self.n && packet.output < self.n);
+        debug_assert!(packet.input() < self.n && packet.output() < self.n);
         self.arrivals += 1;
+        self.queued_inputs += 1;
         // The output resequencer needs to know the arrival order of each VOQ.
-        self.resequencers[packet.output].note_arrival(packet.input, packet.voq_seq);
-        let input = &mut self.inputs[packet.input];
-        let output = packet.output;
+        self.resequencers[packet.output()].note_arrival(packet.input(), packet.voq_seq);
+        let i = packet.input();
+        let input = &mut self.inputs[i];
+        let output = packet.output();
+        input.queued += 1;
+        self.occupied_inputs.insert(i);
         input.voqs[output].push(packet);
         if input.voqs[output].len() >= self.n {
             let mut frame = self.frame_pool.pop().unwrap_or_default();
@@ -165,8 +220,13 @@ impl Switch for FoffSwitch {
 
     fn step_batch(&mut self, first_slot: u64, count: u32, sink: &mut dyn DeliverySink) {
         step_batch_rotating(self.n, first_slot, count, |slot, t| {
-            // An empty switch is a no-op to step; elide the rest of the batch.
-            if self.arrivals == self.departures {
+            // All three occupancy bitsets empty — the degenerate case of the
+            // per-port check — means the switch holds nothing anywhere, so
+            // stepping is a no-op and the rest of the batch can be elided.
+            if self.occupied_inputs.is_empty()
+                && self.occupied_intermediates.is_empty()
+                && self.occupied_outputs.is_empty()
+            {
                 return false;
             }
             self.step_at(slot, t, sink);
@@ -176,13 +236,9 @@ impl Switch for FoffSwitch {
 
     fn stats(&self) -> SwitchStats {
         SwitchStats {
-            queued_at_inputs: self.inputs.iter().map(FoffInput::queued_packets).sum(),
-            queued_at_intermediates: self.intermediates.iter().map(|p| p.queued_packets()).sum(),
-            queued_at_outputs: self
-                .resequencers
-                .iter()
-                .map(Resequencer::buffered_packets)
-                .sum(),
+            queued_at_inputs: self.queued_inputs,
+            queued_at_intermediates: self.queued_intermediates,
+            queued_at_outputs: self.queued_outputs,
             total_arrivals: self.arrivals,
             total_departures: self.departures,
         }
@@ -207,7 +263,7 @@ mod tests {
             sw.step(slot, &mut delivered);
         }
         assert_eq!(delivered.len(), 1, "FOFF must not wait for a full frame");
-        assert_eq!(delivered[0].packet.output, 3);
+        assert_eq!(delivered[0].packet.output(), 3);
     }
 
     #[test]
@@ -263,8 +319,80 @@ mod tests {
         for slot in 0..200u64 {
             delivered.clear();
             sw.step(slot, &mut delivered);
-            let to_two = delivered.iter().filter(|d| d.packet.output == 2).count();
+            let to_two = delivered.iter().filter(|d| d.packet.output() == 2).count();
             assert!(to_two <= 1, "an output can only accept one packet per slot");
+        }
+    }
+
+    /// The three occupancy bitsets and running counters must agree with
+    /// brute-force scans throughout a random interleaving, including at a
+    /// port count past the bitsets' 64-port word boundary.
+    #[test]
+    fn occupancy_bitsets_agree_with_brute_force_scans() {
+        fn check(sw: &FoffSwitch, context: &str) {
+            for i in 0..sw.n {
+                assert_eq!(
+                    sw.occupied_inputs.contains(i),
+                    sw.inputs[i].queued > 0,
+                    "{context}: input {i} bit diverged"
+                );
+                let rescan = sw.inputs[i].voqs.iter().map(FrameVoq::len).sum::<usize>()
+                    + sw.inputs[i]
+                        .ready_frames
+                        .iter()
+                        .map(Vec::len)
+                        .sum::<usize>()
+                    + sw.inputs[i]
+                        .in_service
+                        .as_ref()
+                        .map_or(0, FrameInService::remaining);
+                assert_eq!(sw.inputs[i].queued, rescan, "{context}: input {i} counter");
+            }
+            for l in 0..sw.n {
+                assert_eq!(
+                    sw.occupied_intermediates.contains(l),
+                    sw.intermediates[l].queued_packets() > 0,
+                    "{context}: intermediate {l} bit diverged"
+                );
+            }
+            for j in 0..sw.n {
+                assert_eq!(
+                    sw.occupied_outputs.contains(j),
+                    sw.resequencers[j].buffered_packets() > 0,
+                    "{context}: output {j} bit diverged"
+                );
+            }
+            assert_eq!(
+                sw.queued_outputs,
+                sw.resequencers
+                    .iter()
+                    .map(Resequencer::buffered_packets)
+                    .sum::<usize>(),
+                "{context}: output counter diverged"
+            );
+        }
+
+        for n in [6usize, 65] {
+            let mut sw = FoffSwitch::new(n);
+            let mut seqs = vec![0u64; n * n];
+            for slot in 0..(8 * n as u64) {
+                for i in 0..n {
+                    if !(i + slot as usize).is_multiple_of(3) {
+                        let output = (i + 2 * slot as usize) % n;
+                        let key = i * n + output;
+                        sw.arrive(pkt(i, output, seqs[key], slot));
+                        seqs[key] += 1;
+                    }
+                }
+                sw.step(slot, &mut sprinklers_core::switch::NullSink);
+                if slot % 7 == 0 {
+                    check(&sw, &format!("n={n} slot={slot}"));
+                }
+            }
+            for slot in (8 * n as u64)..(40 * n as u64) {
+                sw.step(slot, &mut sprinklers_core::switch::NullSink);
+            }
+            check(&sw, &format!("n={n} post-drain"));
         }
     }
 

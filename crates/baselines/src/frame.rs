@@ -114,9 +114,9 @@ impl FrameInService {
     pub fn new(mut packets: Vec<Packet>) -> Self {
         let size = packets.len();
         for (k, p) in packets.iter_mut().enumerate() {
-            p.stripe_size = size;
-            p.stripe_index = k;
-            p.intermediate = k;
+            p.set_stripe_size(size);
+            p.set_stripe_index(k);
+            p.set_intermediate(k);
         }
         FrameInService { packets, next: 0 }
     }
@@ -183,7 +183,7 @@ mod tests {
         voq.push(pkt(1));
         let frame = voq.pop_padded_frame(4, 0, 1, 99).unwrap();
         assert_eq!(frame.len(), 4);
-        assert_eq!(frame.iter().filter(|p| p.is_padding).count(), 2);
+        assert_eq!(frame.iter().filter(|p| p.is_padding()).count(), 2);
         assert!(voq.is_empty());
         assert!(voq.pop_padded_frame(4, 0, 1, 99).is_none());
     }
@@ -195,9 +195,9 @@ mod tests {
             assert!(!svc.finished());
             assert_eq!(svc.next_port(), k);
             let p = svc.serve_next();
-            assert_eq!(p.intermediate, k);
-            assert_eq!(p.stripe_index, k);
-            assert_eq!(p.stripe_size, 4);
+            assert_eq!(p.intermediate(), k);
+            assert_eq!(p.stripe_index(), k);
+            assert_eq!(p.stripe_size(), 4);
         }
         assert!(svc.finished());
         assert_eq!(svc.remaining(), 0);

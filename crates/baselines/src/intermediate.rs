@@ -19,10 +19,18 @@ pub struct SimpleIntermediate {
 
 impl SimpleIntermediate {
     /// Create intermediate port `port_id` of an `n`-port switch.
+    ///
+    /// The per-output FIFOs are pre-sized so warm-up never reallocates: a
+    /// stable run keeps each queue shallow (the second fabric drains every
+    /// output once per frame), so a small capacity covers the usual depth,
+    /// and the cap keeps the up-front cost bounded at large N (there are n²
+    /// of these queues per switch, so an uncapped 2n would be cubic in
+    /// ports).
     pub fn new(port_id: usize, n: usize) -> Self {
+        let capacity = (2 * n).min((2048 / n.max(1)).max(4));
         SimpleIntermediate {
             port_id,
-            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            queues: (0..n).map(|_| VecDeque::with_capacity(capacity)).collect(),
             queued: 0,
         }
     }
@@ -34,8 +42,8 @@ impl SimpleIntermediate {
 
     /// Accept a packet from the first fabric.
     pub fn receive(&mut self, packet: Packet) {
-        debug_assert!(packet.output < self.queues.len());
-        self.queues[packet.output].push_back(packet);
+        debug_assert!(packet.output() < self.queues.len());
+        self.queues[packet.output()].push_back(packet);
         self.queued += 1;
     }
 

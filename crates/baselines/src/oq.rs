@@ -13,6 +13,7 @@
 //! the store-and-forward switches it is compared against, a packet arriving
 //! in slot `t` can depart no earlier than slot `t + 1`.
 
+use sprinklers_core::occupancy::OccupancySet;
 use sprinklers_core::packet::{DeliveredPacket, Packet};
 use sprinklers_core::switch::{step_batch_rotating, DeliverySink, Switch, SwitchStats};
 use std::collections::VecDeque;
@@ -21,17 +22,25 @@ use std::collections::VecDeque;
 pub struct OutputQueuedSwitch {
     n: usize,
     outputs: Vec<VecDeque<Packet>>,
+    /// Outputs with at least one buffered packet — the only queues a step
+    /// has to look at, so a slot costs O(backlogged outputs) instead of O(N).
+    occupied: OccupancySet,
     arrivals: u64,
     departures: u64,
 }
 
 impl OutputQueuedSwitch {
-    /// Create an `n`-port output-queued switch.
+    /// Create an `n`-port output-queued switch.  The per-output FIFOs are
+    /// pre-sized so a lightly loaded warm-up never reallocates.
     pub fn new(n: usize) -> Self {
         assert!(n >= 2, "a switch needs at least two ports");
+        sprinklers_core::packet::assert_ports_fit(n);
         OutputQueuedSwitch {
             n,
-            outputs: (0..n).map(|_| VecDeque::new()).collect(),
+            outputs: (0..n)
+                .map(|_| VecDeque::with_capacity((2 * n).min(64)))
+                .collect(),
+            occupied: OccupancySet::new(n),
             arrivals: 0,
             departures: 0,
         }
@@ -48,22 +57,34 @@ impl Switch for OutputQueuedSwitch {
     }
 
     fn arrive(&mut self, packet: Packet) {
-        debug_assert!(packet.input < self.n && packet.output < self.n);
+        debug_assert!(packet.input() < self.n && packet.output() < self.n);
         self.arrivals += 1;
-        self.outputs[packet.output].push_back(packet);
+        self.occupied.insert(packet.output());
+        self.outputs[packet.output()].push_back(packet);
     }
 
     fn step(&mut self, slot: u64, sink: &mut dyn DeliverySink) {
-        for queue in &mut self.outputs {
-            // Store-and-forward: a packet needs at least one slot inside the
-            // switch, so same-slot arrivals are not eligible yet.
-            let eligible = queue
-                .front()
-                .is_some_and(|packet| packet.arrival_slot < slot);
-            if eligible {
-                let packet = queue.pop_front().expect("checked front above");
-                self.departures += 1;
-                sink.deliver(DeliveredPacket::new(packet, slot));
+        // Walk only the backlogged outputs, in ascending order like the dense
+        // loop did (empty queues were no-ops there).
+        for w in 0..self.occupied.word_count() {
+            let mut bits = self.occupied.word(w);
+            while bits != 0 {
+                let j = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let queue = &mut self.outputs[j];
+                // Store-and-forward: a packet needs at least one slot inside the
+                // switch, so same-slot arrivals are not eligible yet.
+                let eligible = queue
+                    .front()
+                    .is_some_and(|packet| packet.arrival_slot < slot);
+                if eligible {
+                    let packet = queue.pop_front().expect("checked front above");
+                    if queue.is_empty() {
+                        self.occupied.remove(j);
+                    }
+                    self.departures += 1;
+                    sink.deliver(DeliveredPacket::new(packet, slot));
+                }
             }
         }
     }
@@ -71,11 +92,12 @@ impl Switch for OutputQueuedSwitch {
     fn step_batch(&mut self, first_slot: u64, count: u32, sink: &mut dyn DeliverySink) {
         // OQ has no fabric phase, so the rotated `t` goes unused; the
         // override exists so a batch crosses the `dyn Switch` boundary once
-        // instead of once per slot and so an empty switch (a no-op to step)
-        // elides the rest of the batch.  The inner call is static dispatch
-        // on the concrete type, sharing the per-slot body with `step`.
+        // instead of once per slot and so an empty switch — the degenerate
+        // case of the per-output occupancy check — elides the rest of the
+        // batch.  The inner call is static dispatch on the concrete type,
+        // sharing the per-slot body with `step`.
         step_batch_rotating(self.n, first_slot, count, |slot, _t| {
-            if self.arrivals == self.departures {
+            if self.occupied.is_empty() {
                 return false;
             }
             self.step(slot, sink);
@@ -87,7 +109,10 @@ impl Switch for OutputQueuedSwitch {
         SwitchStats {
             queued_at_inputs: 0,
             queued_at_intermediates: 0,
-            queued_at_outputs: self.outputs.iter().map(VecDeque::len).sum(),
+            // Packets only ever wait at the outputs, so the occupancy the
+            // engine samples every N slots is a counter difference, not an
+            // O(N) rescan of the queues.
+            queued_at_outputs: (self.arrivals - self.departures) as usize,
             total_arrivals: self.arrivals,
             total_departures: self.departures,
         }
@@ -113,7 +138,7 @@ mod tests {
         sw.step(1, &mut delivered);
         assert_eq!(delivered.len(), 1);
         assert_eq!(delivered[0].delay(), 1);
-        assert_eq!(delivered[0].packet.output, 2);
+        assert_eq!(delivered[0].packet.output(), 2);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use crate::fabric::{first_fabric_at, second_fabric_output_at};
 use crate::frame::{FrameInService, FrameVoq};
 use crate::intermediate::SimpleIntermediate;
+use sprinklers_core::occupancy::OccupancySet;
 use sprinklers_core::packet::{DeliveredPacket, Packet};
 use sprinklers_core::switch::{step_batch_rotating, DeliverySink, Switch, SwitchStats};
 use std::collections::VecDeque;
@@ -21,6 +22,13 @@ struct PfInput {
     voqs: Vec<FrameVoq>,
     ready_frames: VecDeque<Vec<Packet>>,
     in_service: Option<FrameInService>,
+    /// Running packet count with the same semantics the old O(N) rescan had
+    /// (VOQ data + ready frames + everything left in the frame in service,
+    /// padding included), so `stats()` is O(1).
+    queued: usize,
+    /// VOQs currently at or above the padding threshold.  Only they can
+    /// trigger a padded frame, so the count feeds [`Self::transmittable`].
+    ripe_voqs: usize,
 }
 
 impl PfInput {
@@ -29,20 +37,18 @@ impl PfInput {
             voqs: (0..n).map(|_| FrameVoq::new()).collect(),
             ready_frames: VecDeque::new(),
             in_service: None,
+            queued: 0,
+            ripe_voqs: 0,
         }
     }
 
-    fn queued_packets(&self) -> usize {
-        self.voqs.iter().map(FrameVoq::len).sum::<usize>()
-            + self
-                .ready_frames
-                .iter()
-                .map(|f| f.iter().filter(|p| !p.is_padding).count())
-                .sum::<usize>()
-            + self
-                .in_service
-                .as_ref()
-                .map_or(0, FrameInService::remaining)
+    /// True if a step could move a packet out of this input: a frame is in
+    /// flight or ready, or some VOQ has reached the padding threshold.  VOQs
+    /// below the threshold strand until more arrivals push them over it, so
+    /// an input holding only those is a provable no-op to visit — the
+    /// input-occupancy bitset criterion.
+    fn transmittable(&self) -> bool {
+        self.in_service.is_some() || !self.ready_frames.is_empty() || self.ripe_voqs > 0
     }
 
     /// Index and length of the longest VOQ.
@@ -62,8 +68,15 @@ pub struct PaddedFramesSwitch {
     threshold: usize,
     inputs: Vec<PfInput>,
     intermediates: Vec<SimpleIntermediate>,
+    /// Inputs that could transmit (frame ready/in flight or a threshold-ripe
+    /// VOQ) and intermediates with queued packets — the ports a step visits.
+    occupied_inputs: OccupancySet,
+    occupied_intermediates: OccupancySet,
     /// Recycled frame buffers shared by every input (see [`crate::UfsSwitch`]).
     frame_pool: Vec<Vec<Packet>>,
+    /// Running totals so `stats()` is O(1) at every sampling boundary.
+    queued_inputs: usize,
+    queued_intermediates: usize,
     arrivals: u64,
     departures: u64,
     padding_sent: u64,
@@ -76,6 +89,7 @@ impl PaddedFramesSwitch {
     /// packets).
     pub fn new(n: usize, threshold: usize) -> Self {
         assert!(n >= 2);
+        sprinklers_core::packet::assert_ports_fit(n);
         assert!(
             threshold >= 1 && threshold <= n,
             "threshold must be in 1..=N"
@@ -85,7 +99,11 @@ impl PaddedFramesSwitch {
             threshold,
             inputs: (0..n).map(|_| PfInput::new(n)).collect(),
             intermediates: (0..n).map(|l| SimpleIntermediate::new(l, n)).collect(),
+            occupied_inputs: OccupancySet::new(n),
+            occupied_intermediates: OccupancySet::new(n),
             frame_pool: Vec::new(),
+            queued_inputs: 0,
+            queued_intermediates: 0,
             arrivals: 0,
             departures: 0,
             padding_sent: 0,
@@ -105,49 +123,77 @@ impl PaddedFramesSwitch {
 
     /// Advance one slot whose fabric phase `t == slot mod N` is already
     /// reduced (shared by `step` and the phase-rotating `step_batch`).
+    /// Both passes walk the occupancy bitsets in ascending port order.
     fn step_at(&mut self, slot: u64, t: usize, sink: &mut dyn DeliverySink) {
-        for l in 0..self.n {
-            let output = second_fabric_output_at(l, t, self.n);
-            if let Some(packet) = self.intermediates[l].dequeue(output) {
-                if packet.is_padding {
-                    self.padding_delivered += 1;
-                } else {
-                    self.departures += 1;
+        for w in 0..self.occupied_intermediates.word_count() {
+            let mut bits = self.occupied_intermediates.word(w);
+            while bits != 0 {
+                let l = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let output = second_fabric_output_at(l, t, self.n);
+                if let Some(packet) = self.intermediates[l].dequeue(output) {
+                    if self.intermediates[l].queued_packets() == 0 {
+                        self.occupied_intermediates.remove(l);
+                    }
+                    self.queued_intermediates -= 1;
+                    if packet.is_padding() {
+                        self.padding_delivered += 1;
+                    } else {
+                        self.departures += 1;
+                    }
+                    sink.deliver(DeliveredPacket::new(packet, slot));
                 }
-                sink.deliver(DeliveredPacket::new(packet, slot));
             }
         }
-        for i in 0..self.n {
-            let connected = first_fabric_at(i, t, self.n);
-            let input = &mut self.inputs[i];
-            if input.in_service.is_none() && connected == 0 {
-                // Full frames first; otherwise pad the longest VOQ if it has
-                // reached the threshold.
-                if let Some(frame) = input.ready_frames.pop_front() {
-                    input.in_service = Some(FrameInService::new(frame));
-                } else {
-                    let (longest, len) = input.longest_voq();
-                    if len >= self.threshold {
-                        let mut frame = self.frame_pool.pop().unwrap_or_default();
-                        if input.voqs[longest]
-                            .pop_padded_frame_into(self.n, i, longest, slot, &mut frame)
-                        {
-                            self.padding_sent +=
-                                frame.iter().filter(|p| p.is_padding).count() as u64;
-                            input.in_service = Some(FrameInService::new(frame));
-                        } else {
-                            self.frame_pool.push(frame);
+        for w in 0..self.occupied_inputs.word_count() {
+            let mut bits = self.occupied_inputs.word(w);
+            while bits != 0 {
+                let i = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let connected = first_fabric_at(i, t, self.n);
+                let input = &mut self.inputs[i];
+                if input.in_service.is_none() && connected == 0 {
+                    // Full frames first; otherwise pad the longest VOQ if it has
+                    // reached the threshold.
+                    if let Some(frame) = input.ready_frames.pop_front() {
+                        input.in_service = Some(FrameInService::new(frame));
+                    } else {
+                        let (longest, len) = input.longest_voq();
+                        if len >= self.threshold {
+                            let mut frame = self.frame_pool.pop().unwrap_or_default();
+                            if input.voqs[longest]
+                                .pop_padded_frame_into(self.n, i, longest, slot, &mut frame)
+                            {
+                                let pad = frame.iter().filter(|p| p.is_padding()).count();
+                                self.padding_sent += pad as u64;
+                                // The padding now occupies the frame in service,
+                                // which the input-side occupancy stat covers; the
+                                // padded VOQ drops from >= threshold to empty.
+                                input.queued += pad;
+                                self.queued_inputs += pad;
+                                input.ripe_voqs -= 1;
+                                input.in_service = Some(FrameInService::new(frame));
+                            } else {
+                                self.frame_pool.push(frame);
+                            }
                         }
                     }
                 }
-            }
-            if let Some(svc) = &mut input.in_service {
-                debug_assert_eq!(svc.next_port(), connected);
-                let packet = svc.serve_next();
-                self.intermediates[connected].receive(packet);
-                if svc.finished() {
-                    let done = input.in_service.take().expect("frame is in service");
-                    self.frame_pool.push(done.recycle());
+                if let Some(svc) = &mut input.in_service {
+                    debug_assert_eq!(svc.next_port(), connected);
+                    let packet = svc.serve_next();
+                    input.queued -= 1;
+                    self.queued_inputs -= 1;
+                    self.queued_intermediates += 1;
+                    self.occupied_intermediates.insert(connected);
+                    self.intermediates[connected].receive(packet);
+                    if svc.finished() {
+                        let done = input.in_service.take().expect("frame is in service");
+                        self.frame_pool.push(done.recycle());
+                        if !input.transmittable() {
+                            self.occupied_inputs.remove(i);
+                        }
+                    }
                 }
             }
         }
@@ -164,16 +210,27 @@ impl Switch for PaddedFramesSwitch {
     }
 
     fn arrive(&mut self, packet: Packet) {
-        debug_assert!(packet.input < self.n && packet.output < self.n);
+        debug_assert!(packet.input() < self.n && packet.output() < self.n);
         self.arrivals += 1;
-        let input = &mut self.inputs[packet.input];
-        let output = packet.output;
+        self.queued_inputs += 1;
+        let i = packet.input();
+        let input = &mut self.inputs[i];
+        let output = packet.output();
+        input.queued += 1;
         input.voqs[output].push(packet);
+        if input.voqs[output].len() == self.threshold {
+            input.ripe_voqs += 1;
+        }
         if input.voqs[output].len() >= self.n {
             let mut frame = self.frame_pool.pop().unwrap_or_default();
             let formed = input.voqs[output].pop_full_frame_into(self.n, &mut frame);
             debug_assert!(formed);
             input.ready_frames.push_back(frame);
+            // The drained VOQ drops from n (>= threshold) back below it.
+            input.ripe_voqs -= 1;
+        }
+        if input.transmittable() {
+            self.occupied_inputs.insert(i);
         }
     }
 
@@ -184,10 +241,14 @@ impl Switch for PaddedFramesSwitch {
 
     fn step_batch(&mut self, first_slot: u64, count: u32, sink: &mut dyn DeliverySink) {
         step_batch_rotating(self.n, first_slot, count, |slot, t| {
-            // An empty switch is a no-op to step; elide the rest of the
-            // batch.  "Empty" must count in-flight padding too: fake packets
-            // occupy the fabric and still have to be flushed to the outputs.
-            if self.arrivals == self.departures && self.padding_sent == self.padding_delivered {
+            // Empty bitsets ⇒ a step is a provable no-op: nothing is queued
+            // at the intermediate stage (padding included — fake packets set
+            // the same bits real ones do) and no input can transmit (any
+            // leftover VOQ residue is below the padding threshold, which
+            // only an arrival can change), so the rest of the batch can be
+            // elided.  Strictly stronger than the old conservation-counter
+            // check, which never fired while sub-threshold residue stranded.
+            if self.occupied_inputs.is_empty() && self.occupied_intermediates.is_empty() {
                 return false;
             }
             self.step_at(slot, t, sink);
@@ -197,8 +258,8 @@ impl Switch for PaddedFramesSwitch {
 
     fn stats(&self) -> SwitchStats {
         SwitchStats {
-            queued_at_inputs: self.inputs.iter().map(PfInput::queued_packets).sum(),
-            queued_at_intermediates: self.intermediates.iter().map(|p| p.queued_packets()).sum(),
+            queued_at_inputs: self.queued_inputs,
+            queued_at_intermediates: self.queued_intermediates,
             queued_at_outputs: 0,
             total_arrivals: self.arrivals,
             total_departures: self.departures,
@@ -237,8 +298,10 @@ mod tests {
         for slot in 0..64 {
             sw.step(slot, &mut delivered);
         }
-        let data: Vec<&DeliveredPacket> =
-            delivered.iter().filter(|d| !d.packet.is_padding).collect();
+        let data: Vec<&DeliveredPacket> = delivered
+            .iter()
+            .filter(|d| !d.packet.is_padding())
+            .collect();
         let padding = delivered.len() - data.len();
         assert_eq!(data.len(), 3);
         assert_eq!(padding, n - 3);
@@ -265,20 +328,83 @@ mod tests {
         // single packet to output 3 does.
         let first_frame_dep = delivered
             .iter()
-            .filter(|d| !d.packet.is_padding && d.packet.output == 2)
+            .filter(|d| !d.packet.is_padding() && d.packet.output() == 2)
             .map(|d| d.departure_slot)
             .min()
             .unwrap();
         let padded_dep = delivered
             .iter()
-            .filter(|d| !d.packet.is_padding && d.packet.output == 3)
+            .filter(|d| !d.packet.is_padding() && d.packet.output() == 3)
             .map(|d| d.departure_slot)
             .min()
             .unwrap();
         assert!(first_frame_dep < padded_dep, "the full frame departs first");
         // Everything, including the padded single packet, eventually departs.
-        let data_count = delivered.iter().filter(|d| !d.packet.is_padding).count();
+        let data_count = delivered.iter().filter(|d| !d.packet.is_padding()).count();
         assert_eq!(data_count, n + 1);
+    }
+
+    /// The transmittability bitset (frames + threshold-ripe VOQs) and the
+    /// running counters must agree with brute-force rescans throughout a
+    /// random interleaving, including past the 64-port word boundary.
+    #[test]
+    fn occupancy_bitsets_agree_with_brute_force_scans() {
+        fn check(sw: &PaddedFramesSwitch, context: &str) {
+            for i in 0..sw.n {
+                let input = &sw.inputs[i];
+                assert_eq!(
+                    sw.occupied_inputs.contains(i),
+                    input.transmittable(),
+                    "{context}: input {i} bit diverged"
+                );
+                let ripe = input
+                    .voqs
+                    .iter()
+                    .filter(|v| v.len() >= sw.threshold)
+                    .count();
+                assert_eq!(input.ripe_voqs, ripe, "{context}: input {i} ripe count");
+                let rescan = input.voqs.iter().map(FrameVoq::len).sum::<usize>()
+                    + input.ready_frames.iter().map(Vec::len).sum::<usize>()
+                    + input
+                        .in_service
+                        .as_ref()
+                        .map_or(0, FrameInService::remaining);
+                assert_eq!(input.queued, rescan, "{context}: input {i} counter");
+            }
+            for l in 0..sw.n {
+                assert_eq!(
+                    sw.occupied_intermediates.contains(l),
+                    sw.intermediates[l].queued_packets() > 0,
+                    "{context}: intermediate {l} bit diverged"
+                );
+            }
+        }
+
+        for n in [8usize, 70] {
+            let mut sw = PaddedFramesSwitch::new(n, PaddedFramesSwitch::default_threshold(n));
+            let mut seqs = vec![0u64; n * n];
+            for slot in 0..(8 * n as u64) {
+                for i in 0..n {
+                    // Concentrate on a few outputs so thresholds are crossed
+                    // and padded frames actually form.
+                    if (i + slot as usize).is_multiple_of(2) {
+                        let output = (i + slot as usize / 16) % 3;
+                        let key = i * n + output;
+                        sw.arrive(pkt(i, output, seqs[key], slot));
+                        seqs[key] += 1;
+                    }
+                }
+                sw.step(slot, &mut sprinklers_core::switch::NullSink);
+                if slot % 5 == 0 {
+                    check(&sw, &format!("n={n} slot={slot}"));
+                }
+            }
+            assert!(sw.padding_sent() > 0, "padding never triggered at n={n}");
+            for slot in (8 * n as u64)..(40 * n as u64) {
+                sw.step(slot, &mut sprinklers_core::switch::NullSink);
+            }
+            check(&sw, &format!("n={n} post-drain"));
+        }
     }
 
     #[test]

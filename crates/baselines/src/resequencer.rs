@@ -63,12 +63,12 @@ impl Resequencer {
 
     /// Accept a (possibly out-of-order) packet from the second fabric.
     pub fn receive(&mut self, packet: Packet) {
-        if packet.is_padding {
+        if packet.is_padding() {
             // Padding never reaches a FOFF resequencer, but be permissive.
             self.ready.push_back(packet);
             return;
         }
-        let input = packet.input;
+        let input = packet.input();
         let pending = &mut self.pending[input];
         let pos = pending.partition_point(|p| p.voq_seq > packet.voq_seq);
         pending.insert(pos, packet);
@@ -163,7 +163,7 @@ mod tests {
         r.note_arrival(0, 0);
         r.note_arrival(1, 0);
         r.receive(pkt(1, 0));
-        assert_eq!(r.release_one().unwrap().input, 1);
+        assert_eq!(r.release_one().unwrap().input(), 1);
     }
 
     #[test]

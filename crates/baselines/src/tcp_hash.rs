@@ -10,6 +10,7 @@
 
 use crate::fabric::{first_fabric_at, second_fabric_output_at};
 use crate::intermediate::SimpleIntermediate;
+use sprinklers_core::occupancy::OccupancySet;
 use sprinklers_core::packet::{DeliveredPacket, Packet};
 use sprinklers_core::switch::{step_batch_rotating, DeliverySink, Switch, SwitchStats};
 use std::collections::VecDeque;
@@ -17,6 +18,9 @@ use std::collections::VecDeque;
 /// One TCP-hashing input port: a FIFO per intermediate port.
 struct HashInput {
     per_intermediate: Vec<VecDeque<Packet>>,
+    /// Running total across the per-path FIFOs, so the switch's occupancy
+    /// bitset and `stats()` never rescan the n queues.
+    queued: usize,
 }
 
 impl HashInput {
@@ -30,11 +34,8 @@ impl HashInput {
             per_intermediate: (0..n)
                 .map(|_| VecDeque::with_capacity((2 * n).min(32)))
                 .collect(),
+            queued: 0,
         }
-    }
-
-    fn queued_packets(&self) -> usize {
-        self.per_intermediate.iter().map(VecDeque::len).sum()
     }
 }
 
@@ -44,6 +45,12 @@ pub struct TcpHashSwitch {
     seed: u64,
     inputs: Vec<HashInput>,
     intermediates: Vec<SimpleIntermediate>,
+    /// Inputs/intermediates with any queued packet — the ports a step visits.
+    occupied_inputs: OccupancySet,
+    occupied_intermediates: OccupancySet,
+    /// Running totals so `stats()` is O(1) at every sampling boundary.
+    queued_inputs: usize,
+    queued_intermediates: usize,
     arrivals: u64,
     departures: u64,
 }
@@ -52,11 +59,16 @@ impl TcpHashSwitch {
     /// Create an `n`-port TCP-hashing switch; `seed` perturbs the flow hash.
     pub fn new(n: usize, seed: u64) -> Self {
         assert!(n >= 2);
+        sprinklers_core::packet::assert_ports_fit(n);
         TcpHashSwitch {
             n,
             seed,
             inputs: (0..n).map(|_| HashInput::new(n)).collect(),
             intermediates: (0..n).map(|l| SimpleIntermediate::new(l, n)).collect(),
+            occupied_inputs: OccupancySet::new(n),
+            occupied_intermediates: OccupancySet::new(n),
+            queued_inputs: 0,
+            queued_intermediates: 0,
             arrivals: 0,
             departures: 0,
         }
@@ -76,20 +88,44 @@ impl TcpHashSwitch {
 
     /// Advance one slot whose fabric phase `t == slot mod N` is already
     /// reduced (shared by `step` and the phase-rotating `step_batch`).
+    /// Both passes walk the occupancy bitsets in ascending port order.
     fn step_at(&mut self, slot: u64, t: usize, sink: &mut dyn DeliverySink) {
-        for l in 0..self.n {
-            let output = second_fabric_output_at(l, t, self.n);
-            if let Some(packet) = self.intermediates[l].dequeue(output) {
-                self.departures += 1;
-                sink.deliver(DeliveredPacket::new(packet, slot));
+        for w in 0..self.occupied_intermediates.word_count() {
+            let mut bits = self.occupied_intermediates.word(w);
+            while bits != 0 {
+                let l = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let output = second_fabric_output_at(l, t, self.n);
+                if let Some(packet) = self.intermediates[l].dequeue(output) {
+                    if self.intermediates[l].queued_packets() == 0 {
+                        self.occupied_intermediates.remove(l);
+                    }
+                    self.queued_intermediates -= 1;
+                    self.departures += 1;
+                    sink.deliver(DeliveredPacket::new(packet, slot));
+                }
             }
         }
-        for i in 0..self.n {
-            let l = first_fabric_at(i, t, self.n);
-            if let Some(mut packet) = self.inputs[i].per_intermediate[l].pop_front() {
-                packet.intermediate = l;
-                packet.stripe_size = 1;
-                self.intermediates[l].receive(packet);
+        // An occupied input may still miss: its packets can be pinned to
+        // per-path FIFOs other than the one the fabric reaches this slot.
+        for w in 0..self.occupied_inputs.word_count() {
+            let mut bits = self.occupied_inputs.word(w);
+            while bits != 0 {
+                let i = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let l = first_fabric_at(i, t, self.n);
+                if let Some(mut packet) = self.inputs[i].per_intermediate[l].pop_front() {
+                    self.inputs[i].queued -= 1;
+                    if self.inputs[i].queued == 0 {
+                        self.occupied_inputs.remove(i);
+                    }
+                    packet.set_intermediate(l);
+                    packet.set_stripe_size(1);
+                    self.queued_inputs -= 1;
+                    self.queued_intermediates += 1;
+                    self.occupied_intermediates.insert(l);
+                    self.intermediates[l].receive(packet);
+                }
             }
         }
     }
@@ -105,10 +141,14 @@ impl Switch for TcpHashSwitch {
     }
 
     fn arrive(&mut self, packet: Packet) {
-        debug_assert!(packet.input < self.n && packet.output < self.n);
+        debug_assert!(packet.input() < self.n && packet.output() < self.n);
         self.arrivals += 1;
+        self.queued_inputs += 1;
         let l = self.hash_flow(packet.flow);
-        self.inputs[packet.input].per_intermediate[l].push_back(packet);
+        let input = &mut self.inputs[packet.input()];
+        input.queued += 1;
+        self.occupied_inputs.insert(packet.input());
+        input.per_intermediate[l].push_back(packet);
     }
 
     fn step(&mut self, slot: u64, sink: &mut dyn DeliverySink) {
@@ -118,8 +158,9 @@ impl Switch for TcpHashSwitch {
 
     fn step_batch(&mut self, first_slot: u64, count: u32, sink: &mut dyn DeliverySink) {
         step_batch_rotating(self.n, first_slot, count, |slot, t| {
-            // An empty switch is a no-op to step; elide the rest of the batch.
-            if self.arrivals == self.departures {
+            // An empty switch — both occupancy bitsets empty — is a no-op to
+            // step; elide the rest of the batch.
+            if self.occupied_inputs.is_empty() && self.occupied_intermediates.is_empty() {
                 return false;
             }
             self.step_at(slot, t, sink);
@@ -129,8 +170,8 @@ impl Switch for TcpHashSwitch {
 
     fn stats(&self) -> SwitchStats {
         SwitchStats {
-            queued_at_inputs: self.inputs.iter().map(HashInput::queued_packets).sum(),
-            queued_at_intermediates: self.intermediates.iter().map(|p| p.queued_packets()).sum(),
+            queued_at_inputs: self.queued_inputs,
+            queued_at_intermediates: self.queued_intermediates,
             queued_at_outputs: 0,
             total_arrivals: self.arrivals,
             total_departures: self.departures,
@@ -188,7 +229,7 @@ mod tests {
         }
         assert_eq!(delivered.len(), 16);
         let ports: std::collections::HashSet<usize> =
-            delivered.iter().map(|d| d.packet.intermediate).collect();
+            delivered.iter().map(|d| d.packet.intermediate()).collect();
         assert_eq!(
             ports.len(),
             1,

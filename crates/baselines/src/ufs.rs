@@ -17,6 +17,7 @@
 use crate::fabric::{first_fabric_at, second_fabric_output_at};
 use crate::frame::{FrameInService, FrameVoq};
 use crate::intermediate::SimpleIntermediate;
+use sprinklers_core::occupancy::OccupancySet;
 use sprinklers_core::packet::{DeliveredPacket, Packet};
 use sprinklers_core::switch::{step_batch_rotating, DeliverySink, Switch, SwitchStats};
 use std::collections::VecDeque;
@@ -38,13 +39,12 @@ impl UfsInput {
         }
     }
 
-    fn queued_packets(&self) -> usize {
-        self.voqs.iter().map(FrameVoq::len).sum::<usize>()
-            + self.ready_frames.iter().map(Vec::len).sum::<usize>()
-            + self
-                .in_service
-                .as_ref()
-                .map_or(0, FrameInService::remaining)
+    /// True if a step can move a packet out of this input: UFS only ever
+    /// transmits full frames, so packets still accumulating in partial VOQs
+    /// make the input a provable no-op to visit.  This is the input-occupancy
+    /// bitset criterion.
+    fn transmittable(&self) -> bool {
+        self.in_service.is_some() || !self.ready_frames.is_empty()
     }
 }
 
@@ -53,10 +53,18 @@ pub struct UfsSwitch {
     n: usize,
     inputs: Vec<UfsInput>,
     intermediates: Vec<SimpleIntermediate>,
+    /// Inputs with a frame ready or in flight / intermediates with queued
+    /// packets — the only ports a step has to visit.  At light load UFS
+    /// rarely completes a frame, so whole slots cost O(1).
+    occupied_inputs: OccupancySet,
+    occupied_intermediates: OccupancySet,
     /// Recycled frame buffers: frames finished by any input return here and
     /// are reused by the next frame formed, so steady-state frame formation
     /// performs no heap allocation.
     frame_pool: Vec<Vec<Packet>>,
+    /// Running totals so `stats()` is O(1) at every sampling boundary.
+    queued_inputs: usize,
+    queued_intermediates: usize,
     arrivals: u64,
     departures: u64,
 }
@@ -65,11 +73,16 @@ impl UfsSwitch {
     /// Create an `n`-port UFS switch.
     pub fn new(n: usize) -> Self {
         assert!(n >= 2);
+        sprinklers_core::packet::assert_ports_fit(n);
         UfsSwitch {
             n,
             inputs: (0..n).map(|_| UfsInput::new(n)).collect(),
             intermediates: (0..n).map(|l| SimpleIntermediate::new(l, n)).collect(),
+            occupied_inputs: OccupancySet::new(n),
+            occupied_intermediates: OccupancySet::new(n),
             frame_pool: Vec::new(),
+            queued_inputs: 0,
+            queued_intermediates: 0,
             arrivals: 0,
             departures: 0,
         }
@@ -77,31 +90,52 @@ impl UfsSwitch {
 
     /// Advance one slot whose fabric phase `t == slot mod N` is already
     /// reduced (shared by `step` and the phase-rotating `step_batch`).
+    /// Both passes walk the occupancy bitsets in ascending port order.
     fn step_at(&mut self, slot: u64, t: usize, sink: &mut dyn DeliverySink) {
-        for l in 0..self.n {
-            let output = second_fabric_output_at(l, t, self.n);
-            if let Some(packet) = self.intermediates[l].dequeue(output) {
-                self.departures += 1;
-                sink.deliver(DeliveredPacket::new(packet, slot));
-            }
-        }
-        for i in 0..self.n {
-            let connected = first_fabric_at(i, t, self.n);
-            let input = &mut self.inputs[i];
-            // Start a new frame only when connected to intermediate port 0, so
-            // that packet k of every frame lands on intermediate port k.
-            if input.in_service.is_none() && connected == 0 {
-                if let Some(frame) = input.ready_frames.pop_front() {
-                    input.in_service = Some(FrameInService::new(frame));
+        for w in 0..self.occupied_intermediates.word_count() {
+            let mut bits = self.occupied_intermediates.word(w);
+            while bits != 0 {
+                let l = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let output = second_fabric_output_at(l, t, self.n);
+                if let Some(packet) = self.intermediates[l].dequeue(output) {
+                    if self.intermediates[l].queued_packets() == 0 {
+                        self.occupied_intermediates.remove(l);
+                    }
+                    self.queued_intermediates -= 1;
+                    self.departures += 1;
+                    sink.deliver(DeliveredPacket::new(packet, slot));
                 }
             }
-            if let Some(svc) = &mut input.in_service {
-                debug_assert_eq!(svc.next_port(), connected);
-                let packet = svc.serve_next();
-                self.intermediates[connected].receive(packet);
-                if svc.finished() {
-                    let done = input.in_service.take().expect("frame is in service");
-                    self.frame_pool.push(done.recycle());
+        }
+        for w in 0..self.occupied_inputs.word_count() {
+            let mut bits = self.occupied_inputs.word(w);
+            while bits != 0 {
+                let i = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let connected = first_fabric_at(i, t, self.n);
+                let input = &mut self.inputs[i];
+                // Start a new frame only when connected to intermediate port 0, so
+                // that packet k of every frame lands on intermediate port k.
+                if input.in_service.is_none() && connected == 0 {
+                    if let Some(frame) = input.ready_frames.pop_front() {
+                        input.in_service = Some(FrameInService::new(frame));
+                    }
+                }
+                if let Some(svc) = &mut input.in_service {
+                    debug_assert_eq!(svc.next_port(), connected);
+                    let packet = svc.serve_next();
+                    self.queued_inputs -= 1;
+                    self.queued_intermediates += 1;
+                    self.occupied_intermediates.insert(connected);
+                    self.intermediates[connected].receive(packet);
+                    if svc.finished() {
+                        let done = input.in_service.take().expect("frame is in service");
+                        self.frame_pool.push(done.recycle());
+                        if !input.transmittable() {
+                            self.occupied_inputs.remove(i);
+                        }
+                    }
                 }
             }
         }
@@ -118,16 +152,20 @@ impl Switch for UfsSwitch {
     }
 
     fn arrive(&mut self, packet: Packet) {
-        debug_assert!(packet.input < self.n && packet.output < self.n);
+        debug_assert!(packet.input() < self.n && packet.output() < self.n);
         self.arrivals += 1;
-        let input = &mut self.inputs[packet.input];
-        let output = packet.output;
+        self.queued_inputs += 1;
+        let i = packet.input();
+        let input = &mut self.inputs[i];
+        let output = packet.output();
         input.voqs[output].push(packet);
         if input.voqs[output].len() >= self.n {
             let mut frame = self.frame_pool.pop().unwrap_or_default();
             let formed = input.voqs[output].pop_full_frame_into(self.n, &mut frame);
             debug_assert!(formed);
             input.ready_frames.push_back(frame);
+            // A full frame makes the input worth visiting again.
+            self.occupied_inputs.insert(i);
         }
     }
 
@@ -138,8 +176,12 @@ impl Switch for UfsSwitch {
 
     fn step_batch(&mut self, first_slot: u64, count: u32, sink: &mut dyn DeliverySink) {
         step_batch_rotating(self.n, first_slot, count, |slot, t| {
-            // An empty switch is a no-op to step; elide the rest of the batch.
-            if self.arrivals == self.departures {
+            // Empty bitsets ⇒ a step is a provable no-op (any packets left
+            // are stranded in partial VOQs, which only an arrival can grow
+            // into a frame), so the rest of the batch can be elided.  This is
+            // strictly stronger than the old arrivals == departures check,
+            // which never fired while partial frames were stranded.
+            if self.occupied_inputs.is_empty() && self.occupied_intermediates.is_empty() {
                 return false;
             }
             self.step_at(slot, t, sink);
@@ -149,8 +191,8 @@ impl Switch for UfsSwitch {
 
     fn stats(&self) -> SwitchStats {
         SwitchStats {
-            queued_at_inputs: self.inputs.iter().map(UfsInput::queued_packets).sum(),
-            queued_at_intermediates: self.intermediates.iter().map(|p| p.queued_packets()).sum(),
+            queued_at_inputs: self.queued_inputs,
+            queued_at_intermediates: self.queued_intermediates,
             queued_at_outputs: 0,
             total_arrivals: self.arrivals,
             total_departures: self.departures,
@@ -225,7 +267,7 @@ mod tests {
         let first_dep = |out: usize| {
             delivered
                 .iter()
-                .filter(|d| d.packet.output == out)
+                .filter(|d| d.packet.output() == out)
                 .map(|d| d.departure_slot)
                 .min()
                 .unwrap()
@@ -244,7 +286,7 @@ mod tests {
         for slot in 0..96 {
             sw.step(slot, &mut delivered);
         }
-        let mut ports: Vec<usize> = delivered.iter().map(|d| d.packet.intermediate).collect();
+        let mut ports: Vec<usize> = delivered.iter().map(|d| d.packet.intermediate()).collect();
         ports.sort_unstable();
         assert_eq!(ports, (0..n).collect::<Vec<_>>());
     }

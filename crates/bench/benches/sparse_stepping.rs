@@ -1,0 +1,146 @@
+//! Criterion benchmarks of the occupancy-driven sparse stepping hot path:
+//! simulated slots per second of `arrive` + `step_batch` at the load points
+//! the paper's evaluation sweeps (Fig. 5–7), plus the drain-shaped window
+//! that dominates a default `RunConfig`.
+//!
+//! The arrival schedule is pre-generated outside the timed region (compact
+//! records, not packets), so at load 0.05 the numbers show what the *switch*
+//! costs per slot — the regime where the per-slot loops used to pay O(N) for
+//! mostly-empty ports and now pay O(occupied).  The load 0.95 cells guard
+//! the dense regime against regression: with every port occupied the bitset
+//! walk must cost no more than the plain `0..n` loop it replaced.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sprinklers_core::matrix::TrafficMatrix;
+use sprinklers_core::packet::Packet;
+use sprinklers_core::switch::{CountingSink, Switch};
+use sprinklers_sim::registry;
+use sprinklers_sim::spec::SizingSpec;
+
+/// One pre-drawn arrival: (slot, input, output).
+type Arrival = (u64, u32, u32);
+
+fn schedule(n: usize, load: f64, slots: u64, seed: u64) -> Vec<Arrival> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for slot in 0..slots {
+        for input in 0..n {
+            if rng.gen_range(0.0..1.0) < load {
+                out.push((slot, input as u32, rng.gen_range(0..n) as u32));
+            }
+        }
+    }
+    out
+}
+
+/// Engine-shaped drive: inject each slot's arrivals, then step maximal
+/// arrival-free runs in batch-64 chunks through the `Box<dyn Switch>`
+/// boundary (the dispatch the real engine pays).
+fn drive(switch: &mut dyn Switch, arrivals: &[Arrival], total: u64, voq_seq: &mut [u64]) -> u64 {
+    let n = switch.n();
+    let mut sink = CountingSink::default();
+    let mut idx = 0usize;
+    let mut slot = 0u64;
+    while slot < total {
+        while idx < arrivals.len() && arrivals[idx].0 == slot {
+            let (_, input, output) = arrivals[idx];
+            let (input, output) = (input as usize, output as usize);
+            let key = input * n + output;
+            let p = Packet::new(input, output, idx as u64, slot).with_voq_seq(voq_seq[key]);
+            voq_seq[key] += 1;
+            switch.arrive(p);
+            idx += 1;
+        }
+        let next_arrival = arrivals.get(idx).map_or(total, |a| a.0);
+        let run_end = next_arrival.clamp(slot + 1, total);
+        let mut s = slot;
+        while s < run_end {
+            let count = 64.min(run_end - s);
+            switch.step_batch(s, count as u32, &mut sink);
+            s += count;
+        }
+        slot = run_end;
+    }
+    sink.total()
+}
+
+fn bench_sparse_stepping(c: &mut Criterion) {
+    let offered = 4_096u64;
+    let drain = 8_192u64;
+    let total = offered + drain;
+    let mut group = c.benchmark_group("sparse_stepping");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(total));
+    for n in [64usize, 256] {
+        for load in [0.05f64, 0.3, 0.95] {
+            let arrivals = schedule(n, load, offered, 2014);
+            let matrix = TrafficMatrix::uniform(n, load);
+            group.bench_with_input(
+                BenchmarkId::new(format!("sprinklers/n{n}"), format!("load{load}")),
+                &n,
+                |b, &n| {
+                    b.iter(|| {
+                        let mut switch =
+                            registry::build_named("sprinklers", n, &SizingSpec::Matrix, &matrix, 7)
+                                .expect("sprinklers builds");
+                        let mut voq_seq = vec![0u64; n * n];
+                        black_box(drive(switch.as_mut(), &arrivals, total, &mut voq_seq))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The drain-shaped window: one permutation burst, then a long arrival-free
+/// tail — the shape of the engine's 50k-slot drain phase, where the empty
+/// bitsets make slots O(1).
+fn bench_drain_window(c: &mut Criterion) {
+    let n = 64usize;
+    let window = 49_152u64;
+    let mut group = c.benchmark_group("sparse_stepping_drain");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(window));
+    for scheme in ["sprinklers", "foff"] {
+        let matrix = TrafficMatrix::uniform(n, 0.5);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme),
+            &scheme,
+            |b, &scheme| {
+                let mut switch =
+                    registry::build_named(scheme, n, &SizingSpec::Fixed(1), &matrix, 7).unwrap();
+                let mut voq_seq = vec![0u64; n * n];
+                let mut sink = CountingSink::default();
+                let mut slot = 0u64;
+                let mut w = 0u64;
+                b.iter(|| {
+                    for input in 0..n {
+                        let output = (input + w as usize) % n;
+                        let key = input * n + output;
+                        let p = Packet::new(input, output, slot, slot).with_voq_seq(voq_seq[key]);
+                        voq_seq[key] += 1;
+                        switch.arrive(p);
+                    }
+                    let mut done = 0u64;
+                    while done < window {
+                        let count = 64.min(window - done);
+                        switch.step_batch(slot + done, count as u32, &mut sink);
+                        done += count;
+                    }
+                    slot += window;
+                    w += 1;
+                    black_box(sink.total())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse_stepping, bench_drain_window);
+criterion_main!(benches);

@@ -28,7 +28,7 @@ fn drive(
         arrivals.clear();
         traffic.arrivals_into(slot, arrivals);
         for mut p in arrivals.drain(..) {
-            let key = p.input * n + p.output;
+            let key = p.input() * n + p.output();
             p.voq_seq = voq_seq[key];
             voq_seq[key] += 1;
             switch.arrive(p);

@@ -136,6 +136,12 @@ impl SprinklersConfig {
         if !self.n.is_power_of_two() {
             return Err(SwitchError::PortCountNotPowerOfTwo { n: self.n });
         }
+        if self.n > crate::packet::MAX_PORTS {
+            return Err(SwitchError::PortCountTooLarge {
+                n: self.n,
+                max: crate::packet::MAX_PORTS,
+            });
+        }
         match &self.sizing {
             SizingMode::FromMatrix(m) => {
                 if m.n() != self.n {

@@ -18,6 +18,16 @@ pub enum SwitchError {
         /// The offending port count.
         n: usize,
     },
+    /// The requested port count exceeds what the compact [`Packet`] routing
+    /// fields can address (see [`crate::packet::MAX_PORTS`]).
+    ///
+    /// [`Packet`]: crate::packet::Packet
+    PortCountTooLarge {
+        /// The offending port count.
+        n: usize,
+        /// The largest supported port count.
+        max: usize,
+    },
     /// A packet referenced a port index outside `0..N`.
     PortOutOfRange {
         /// The offending port index.
@@ -47,6 +57,12 @@ impl fmt::Display for SwitchError {
             }
             SwitchError::PortCountTooSmall { n } => {
                 write!(f, "switch size {n} is too small (need at least 2 ports)")
+            }
+            SwitchError::PortCountTooLarge { n, max } => {
+                write!(
+                    f,
+                    "switch size {n} exceeds the {max}-port bound of the compact packet layout"
+                )
             }
             SwitchError::PortOutOfRange { port, n } => {
                 write!(
@@ -89,6 +105,12 @@ mod tests {
         assert!(e.to_string().contains("-1"));
         let e = SwitchError::PortCountTooSmall { n: 0 };
         assert!(e.to_string().contains('0'));
+        let e = SwitchError::PortCountTooLarge {
+            n: 1 << 20,
+            max: 65535,
+        };
+        assert!(e.to_string().contains("1048576"));
+        assert!(e.to_string().contains("65535"));
     }
 
     #[test]

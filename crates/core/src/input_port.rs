@@ -20,6 +20,15 @@ pub struct SprinklersInputPort {
     scheduler: Box<dyn StripeScheduler + Send>,
     /// Stripes released by VOQs, counted for telemetry.
     stripes_formed: u64,
+    /// Running count of packets at this port (VOQ ready queues plus the
+    /// scheduler), so [`Self::queued_packets`] is O(1) — the engine samples
+    /// occupancy at every sampling boundary, and the switch keeps its
+    /// port-occupancy bitsets in sync from the same counter.
+    queued: usize,
+    /// Running count of committed stripe-size changes across this port's
+    /// VOQs, maintained by delta around every VOQ interaction (each touches
+    /// exactly one VOQ) so the switch-level total needs no O(N²) rescan.
+    resizes: u64,
 }
 
 impl SprinklersInputPort {
@@ -48,6 +57,8 @@ impl SprinklersInputPort {
             voqs,
             scheduler: make_scheduler(config.input_discipline, n),
             stripes_formed: 0,
+            queued: 0,
+            resizes: 0,
         }
     }
 
@@ -74,38 +85,88 @@ impl SprinklersInputPort {
     /// Accept an arriving packet.  Any stripes that become complete are
     /// immediately plastered into the scheduler.
     pub fn arrive(&mut self, packet: Packet) {
-        debug_assert_eq!(packet.input, self.port_id);
-        debug_assert!(packet.output < self.n);
+        debug_assert_eq!(packet.input(), self.port_id);
+        debug_assert!(packet.output() < self.n);
         let now = packet.arrival_slot;
-        let output = packet.output;
+        let output = packet.output();
+        self.queued += 1;
+        let before = self.voqs[output].resizes();
         let stripes = self.voqs[output].push(packet, now);
+        self.resizes += self.voqs[output].resizes() - before;
         self.plaster(stripes);
     }
 
     /// Serve the intermediate port the first fabric currently connects us to.
     pub fn dequeue(&mut self, intermediate: usize) -> Option<Packet> {
-        self.scheduler.serve(intermediate)
+        let packet = self.scheduler.serve(intermediate);
+        if packet.is_some() {
+            self.queued -= 1;
+        }
+        packet
     }
 
     /// Periodic maintenance: gives one VOQ per call the chance to re-evaluate
     /// its adaptive stripe size even when it has no arrivals (so idle VOQs can
     /// shrink).  Calling this once per slot visits every VOQ once per frame.
+    ///
+    /// Only adaptive sizing needs this: with fixed or matrix-driven sizing a
+    /// VOQ's `on_slot` is a provable no-op (no sizing clock, and complete
+    /// stripes are always collected at the call that completed them), so the
+    /// switch skips the whole pass for non-adaptive configurations.
     pub fn maintain(&mut self, slot: u64) {
         let idx = (slot as usize) % self.n;
+        let before = self.voqs[idx].resizes();
         let stripes = self.voqs[idx].on_slot(slot);
+        self.resizes += self.voqs[idx].resizes() - before;
         self.plaster(stripes);
     }
 
     /// Notification that one of this port's packets reached output `output`.
     /// May release stripes that were held back by a pending resize.
     pub fn packet_delivered(&mut self, output: usize) {
+        let before = self.voqs[output].resizes();
         let stripes = self.voqs[output].packet_delivered();
+        self.resizes += self.voqs[output].resizes() - before;
         self.plaster(stripes);
     }
 
-    /// Packets queued at this port (scheduler plus VOQ ready queues).
+    /// Request a stripe-size change for one VOQ (the reconfiguration path).
+    ///
+    /// If the resize commits immediately (nothing in flight), any stripes the
+    /// VOQ's ready backlog can already fill are released right here — so no
+    /// deferred stripe-collection work is left for the per-slot maintenance
+    /// pass, which non-adaptive configurations skip entirely.
+    pub fn request_resize(&mut self, output: usize, size: usize) {
+        let before = self.voqs[output].resizes();
+        self.voqs[output].request_resize(size);
+        self.resizes += self.voqs[output].resizes() - before;
+        let stripes = self.voqs[output].release_ready();
+        self.plaster(stripes);
+    }
+
+    /// Packets queued at this port (scheduler plus VOQ ready queues), from a
+    /// running counter (O(1)).
     pub fn queued_packets(&self) -> usize {
-        self.scheduler.queued_packets() + self.voqs.iter().map(Voq::ready_len).sum::<usize>()
+        debug_assert_eq!(
+            self.queued,
+            self.scheduler.queued_packets() + self.voqs.iter().map(Voq::ready_len).sum::<usize>(),
+            "running queued counter desynchronized from a brute-force rescan"
+        );
+        self.queued
+    }
+
+    /// True if the scheduler holds at least one servable packet — the
+    /// criterion for the switch's input-occupancy bitset.  Packets still
+    /// accumulating in VOQ ready queues don't count: the first fabric can
+    /// only serve plastered stripes, so a port with a bare ready backlog is a
+    /// provable no-op to probe.
+    pub fn has_servable(&self) -> bool {
+        !self.scheduler.is_empty()
+    }
+
+    /// Committed stripe-size changes across this port's VOQs (running count).
+    pub fn resizes_committed(&self) -> u64 {
+        self.resizes
     }
 
     /// Packets queued in the scheduler destined to a given intermediate port.
@@ -118,14 +179,11 @@ impl SprinklersInputPort {
         self.stripes_formed
     }
 
-    /// Access a VOQ (used by tests and the switch for reconfiguration).
+    /// Access a VOQ (used by tests and the switch for inspection).  Mutation
+    /// goes through [`Self::request_resize`] so the port's running resize
+    /// counter and stripe plastering stay in sync.
     pub fn voq(&self, output: usize) -> &Voq {
         &self.voqs[output]
-    }
-
-    /// Mutable access to a VOQ (used by the switch for reconfiguration).
-    pub fn voq_mut(&mut self, output: usize) -> &mut Voq {
-        &mut self.voqs[output]
     }
 
     fn plaster(&mut self, stripes: Vec<Stripe>) {
@@ -164,9 +222,9 @@ mod tests {
         // The atomic scheduler serves the stripe starting at row 2.
         assert!(port.dequeue(1).is_none());
         let p = port.dequeue(2).unwrap();
-        assert_eq!(p.intermediate, 2);
+        assert_eq!(p.intermediate(), 2);
         let p = port.dequeue(3).unwrap();
-        assert_eq!(p.intermediate, 3);
+        assert_eq!(p.intermediate(), 3);
         assert_eq!(port.queued_packets(), 0);
     }
 
@@ -177,7 +235,7 @@ mod tests {
         port.arrive(pkt(0, 3, 1, 0));
         // Row-scan can serve row 3 before row 2.
         let p = port.dequeue(3).unwrap();
-        assert_eq!(p.intermediate, 3);
+        assert_eq!(p.intermediate(), 3);
     }
 
     #[test]
@@ -186,7 +244,7 @@ mod tests {
         port.arrive(pkt(0, 5, 0, 0));
         assert_eq!(port.voq(5).in_flight(), 1);
         let p = port.dequeue(5).unwrap();
-        assert_eq!(p.output, 5);
+        assert_eq!(p.output(), 5);
         port.packet_delivered(5);
         assert_eq!(port.voq(5).in_flight(), 0);
     }

@@ -39,6 +39,11 @@ pub struct SprinklersIntermediatePort {
     /// `queues[output][level]`: eligible packets destined to `output` that
     /// belong to stripes of size `2^level`, in arrival (FIFO) order.
     queues: Vec<Vec<VecDeque<Packet>>>,
+    /// Eligible packets per output (sum over levels), so a [`Self::dequeue`]
+    /// miss — the common case when the sparse stepping loop probes whichever
+    /// output the fabric rotation reaches — is one counter load instead of a
+    /// scan over every stripe-size level.
+    eligible_per_output: Vec<u32>,
     /// Packets waiting for stripe-completion alignment.
     staged: Vec<StagedPacket>,
     /// Scratch for [`Self::release_eligible`], held on the struct so the
@@ -62,6 +67,7 @@ impl SprinklersIntermediatePort {
             queues: (0..n)
                 .map(|_| (0..lv).map(|_| VecDeque::new()).collect())
                 .collect(),
+            eligible_per_output: vec![0; n],
             staged: Vec::new(),
             ready_scratch: Vec::new(),
             waiting_scratch: Vec::new(),
@@ -85,15 +91,15 @@ impl SprinklersIntermediatePort {
             + self
                 .staged
                 .iter()
-                .filter(|s| s.packet.output == output)
+                .filter(|s| s.packet.output() == output)
                 .count()
     }
 
     /// Accept a packet from the first fabric at slot `now`.
     pub fn receive(&mut self, packet: Packet, now: u64) {
-        debug_assert_eq!(packet.intermediate, self.port_id);
-        debug_assert!(packet.output < self.n);
-        debug_assert!(packet.stripe_size >= 1 && packet.stripe_size.is_power_of_two());
+        debug_assert_eq!(packet.intermediate(), self.port_id);
+        debug_assert!(packet.output() < self.n);
+        debug_assert!(packet.stripe_size() >= 1 && packet.stripe_size().is_power_of_two());
         match self.alignment {
             AlignmentMode::Immediate => self.enqueue(packet),
             AlignmentMode::StripeComplete => {
@@ -102,12 +108,12 @@ impl SprinklersIntermediatePort {
                 // (stripes leave the input port in consecutive slots).  The
                 // stripe becomes eligible at the next frame boundary after
                 // that, a value every port of the stripe computes identically.
-                let last_arrival = now + (packet.stripe_size - 1 - packet.stripe_index) as u64;
+                let last_arrival = now + (packet.stripe_size() - 1 - packet.stripe_index()) as u64;
                 let eligible_at = (last_arrival / self.n as u64 + 1) * self.n as u64;
                 let stripe_key = (
-                    packet.input,
-                    packet.output,
-                    packet.voq_seq.saturating_sub(packet.stripe_index as u64),
+                    packet.input(),
+                    packet.output(),
+                    packet.voq_seq.saturating_sub(packet.stripe_index() as u64),
                 );
                 self.staged.push(StagedPacket {
                     packet,
@@ -154,19 +160,24 @@ impl SprinklersIntermediatePort {
     /// Serve output `output`: return the packet to send over the second
     /// fabric in this slot, or `None` if nothing is eligible for that output.
     pub fn dequeue(&mut self, output: usize) -> Option<Packet> {
+        if self.eligible_per_output[output] == 0 {
+            return None;
+        }
         for level in (0..self.levels).rev() {
             if let Some(p) = self.queues[output][level].pop_front() {
                 self.queued -= 1;
+                self.eligible_per_output[output] -= 1;
                 return Some(p);
             }
         }
-        None
+        unreachable!("eligible_per_output[{output}] desynchronized from the level FIFOs")
     }
 
     fn enqueue(&mut self, packet: Packet) {
-        let level = packet.stripe_size.trailing_zeros() as usize;
+        let level = packet.stripe_size().trailing_zeros() as usize;
         debug_assert!(level < self.levels);
-        self.queues[packet.output][level].push_back(packet);
+        self.eligible_per_output[packet.output()] += 1;
+        self.queues[packet.output()][level].push_back(packet);
         self.queued += 1;
     }
 }
@@ -177,9 +188,23 @@ mod tests {
 
     fn pkt(output: usize, stripe_size: usize, stripe_index: usize, intermediate: usize) -> Packet {
         let mut p = Packet::new(0, output, 0, 0);
-        p.stripe_size = stripe_size;
-        p.stripe_index = stripe_index;
-        p.intermediate = intermediate;
+        p.set_stripe_size(stripe_size);
+        p.set_stripe_index(stripe_index);
+        p.set_intermediate(intermediate);
+        p
+    }
+
+    fn pkt_from(
+        input: usize,
+        output: usize,
+        stripe_size: usize,
+        stripe_index: usize,
+        intermediate: usize,
+    ) -> Packet {
+        let mut p = Packet::new(input, output, 0, 0);
+        p.set_stripe_size(stripe_size);
+        p.set_stripe_index(stripe_index);
+        p.set_intermediate(intermediate);
         p
     }
 
@@ -192,9 +217,9 @@ mod tests {
         assert_eq!(port.queued_for_output(5), 2);
         assert_eq!(port.queued_for_output(4), 0);
         let first = port.dequeue(5).unwrap();
-        assert_eq!(first.stripe_size, 8, "LSF serves the larger stripe first");
+        assert_eq!(first.stripe_size(), 8, "LSF serves the larger stripe first");
         let second = port.dequeue(5).unwrap();
-        assert_eq!(second.stripe_size, 1);
+        assert_eq!(second.stripe_size(), 1);
         assert!(port.dequeue(5).is_none());
     }
 
@@ -240,22 +265,21 @@ mod tests {
         let mut port = SprinklersIntermediatePort::new(0, n, AlignmentMode::StripeComplete);
         // Two size-1 stripes (same level) from different inputs, both eligible
         // at the same boundary; ordering must follow the canonical key.
-        let mut late = pkt(2, 1, 0, 0);
-        late.input = 3;
+        let mut late = pkt_from(3, 2, 1, 0, 0);
         late.voq_seq = 7;
-        let mut early = pkt(2, 1, 0, 0);
-        early.input = 1;
+        let mut early = pkt_from(1, 2, 1, 0, 0);
         early.voq_seq = 9;
         port.receive(late, 1);
         port.receive(early, 2);
         port.release_eligible(4);
         let first = port.dequeue(2).unwrap();
         assert_eq!(
-            first.input, 1,
+            first.input(),
+            1,
             "canonical order is by (input, output, stripe seq)"
         );
         let second = port.dequeue(2).unwrap();
-        assert_eq!(second.input, 3);
+        assert_eq!(second.input(), 3);
     }
 
     #[test]

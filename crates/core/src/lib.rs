@@ -19,6 +19,10 @@
 //!   clearance phase).
 //! * [`lsf`] — the N×(log₂N+1) grid of FIFO queues that implements the
 //!   Largest Stripe First policy in constant time per slot (§3.4.2, Fig. 4).
+//! * [`occupancy`] — hierarchical port-occupancy bitsets that let the per-slot
+//!   fabric loops visit only occupied ports, making a step O(occupied) instead
+//!   of O(N) in the sparse regimes (low load, drain tails) that dominate
+//!   simulated time.
 //! * [`input_port`] / [`intermediate_port`] — the two scheduling stages.
 //! * [`sprinklers`] — the full two-stage switch, wiring the periodic connection
 //!   patterns of both fabrics to the per-port schedulers.
@@ -62,7 +66,7 @@
 //!     sw.step(slot, &mut delivered);
 //! }
 //! assert_eq!(delivered.len(), 1);
-//! assert_eq!(delivered[0].packet.output, 3);
+//! assert_eq!(delivered[0].packet.output(), 3);
 //!
 //! // Drain loops that don't care about the packets use the no-op sink.
 //! sw.step(4 * n as u64, &mut NullSink);
@@ -78,6 +82,7 @@ pub mod input_port;
 pub mod intermediate_port;
 pub mod lsf;
 pub mod matrix;
+pub mod occupancy;
 pub mod ols;
 pub mod packet;
 pub mod perm;

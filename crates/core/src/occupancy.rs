@@ -1,0 +1,295 @@
+//! Hierarchical port-occupancy bitsets for the sparse stepping hot path.
+//!
+//! Every switch in this workspace advances by one time slot by visiting its
+//! ports; with plain `0..n` loops that is O(N) work per slot even when the
+//! switch is almost empty — and the evaluation's most-simulated regimes (low
+//! load, drain tails, sparse traces) are exactly the almost-empty ones.  An
+//! [`OccupancySet`] tracks which ports currently hold work so the per-slot
+//! loops can walk only the set bits: one `u64` word covers 64 ports, and the
+//! step loops copy each word and pop set bits with `trailing_zeros`, so a
+//! step costs O(occupied ports) plus an O(N/64) word scan.  The whole-switch
+//! empty-batch elision from the batched stepping work is the degenerate
+//! case: [`OccupancySet::is_empty`] is a single counter read.
+//!
+//! A summary level (one bit per level-0 word) is maintained alongside; today
+//! it backs the cursor API ([`OccupancySet::next_at_or_after`] /
+//! [`OccupancySet::iter`]) and the consistency nets, not the step loops —
+//! skipping 64 empty ports at a time in the hot walks (and vectorizing the
+//! scan) is the ROADMAP's "SIMD-batched bitset scans" open item.
+//!
+//! The sets are plain indexes, deliberately decoupled from the containers
+//! they summarize: a switch inserts a port when it enqueues into it and
+//! removes it when a dequeue leaves the port empty.  Both the word walk and
+//! the cursor visit ports in ascending order — the same order the dense
+//! loops used, which the byte-identical golden nets rely on — and a pass may
+//! freely clear the bits of ports it has already visited (the walk reads a
+//! copied word).
+
+use serde::{Deserialize, Serialize};
+
+/// A two-level bitset over port indexes `0..n`.
+///
+/// Level 0 stores one bit per port in `u64` words; level 1 (`summary`)
+/// stores one bit per level-0 word, set iff that word is non-zero.  For the
+/// common `n ≤ 64` every operation touches a single word; the summary only
+/// starts paying for itself past the 64-port word boundary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OccupancySet {
+    n: usize,
+    /// One bit per port.
+    words: Vec<u64>,
+    /// One bit per `words` entry (set iff the word is non-zero).
+    summary: Vec<u64>,
+    /// Number of set bits, kept for O(1) emptiness/len checks.
+    len: usize,
+}
+
+impl OccupancySet {
+    /// Create an empty set over ports `0..n`.
+    pub fn new(n: usize) -> Self {
+        let words = n.div_ceil(64);
+        OccupancySet {
+            n,
+            words: vec![0; words.max(1)],
+            summary: vec![0; words.max(1).div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// The port-index domain this set covers.
+    pub fn domain(&self) -> usize {
+        self.n
+    }
+
+    /// Number of occupied ports.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no port is occupied — the whole-switch elision check.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mark a port occupied.  Returns true if it was previously empty.
+    #[inline]
+    pub fn insert(&mut self, port: usize) -> bool {
+        debug_assert!(port < self.n, "port {port} out of domain {}", self.n);
+        let w = port >> 6;
+        let bit = 1u64 << (port & 63);
+        let word = &mut self.words[w];
+        if *word & bit != 0 {
+            return false;
+        }
+        *word |= bit;
+        self.summary[w >> 6] |= 1u64 << (w & 63);
+        self.len += 1;
+        true
+    }
+
+    /// Mark a port empty.  Returns true if it was previously occupied.
+    #[inline]
+    pub fn remove(&mut self, port: usize) -> bool {
+        debug_assert!(port < self.n, "port {port} out of domain {}", self.n);
+        let w = port >> 6;
+        let bit = 1u64 << (port & 63);
+        let word = &mut self.words[w];
+        if *word & bit == 0 {
+            return false;
+        }
+        *word &= !bit;
+        if *word == 0 {
+            self.summary[w >> 6] &= !(1u64 << (w & 63));
+        }
+        self.len -= 1;
+        true
+    }
+
+    /// True if the port is marked occupied.
+    #[inline]
+    pub fn contains(&self, port: usize) -> bool {
+        debug_assert!(port < self.n);
+        self.words[port >> 6] & (1u64 << (port & 63)) != 0
+    }
+
+    /// Number of level-0 words (for the word-snapshot hot loops).
+    #[inline]
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The `w`-th level-0 word.  The fabric passes iterate a *copy* of each
+    /// word with a `trailing_zeros` walk — about three instructions per
+    /// occupied port — which is safe because a pass only ever clears bits of
+    /// ports it has already visited (the copy is unaffected), and any insert
+    /// it performs targets a different set.
+    #[inline]
+    pub fn word(&self, w: usize) -> u64 {
+        self.words[w]
+    }
+
+    /// The smallest occupied port `>= from`, or `None`.
+    ///
+    /// This is the hot-loop cursor: `while let Some(p) = set.next_at_or_after(i)`
+    /// with `i = p + 1` visits occupied ports in ascending order, and because
+    /// the set is re-read on every step the loop body may clear (or set) any
+    /// bit at or before `p` without invalidating the walk.
+    #[inline]
+    pub fn next_at_or_after(&self, from: usize) -> Option<usize> {
+        if self.len == 0 || from >= self.n {
+            return None;
+        }
+        // The word containing `from`, masked to bits at or above it.
+        let w0 = from >> 6;
+        let word = self.words[w0] & (!0u64 << (from & 63));
+        if word != 0 {
+            return Some((w0 << 6) + word.trailing_zeros() as usize);
+        }
+        // Walk the summary for the next non-zero word after w0.
+        let start = w0 + 1;
+        let mut sw = start >> 6;
+        let mut mask = if start & 63 == 0 {
+            !0u64
+        } else {
+            !0u64 << (start & 63)
+        };
+        while sw < self.summary.len() {
+            let s = self.summary[sw] & mask;
+            if s != 0 {
+                let w = (sw << 6) + s.trailing_zeros() as usize;
+                let word = self.words[w];
+                debug_assert_ne!(word, 0, "summary bit set for an empty word");
+                return Some((w << 6) + word.trailing_zeros() as usize);
+            }
+            mask = !0u64;
+            sw += 1;
+        }
+        None
+    }
+
+    /// Iterate occupied ports in ascending order (tests, cold paths).
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { set: self, from: 0 }
+    }
+}
+
+/// Ascending iterator over the occupied ports of an [`OccupancySet`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    set: &'a OccupancySet,
+    from: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        let p = self.set.next_at_or_after(self.from)?;
+        self.from = p + 1;
+        Some(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_remove_contains_round_trip() {
+        let mut s = OccupancySet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129), "double insert reports already-present");
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(0));
+        assert!(!s.remove(0), "double remove reports already-absent");
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        assert!(s.remove(129));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn cursor_walks_in_ascending_order_across_word_boundaries() {
+        let mut s = OccupancySet::new(200);
+        for p in [0usize, 1, 63, 64, 65, 127, 128, 199] {
+            s.insert(p);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![0, 1, 63, 64, 65, 127, 128, 199]);
+        assert_eq!(s.next_at_or_after(2), Some(63));
+        assert_eq!(s.next_at_or_after(63), Some(63));
+        assert_eq!(s.next_at_or_after(66), Some(127));
+        assert_eq!(s.next_at_or_after(129), Some(199));
+        assert_eq!(s.next_at_or_after(200), None);
+    }
+
+    #[test]
+    fn clearing_visited_bits_mid_walk_is_safe() {
+        let mut s = OccupancySet::new(96);
+        for p in [3usize, 40, 70, 95] {
+            s.insert(p);
+        }
+        let mut visited = Vec::new();
+        let mut from = 0usize;
+        while let Some(p) = s.next_at_or_after(from) {
+            visited.push(p);
+            s.remove(p);
+            from = p + 1;
+        }
+        assert_eq!(visited, vec![3, 40, 70, 95]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn tiny_domains_work() {
+        let mut s = OccupancySet::new(2);
+        assert_eq!(s.next_at_or_after(0), None);
+        s.insert(1);
+        assert_eq!(s.next_at_or_after(0), Some(1));
+        assert_eq!(s.next_at_or_after(2), None);
+    }
+
+    proptest! {
+        /// The two-level bitset agrees with a brute-force `Vec<bool>` model
+        /// under arbitrary insert/remove interleavings, for domains that
+        /// stay inside one word and ones that cross the 64-port boundary.
+        #[test]
+        fn matches_brute_force_model(
+            n in 1usize..200,
+            ops in proptest::collection::vec((0usize..2, 0usize..200), 0..300),
+        ) {
+            let mut set = OccupancySet::new(n);
+            let mut model = vec![false; n];
+            for (op, raw) in ops {
+                let insert = op == 1;
+                let port = raw % n;
+                if insert {
+                    prop_assert_eq!(set.insert(port), !model[port]);
+                    model[port] = true;
+                } else {
+                    prop_assert_eq!(set.remove(port), model[port]);
+                    model[port] = false;
+                }
+                prop_assert_eq!(set.len(), model.iter().filter(|&&b| b).count());
+            }
+            // Every port agrees, and the cursor enumerates exactly the model.
+            for (p, &occupied) in model.iter().enumerate() {
+                prop_assert_eq!(set.contains(p), occupied);
+            }
+            let walked: Vec<usize> = set.iter().collect();
+            let expected: Vec<usize> =
+                (0..n).filter(|&p| model[p]).collect();
+            prop_assert_eq!(walked, expected);
+            // And next_at_or_after agrees with the model from every origin.
+            for from in 0..=n {
+                let want = (from..n).find(|&p| model[p]);
+                prop_assert_eq!(set.next_at_or_after(from), want);
+            }
+        }
+    }
+}

@@ -4,8 +4,52 @@
 //! cell (one packet per port per time slot, the standard cell-switch model
 //! used throughout the load-balanced switching literature and in the paper's
 //! evaluation).
+//!
+//! # Memory layout
+//!
+//! `Packet` is the unit every queue hop moves, so its size directly scales
+//! the simulator's memory bandwidth: a slot at load ρ copies `O(ρ·N)` packets
+//! between containers, and the evaluation sweeps millions of slots.  The
+//! struct is therefore packed to fit **48 bytes** (six cache-line quarters,
+//! three packets per two cache lines) instead of the 80 bytes a naive
+//! all-`usize` layout costs:
+//!
+//! * the four identity counters stay `u64` (ids, slots and sequence numbers
+//!   genuinely need the range),
+//! * port numbers are `u32` and the routing fields (`intermediate`,
+//!   `stripe_size`, `stripe_index`) are `u16` — both bounded by
+//!   [`MAX_PORTS`], which every switch constructor enforces in all build
+//!   profiles so the narrowing casts can never truncate, and
+//! * `is_padding` lives in a flags byte.
+//!
+//! The narrow fields are private and wrapped by `usize` accessors, so call
+//! sites index arrays exactly as before and no on-disk or CSV format can
+//! observe the layout (the trace formats serialize their own record structs,
+//! never `Packet` itself).  A compile-time assertion pins the 48-byte bound.
 
 use serde::{Deserialize, Serialize};
+
+/// Flag bit: the packet is padding injected by a frame-padding scheme.
+const FLAG_PADDING: u8 = 1;
+
+/// Largest switch size the compact routing fields can address.  The
+/// `intermediate` port index and the stripe fields are `u16`, and a
+/// stripe/frame can span up to `N` packets (UFS frames are exactly `N`), so
+/// every value the setters narrow is `≤ n`; bounding `n` by `u16::MAX` keeps
+/// them all representable.  (Sprinklers additionally requires a power of two,
+/// so its effective ceiling is 32768.)
+pub const MAX_PORTS: usize = u16::MAX as usize;
+
+/// Assert — in release builds too — that an `n`-port switch fits the compact
+/// [`Packet`] routing fields, so the `as u16` narrowing in the setters can
+/// never silently truncate.  Every switch constructor calls this.
+#[inline]
+pub fn assert_ports_fit(n: usize) {
+    assert!(
+        n <= MAX_PORTS,
+        "switch size {n} exceeds the {MAX_PORTS}-port bound of the compact Packet layout"
+    );
+}
 
 /// A fixed-size packet (cell) flowing through a switch.
 ///
@@ -19,10 +63,6 @@ use serde::{Deserialize, Serialize};
 pub struct Packet {
     /// Globally unique packet identifier (assigned by the traffic generator).
     pub id: u64,
-    /// Input port at which the packet arrived (`0..N`).
-    pub input: usize,
-    /// Output port the packet is destined to (`0..N`).
-    pub output: usize,
     /// Application-flow identifier.  Packets of the same flow always share the
     /// same `(input, output)` pair; the TCP-hashing baseline additionally uses
     /// this to pick an intermediate port.
@@ -36,20 +76,23 @@ pub struct Packet {
     /// the same VOQ depart in increasing `voq_seq` order.  Per-flow order
     /// follows because a flow is a subsequence of its VOQ.
     pub voq_seq: u64,
-    /// Size of the stripe (or frame) this packet was grouped into.
-    /// Zero until the packet is assigned to a stripe.
-    pub stripe_size: usize,
-    /// Index of this packet inside its stripe (`0..stripe_size`).
-    pub stripe_index: usize,
+    /// Input port at which the packet arrived (`0..N`).
+    input: u32,
+    /// Output port the packet is destined to (`0..N`).
+    output: u32,
     /// Intermediate port the packet was (or will be) routed through.
-    /// Meaningful once the packet has crossed the first fabric.
-    pub intermediate: usize,
-    /// True for padding packets injected by schedulers that pad partial frames
-    /// (the Padded Frames baseline).  Padding packets occupy switch capacity
-    /// but are discarded at the output and never counted in delay or
-    /// reordering statistics.
-    pub is_padding: bool,
+    intermediate: u16,
+    /// Size of the stripe (or frame) this packet was grouped into; zero until
+    /// the packet is assigned to a stripe.
+    stripe_size: u16,
+    /// Index of this packet inside its stripe (`0..stripe_size`).
+    stripe_index: u16,
+    /// Packet flags (currently only [`FLAG_PADDING`]).
+    flags: u8,
 }
+
+// The whole point of the narrow fields: three packets per two cache lines.
+const _: () = assert!(std::mem::size_of::<Packet>() <= 48);
 
 impl Packet {
     /// Create a new data packet with the given identity.
@@ -57,34 +100,28 @@ impl Packet {
     /// Routing fields start zeroed; `voq_seq` is expected to be assigned by
     /// the traffic generator or the test harness (it defaults to 0 here).
     pub fn new(input: usize, output: usize, id: u64, arrival_slot: u64) -> Self {
+        debug_assert!(input <= u32::MAX as usize && output <= u32::MAX as usize);
         Packet {
             id,
-            input,
-            output,
             flow: 0,
             arrival_slot,
             voq_seq: 0,
+            input: input as u32,
+            output: output as u32,
+            intermediate: 0,
             stripe_size: 0,
             stripe_index: 0,
-            intermediate: 0,
-            is_padding: false,
+            flags: 0,
         }
     }
 
     /// Create a padding (fake) packet for schedulers that pad partial frames.
     pub fn padding(input: usize, output: usize, arrival_slot: u64) -> Self {
-        Packet {
-            id: u64::MAX,
-            input,
-            output,
-            flow: u64::MAX,
-            arrival_slot,
-            voq_seq: u64::MAX,
-            stripe_size: 0,
-            stripe_index: 0,
-            intermediate: 0,
-            is_padding: true,
-        }
+        let mut p = Packet::new(input, output, u64::MAX, arrival_slot);
+        p.flow = u64::MAX;
+        p.voq_seq = u64::MAX;
+        p.flags = FLAG_PADDING;
+        p
     }
 
     /// Builder-style helper to set the flow identifier.
@@ -101,9 +138,72 @@ impl Packet {
         self
     }
 
+    /// Input port at which the packet arrived (`0..N`).
+    #[inline]
+    pub fn input(&self) -> usize {
+        self.input as usize
+    }
+
+    /// Output port the packet is destined to (`0..N`).
+    #[inline]
+    pub fn output(&self) -> usize {
+        self.output as usize
+    }
+
+    /// Intermediate port the packet was (or will be) routed through.
+    /// Meaningful once the packet has crossed the first fabric.
+    #[inline]
+    pub fn intermediate(&self) -> usize {
+        self.intermediate as usize
+    }
+
+    /// Stamp the intermediate port the packet will be routed through.
+    #[inline]
+    pub fn set_intermediate(&mut self, intermediate: usize) {
+        debug_assert!(intermediate <= u16::MAX as usize);
+        self.intermediate = intermediate as u16;
+    }
+
+    /// Size of the stripe (or frame) this packet was grouped into.
+    /// Zero until the packet is assigned to a stripe.
+    #[inline]
+    pub fn stripe_size(&self) -> usize {
+        self.stripe_size as usize
+    }
+
+    /// Stamp the stripe (or frame) size.
+    #[inline]
+    pub fn set_stripe_size(&mut self, stripe_size: usize) {
+        debug_assert!(stripe_size <= u16::MAX as usize);
+        self.stripe_size = stripe_size as u16;
+    }
+
+    /// Index of this packet inside its stripe (`0..stripe_size`).
+    #[inline]
+    pub fn stripe_index(&self) -> usize {
+        self.stripe_index as usize
+    }
+
+    /// Stamp the packet's index inside its stripe.
+    #[inline]
+    pub fn set_stripe_index(&mut self, stripe_index: usize) {
+        debug_assert!(stripe_index <= u16::MAX as usize);
+        self.stripe_index = stripe_index as u16;
+    }
+
+    /// True for padding packets injected by schedulers that pad partial frames
+    /// (the Padded Frames baseline).  Padding packets occupy switch capacity
+    /// but are discarded at the output and never counted in delay or
+    /// reordering statistics.
+    #[inline]
+    pub fn is_padding(&self) -> bool {
+        self.flags & FLAG_PADDING != 0
+    }
+
     /// The VOQ this packet belongs to, as an `(input, output)` pair.
+    #[inline]
     pub fn voq(&self) -> (usize, usize) {
-        (self.input, self.output)
+        (self.input(), self.output())
     }
 }
 
@@ -129,7 +229,7 @@ impl DeliveredPacket {
     ///
     /// Padding packets report a delay of 0.
     pub fn delay(&self) -> u64 {
-        if self.packet.is_padding {
+        if self.packet.is_padding() {
             return 0;
         }
         self.departure_slot.saturating_sub(self.packet.arrival_slot)
@@ -143,13 +243,13 @@ mod tests {
     #[test]
     fn new_packet_has_expected_identity() {
         let p = Packet::new(3, 7, 42, 100);
-        assert_eq!(p.input, 3);
-        assert_eq!(p.output, 7);
+        assert_eq!(p.input(), 3);
+        assert_eq!(p.output(), 7);
         assert_eq!(p.id, 42);
         assert_eq!(p.arrival_slot, 100);
         assert_eq!(p.voq(), (3, 7));
-        assert!(!p.is_padding);
-        assert_eq!(p.stripe_size, 0);
+        assert!(!p.is_padding());
+        assert_eq!(p.stripe_size(), 0);
     }
 
     #[test]
@@ -160,9 +260,37 @@ mod tests {
     }
 
     #[test]
+    fn routing_setters_round_trip() {
+        let mut p = Packet::new(0, 1, 0, 0);
+        p.set_intermediate(1234);
+        p.set_stripe_size(64);
+        p.set_stripe_index(63);
+        assert_eq!(p.intermediate(), 1234);
+        assert_eq!(p.stripe_size(), 64);
+        assert_eq!(p.stripe_index(), 63);
+    }
+
+    #[test]
+    fn packet_fits_in_48_bytes() {
+        // The layout contract the fabric hot path is sized around.
+        assert!(std::mem::size_of::<Packet>() <= 48);
+    }
+
+    #[test]
+    fn port_bound_guard_accepts_the_ceiling() {
+        assert_ports_fit(MAX_PORTS);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 65535-port bound")]
+    fn port_bound_guard_rejects_oversized_switches() {
+        assert_ports_fit(MAX_PORTS + 1);
+    }
+
+    #[test]
     fn padding_packet_is_marked() {
         let p = Packet::padding(2, 4, 10);
-        assert!(p.is_padding);
+        assert!(p.is_padding());
         assert_eq!(p.voq(), (2, 4));
     }
 

@@ -11,10 +11,11 @@
 //! fabric is processed before the first, so a packet never crosses both
 //! fabrics in the same slot (store-and-forward).
 
-use crate::config::SprinklersConfig;
+use crate::config::{SizingMode, SprinklersConfig};
 use crate::input_port::SprinklersInputPort;
 use crate::intermediate_port::SprinklersIntermediatePort;
 use crate::matrix::TrafficMatrix;
+use crate::occupancy::OccupancySet;
 use crate::ols::WeaklyUniformOls;
 use crate::packet::{DeliveredPacket, Packet};
 use crate::sizing::stripe_size;
@@ -29,6 +30,25 @@ pub struct SprinklersSwitch {
     ols: WeaklyUniformOls,
     inputs: Vec<SprinklersInputPort>,
     intermediates: Vec<SprinklersIntermediatePort>,
+    /// Inputs whose scheduler holds at least one servable packet — the ports
+    /// the first-fabric pass has to probe.  Packets still accumulating in VOQ
+    /// ready queues don't set the bit (the fabric can't serve them), so a
+    /// lightly loaded switch walks only the handful of inputs with plastered
+    /// stripes instead of all N.
+    occupied_inputs: OccupancySet,
+    /// Intermediate ports holding any packet (eligible or staged) — the ports
+    /// the second-fabric pass has to visit.
+    occupied_intermediates: OccupancySet,
+    /// True for adaptive sizing, which observes idle slots (VOQs shrink) and
+    /// therefore still needs the dense per-slot maintenance pass.
+    adaptive: bool,
+    /// Running totals so [`Switch::stats`] is O(1) instead of an O(N) rescan
+    /// at every engine sampling boundary.
+    queued_inputs: usize,
+    queued_intermediates: usize,
+    /// Running total of committed stripe-size changes (see
+    /// [`SprinklersSwitch::total_resizes`]).
+    resizes: u64,
     arrivals: u64,
     departures: u64,
 }
@@ -64,12 +84,19 @@ impl SprinklersSwitch {
         let intermediates = (0..n)
             .map(|l| SprinklersIntermediatePort::new(l, n, config.alignment))
             .collect();
+        let adaptive = matches!(config.sizing, SizingMode::Adaptive(_));
         SprinklersSwitch {
             config,
             n,
             ols,
             inputs,
             intermediates,
+            occupied_inputs: OccupancySet::new(n),
+            occupied_intermediates: OccupancySet::new(n),
+            adaptive,
+            queued_inputs: 0,
+            queued_intermediates: 0,
+            resizes: 0,
             arrivals: 0,
             departures: 0,
         }
@@ -97,22 +124,25 @@ impl SprinklersSwitch {
     pub fn reconfigure_from_matrix(&mut self, matrix: &TrafficMatrix) {
         assert_eq!(matrix.n(), self.n);
         for input in 0..self.n {
+            let before = self.inputs[input].resizes_committed();
             for output in 0..self.n {
                 let size = stripe_size(matrix.rate(input, output), self.n);
-                self.inputs[input].voq_mut(output).request_resize(size);
+                self.inputs[input].request_resize(output, size);
+            }
+            self.resizes += self.inputs[input].resizes_committed() - before;
+            // Immediately-committed resizes can release backlogged stripes
+            // into the scheduler; reflect that in the occupancy bitset.
+            if self.inputs[input].has_servable() {
+                self.occupied_inputs.insert(input);
             }
         }
     }
 
-    /// Cumulative number of committed stripe-size changes across all VOQs.
+    /// Cumulative number of committed stripe-size changes across all VOQs,
+    /// from a running counter bumped on commit (O(1); this used to be an
+    /// O(N²) rescan of every VOQ per call).
     pub fn total_resizes(&self) -> u64 {
-        (0..self.n)
-            .map(|i| {
-                (0..self.n)
-                    .map(|j| self.inputs[i].voq(j).resizes())
-                    .sum::<u64>()
-            })
-            .sum()
+        self.resizes
     }
 
     /// Intermediate port connected to input `i` at slot `t` (first fabric).
@@ -130,35 +160,82 @@ impl SprinklersSwitch {
     /// already computed.  [`Switch::step`] computes the phase from scratch;
     /// [`Switch::step_batch`] rotates it across the batch so the inner loop
     /// performs no `u64` modulo at all.
+    ///
+    /// Both fabric passes walk the occupancy bitsets instead of `0..N`, so a
+    /// slot costs O(occupied ports): empty intermediate ports deliver nothing
+    /// and inputs without plastered stripes have nothing the fabric could
+    /// serve, exactly as in the dense loops — the bitsets only skip provable
+    /// no-op probes, which is what keeps the delivery stream byte-identical.
     fn step_at(&mut self, slot: u64, t: usize, sink: &mut dyn DeliverySink) {
         let n = self.n;
         // Second fabric first: packets that arrived at the intermediate stage
-        // in earlier slots may move to their outputs.
-        for l in 0..n {
-            self.intermediates[l].release_eligible(slot);
-            let output = if l >= t { l - t } else { l + n - t };
-            if let Some(packet) = self.intermediates[l].dequeue(output) {
-                debug_assert_eq!(packet.output, output);
-                // Tell the originating VOQ so clearance-phase accounting works.
-                self.inputs[packet.input].packet_delivered(packet.output);
-                self.departures += 1;
-                sink.deliver(DeliveredPacket::new(packet, slot));
+        // in earlier slots may move to their outputs.  Ascending port order,
+        // like the dense loop; the walk reads a copy of each word, which is
+        // safe because the body only clears bits of ports it already visited.
+        for w in 0..self.occupied_intermediates.word_count() {
+            let mut bits = self.occupied_intermediates.word(w);
+            while bits != 0 {
+                let l = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.intermediates[l].release_eligible(slot);
+                let output = if l >= t { l - t } else { l + n - t };
+                if let Some(packet) = self.intermediates[l].dequeue(output) {
+                    debug_assert_eq!(packet.output(), output);
+                    if self.intermediates[l].queued_packets() == 0 {
+                        self.occupied_intermediates.remove(l);
+                    }
+                    self.queued_intermediates -= 1;
+                    // Tell the originating VOQ so clearance-phase accounting
+                    // works; a committing resize can release backlogged stripes
+                    // into the input's scheduler, which may set its bit.
+                    let input = packet.input();
+                    let before = self.inputs[input].resizes_committed();
+                    self.inputs[input].packet_delivered(packet.output());
+                    self.resizes += self.inputs[input].resizes_committed() - before;
+                    if self.inputs[input].has_servable() {
+                        self.occupied_inputs.insert(input);
+                    }
+                    self.departures += 1;
+                    sink.deliver(DeliveredPacket::new(packet, slot));
+                }
             }
         }
 
-        // First fabric: each input may push one packet to the intermediate
-        // port it is connected to in this slot.
-        for i in 0..n {
-            let l = if i + t >= n { i + t - n } else { i + t };
-            if let Some(packet) = self.inputs[i].dequeue(l) {
-                debug_assert_eq!(packet.intermediate, l);
-                self.intermediates[l].receive(packet, slot);
+        // First fabric: each occupied input may push one packet to the
+        // intermediate port it is connected to in this slot.
+        for w in 0..self.occupied_inputs.word_count() {
+            let mut bits = self.occupied_inputs.word(w);
+            while bits != 0 {
+                let i = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let l = if i + t >= n { i + t - n } else { i + t };
+                if let Some(packet) = self.inputs[i].dequeue(l) {
+                    debug_assert_eq!(packet.intermediate(), l);
+                    if !self.inputs[i].has_servable() {
+                        self.occupied_inputs.remove(i);
+                    }
+                    self.queued_inputs -= 1;
+                    self.queued_intermediates += 1;
+                    self.occupied_intermediates.insert(l);
+                    self.intermediates[l].receive(packet, slot);
+                }
             }
         }
 
-        // Per-slot maintenance (adaptive sizing of idle VOQs).
-        for input in &mut self.inputs {
-            input.maintain(slot);
+        // Per-slot maintenance.  Only adaptive sizing observes idle slots
+        // (VOQs shrink), so only it pays the dense pass; for fixed and
+        // matrix-driven sizing a VOQ's `on_slot` is a provable no-op — sizing
+        // never changes and complete stripes are collected at the call that
+        // completes them (arrive, delivery, or an explicit resize).
+        if self.adaptive {
+            for i in 0..n {
+                let before = self.inputs[i].resizes_committed();
+                self.inputs[i].maintain(slot);
+                self.resizes += self.inputs[i].resizes_committed() - before;
+                if self.inputs[i].has_servable() {
+                    self.occupied_inputs.insert(i);
+                }
+            }
         }
     }
 }
@@ -173,9 +250,18 @@ impl Switch for SprinklersSwitch {
     }
 
     fn arrive(&mut self, packet: Packet) {
-        debug_assert!(packet.input < self.n && packet.output < self.n);
+        debug_assert!(packet.input() < self.n && packet.output() < self.n);
         self.arrivals += 1;
-        self.inputs[packet.input].arrive(packet);
+        self.queued_inputs += 1;
+        let input = packet.input();
+        let before = self.inputs[input].resizes_committed();
+        self.inputs[input].arrive(packet);
+        self.resizes += self.inputs[input].resizes_committed() - before;
+        // The arrival may have completed a stripe (or, under adaptive
+        // sizing, committed a resize that released backlogged ones).
+        if self.inputs[input].has_servable() {
+            self.occupied_inputs.insert(input);
+        }
     }
 
     fn step(&mut self, slot: u64, sink: &mut dyn DeliverySink) {
@@ -184,15 +270,18 @@ impl Switch for SprinklersSwitch {
     }
 
     fn step_batch(&mut self, first_slot: u64, count: u32, sink: &mut dyn DeliverySink) {
-        // With fixed stripe sizing, stepping a completely empty switch is a
-        // pure no-op (both fabrics find nothing, the LSF schedulers mutate
-        // nothing on a miss, and `maintain` only advances adaptive-sizing
-        // clocks), so the rest of an arrival-free batch can be elided — this
-        // is what makes the engine's long drain tail nearly free.  Adaptive
-        // sizing observes idle slots (VOQs shrink), so it steps every slot.
-        let elidable = !matches!(self.config.sizing, crate::config::SizingMode::Adaptive(_));
+        // Whole-switch elision is the degenerate case of the per-port
+        // occupancy check: when both bitsets are empty, a non-adaptive step
+        // is a provable no-op — both fabric passes have no port to visit, and
+        // any packets still parked in VOQ ready queues (stranded partial
+        // stripes) can only move on an arrive/delivery/resize event, none of
+        // which happens mid-batch — so the rest of an arrival-free batch
+        // returns immediately.  Adaptive sizing observes idle slots (VOQs
+        // shrink), so it steps every slot.
+        let elidable = !self.adaptive;
         crate::switch::step_batch_rotating(self.n, first_slot, count, |slot, t| {
-            if elidable && self.arrivals == self.departures {
+            if elidable && self.occupied_inputs.is_empty() && self.occupied_intermediates.is_empty()
+            {
                 return false;
             }
             self.step_at(slot, t, sink);
@@ -202,8 +291,8 @@ impl Switch for SprinklersSwitch {
 
     fn stats(&self) -> SwitchStats {
         SwitchStats {
-            queued_at_inputs: self.inputs.iter().map(|p| p.queued_packets()).sum(),
-            queued_at_intermediates: self.intermediates.iter().map(|p| p.queued_packets()).sum(),
+            queued_at_inputs: self.queued_inputs,
+            queued_at_intermediates: self.queued_intermediates,
             queued_at_outputs: 0,
             total_arrivals: self.arrivals,
             total_departures: self.departures,
@@ -256,7 +345,7 @@ mod tests {
         sw.arrive(pkt(0, 3, 0, 0, 0));
         let delivered = drain(&mut sw, 0, 24);
         assert_eq!(delivered.len(), 1);
-        assert_eq!(delivered[0].packet.output, 3);
+        assert_eq!(delivered[0].packet.output(), 3);
         assert_eq!(sw.stats().total_departures, 1);
         assert_eq!(sw.stats().total_queued(), 0);
     }
@@ -403,6 +492,78 @@ mod tests {
             }
             assert_eq!(got, expected, "alignment {alignment:?} diverged");
             assert_eq!(batched.stats().total_queued(), 0);
+        }
+    }
+
+    /// The occupancy bitsets and running counters must agree with brute-force
+    /// port scans at every point of a random arrive/step interleaving — at
+    /// n = 8 (single bitset word) and n = 128 (two words + summary level).
+    #[test]
+    fn occupancy_bitsets_agree_with_brute_force_scans() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        fn check(sw: &SprinklersSwitch, context: &str) {
+            for i in 0..sw.n {
+                assert_eq!(
+                    sw.occupied_inputs.contains(i),
+                    sw.inputs[i].has_servable(),
+                    "{context}: input {i} occupancy bit diverged from the scheduler scan"
+                );
+            }
+            for l in 0..sw.n {
+                assert_eq!(
+                    sw.occupied_intermediates.contains(l),
+                    sw.intermediates[l].queued_packets() > 0,
+                    "{context}: intermediate {l} occupancy bit diverged from the port scan"
+                );
+            }
+            assert_eq!(
+                sw.queued_inputs,
+                sw.inputs.iter().map(|p| p.queued_packets()).sum::<usize>(),
+                "{context}: input counter diverged"
+            );
+            assert_eq!(
+                sw.queued_intermediates,
+                sw.intermediates
+                    .iter()
+                    .map(|p| p.queued_packets())
+                    .sum::<usize>(),
+                "{context}: intermediate counter diverged"
+            );
+        }
+
+        for n in [8usize, 128] {
+            for alignment in [AlignmentMode::Immediate, AlignmentMode::StripeComplete] {
+                let mut sw = SprinklersSwitch::new(
+                    SprinklersConfig::new(n)
+                        .with_sizing(SizingMode::FixedSize(2))
+                        .with_alignment(alignment),
+                    3,
+                );
+                let mut rng = StdRng::seed_from_u64(42);
+                let mut voq_seq = vec![0u64; n * n];
+                let mut id = 0u64;
+                for slot in 0..(6 * n as u64) {
+                    for input in 0..n {
+                        if rng.gen_range(0.0..1.0) < 0.3 {
+                            let output = rng.gen_range(0..n);
+                            let key = input * n + output;
+                            sw.arrive(pkt(input, output, id, slot, voq_seq[key]));
+                            voq_seq[key] += 1;
+                            id += 1;
+                        }
+                    }
+                    sw.step(slot, &mut crate::switch::NullSink);
+                    if slot % 5 == 0 {
+                        check(&sw, &format!("n={n} {alignment:?} slot={slot}"));
+                    }
+                }
+                for slot in (6 * n as u64)..(20 * n as u64) {
+                    sw.step(slot, &mut crate::switch::NullSink);
+                }
+                check(&sw, &format!("n={n} {alignment:?} post-drain"));
+            }
         }
     }
 

@@ -50,9 +50,9 @@ impl Stripe {
             "a stripe must contain exactly interval.size() packets"
         );
         for (offset, p) in packets.iter_mut().enumerate() {
-            p.stripe_size = interval.size();
-            p.stripe_index = offset;
-            p.intermediate = interval.start() + offset;
+            p.set_stripe_size(interval.size());
+            p.set_stripe_index(offset);
+            p.set_intermediate(interval.start() + offset);
         }
         Stripe {
             interval,
@@ -80,7 +80,7 @@ impl Stripe {
 
     /// Number of real (non-padding) packets in the stripe.
     pub fn data_packets(&self) -> usize {
-        self.packets.iter().filter(|p| !p.is_padding).count()
+        self.packets.iter().filter(|p| !p.is_padding()).count()
     }
 }
 
@@ -101,9 +101,9 @@ mod tests {
         assert_eq!(s.size(), 4);
         assert_eq!(s.level(), 2);
         for (o, p) in s.packets.iter().enumerate() {
-            assert_eq!(p.stripe_size, 4);
-            assert_eq!(p.stripe_index, o);
-            assert_eq!(p.intermediate, 8 + o);
+            assert_eq!(p.stripe_size(), 4);
+            assert_eq!(p.stripe_index(), o);
+            assert_eq!(p.intermediate(), 8 + o);
             assert_eq!(s.port_of_offset(o), 8 + o);
         }
     }

@@ -80,7 +80,7 @@ impl CountingSink {
 
 impl DeliverySink for CountingSink {
     fn deliver(&mut self, delivered: DeliveredPacket) {
-        if delivered.packet.is_padding {
+        if delivered.packet.is_padding() {
             self.padding_packets += 1;
         } else {
             self.data_packets += 1;

@@ -147,8 +147,8 @@ impl Voq {
 
     /// Enqueue an arriving packet and return any stripes that become complete.
     pub fn push(&mut self, packet: Packet, now: u64) -> Vec<Stripe> {
-        debug_assert_eq!(packet.input, self.input);
-        debug_assert_eq!(packet.output, self.output);
+        debug_assert_eq!(packet.input(), self.input);
+        debug_assert_eq!(packet.output(), self.output);
         if let VoqSizing::Adaptive { estimator, .. } = &mut self.sizing {
             estimator.record_arrival(now);
         }
@@ -161,6 +161,16 @@ impl Voq {
     /// measurement window or per slot; it is cheap when no window elapsed).
     pub fn on_slot(&mut self, now: u64) -> Vec<Stripe> {
         self.maybe_resize(now);
+        self.collect_stripes()
+    }
+
+    /// Form any stripes the ready queue can already fill, without advancing
+    /// any clock.  Only an immediately-committed [`Voq::request_resize`] can
+    /// leave complete stripes sitting in the ready queue, so callers that
+    /// resize out of band (reconfiguration) use this to release them at the
+    /// resize site — which is what lets the switch's per-slot maintenance
+    /// pass be skipped entirely for non-adaptive sizing.
+    pub fn release_ready(&mut self) -> Vec<Stripe> {
         self.collect_stripes()
     }
 
@@ -281,7 +291,7 @@ mod tests {
         // Packets are stamped in arrival order.
         for (i, p) in stripes[0].packets.iter().enumerate() {
             assert_eq!(p.voq_seq, i as u64);
-            assert_eq!(p.stripe_index, i);
+            assert_eq!(p.stripe_index(), i);
         }
     }
 

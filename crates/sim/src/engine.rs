@@ -183,7 +183,7 @@ impl Engine {
                             packet.id = next_packet_id;
                             next_packet_id += 1;
                             packet.arrival_slot = s;
-                            let key = packet.input * n + packet.output;
+                            let key = packet.input() * n + packet.output();
                             packet.voq_seq = voq_seq[key];
                             voq_seq[key] += 1;
                             offered += 1;

@@ -63,7 +63,7 @@ impl ReorderDetector {
 
     /// Observe a delivered packet.  Padding packets are ignored.
     pub fn observe(&mut self, packet: &Packet) {
-        if packet.is_padding {
+        if packet.is_padding() {
             return;
         }
         let voq = packet.voq();
@@ -85,7 +85,7 @@ impl ReorderDetector {
                 }
             }
         }
-        let flow_key = (packet.input, packet.output, packet.flow);
+        let flow_key = (packet.input(), packet.output(), packet.flow);
         match self.flow_high.get_mut(&flow_key) {
             None => {
                 self.flow_high.insert(flow_key, packet.voq_seq);

@@ -65,7 +65,7 @@ impl MetricsSink {
 
 impl DeliverySink for MetricsSink {
     fn deliver(&mut self, delivered: DeliveredPacket) {
-        if delivered.packet.is_padding {
+        if delivered.packet.is_padding() {
             self.padding += 1;
             return;
         }

@@ -102,7 +102,7 @@ mod tests {
         let mut counts = vec![0u64; n * n];
         for slot in 0..slots {
             for p in gen.arrivals(slot) {
-                counts[p.input * n + p.output] += 1;
+                counts[p.input() * n + p.output()] += 1;
             }
         }
         let rates: Vec<f64> = counts.iter().map(|&c| c as f64 / slots as f64).collect();
@@ -117,11 +117,11 @@ mod tests {
             let mut seen = [false; 8];
             for p in &arrivals {
                 assert!(
-                    !seen[p.input],
+                    !seen[p.input()],
                     "two packets at input {} in one slot",
-                    p.input
+                    p.input()
                 );
-                seen[p.input] = true;
+                seen[p.input()] = true;
                 assert_eq!(p.arrival_slot, slot);
             }
         }
@@ -177,12 +177,12 @@ mod tests {
             let pa: Vec<(usize, usize)> = a
                 .arrivals(slot)
                 .iter()
-                .map(|p| (p.input, p.output))
+                .map(|p| (p.input(), p.output()))
                 .collect();
             let pb: Vec<(usize, usize)> = b
                 .arrivals(slot)
                 .iter()
-                .map(|p| (p.input, p.output))
+                .map(|p| (p.input(), p.output()))
                 .collect();
             assert_eq!(pa, pb);
         }

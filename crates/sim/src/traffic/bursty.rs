@@ -141,7 +141,7 @@ mod tests {
         let mut total = 0u64;
         let mut hits = 0u64;
         for slot in 0..slots {
-            let has = gen.arrivals(slot).iter().any(|p| p.input == 0);
+            let has = gen.arrivals(slot).iter().any(|p| p.input() == 0);
             total += 1;
             if has {
                 hits += 1;
@@ -169,8 +169,8 @@ mod tests {
             let arrivals = gen.arrivals(slot);
             let mut seen = [false; 8];
             for p in arrivals {
-                assert!(!seen[p.input]);
-                seen[p.input] = true;
+                assert!(!seen[p.input()]);
+                seen[p.input()] = true;
             }
         }
     }

@@ -143,7 +143,7 @@ mod tests {
         assert!(t.arrivals(1).is_empty());
         let a = t.arrivals(2);
         assert_eq!(a.len(), 1);
-        assert_eq!((a[0].input, a[0].output), (0, 3));
+        assert_eq!((a[0].input(), a[0].output()), (0, 3));
         assert!(t.arrivals(3).is_empty());
         assert!(t.arrivals(4).is_empty());
         let a = t.arrivals(5);
@@ -158,7 +158,7 @@ mod tests {
             let a = t.arrivals(slot);
             assert_eq!(a.len(), 1);
             assert_eq!(a[0].arrival_slot, slot);
-            assert_eq!((a[0].input, a[0].output), (2, 6));
+            assert_eq!((a[0].input(), a[0].output()), (2, 6));
         }
         assert!(t.arrivals(15).is_empty());
     }

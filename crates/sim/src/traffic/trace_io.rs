@@ -857,8 +857,8 @@ pub fn record_spec(
         for packet in &buf {
             writer.write(&TraceRecord {
                 slot,
-                input: packet.input,
-                output: packet.output,
+                input: packet.input(),
+                output: packet.output(),
                 flow: packet.flow,
             })?;
         }
@@ -1300,8 +1300,8 @@ mod tests {
             for p in gen.arrivals(slot) {
                 expected.push(TraceRecord {
                     slot,
-                    input: p.input,
-                    output: p.output,
+                    input: p.input(),
+                    output: p.output(),
                     flow: p.flow,
                 });
             }

@@ -387,7 +387,11 @@ mod tests {
             let b = memory.arrivals(slot);
             assert_eq!(a.len(), b.len(), "slot {slot}");
             for (x, y) in a.iter().zip(&b) {
-                assert_eq!((x.input, x.output), (y.input, y.output), "slot {slot}");
+                assert_eq!(
+                    (x.input(), x.output()),
+                    (y.input(), y.output()),
+                    "slot {slot}"
+                );
             }
         }
         assert_eq!(stream.entries(), 4);
@@ -409,7 +413,7 @@ mod tests {
         let mut got = Vec::new();
         for slot in 0..20u64 {
             for p in stream.arrivals(slot) {
-                got.push((slot, p.input, p.output, p.flow));
+                got.push((slot, p.input(), p.output(), p.flow));
             }
         }
         assert_eq!(got.len(), 12);
@@ -434,7 +438,7 @@ mod tests {
         let mut got = Vec::new();
         for slot in 0..16u64 {
             for p in stream.arrivals(slot) {
-                got.push((slot, p.input));
+                got.push((slot, p.input()));
             }
         }
         // Slots 0, 2, 2, 5 dilate to 0, 4, 4, 10.

@@ -50,11 +50,11 @@ fn main() {
             let mut arrivals = light.arrivals(slot);
             // In phase B, add a heavy stream on one VOQ (roughly 0.45 load).
             if slot >= phase_a && slot % 9 < 4 {
-                arrivals.retain(|p| p.input != hot_input);
+                arrivals.retain(|p| p.input() != hot_input);
                 arrivals.push(Packet::new(hot_input, hot_output, 0, slot));
             }
             for mut p in arrivals {
-                let key = p.input * n + p.output;
+                let key = p.input() * n + p.output();
                 p.voq_seq = voq_seq[key];
                 voq_seq[key] += 1;
                 p.arrival_slot = slot;

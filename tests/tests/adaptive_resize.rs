@@ -30,7 +30,7 @@ fn stripe_sizes_grow_under_load_and_shrink_when_idle() {
     // Phase 1: heavy uniform load.  Expected stripe size F(0.9/16) = 16.
     for slot in 0..20_000u64 {
         for mut p in gen.arrivals(slot) {
-            let key = p.input * n + p.output;
+            let key = p.input() * n + p.output();
             p.voq_seq = voq_seq[key];
             voq_seq[key] += 1;
             sw.arrive(p);
@@ -74,7 +74,7 @@ fn no_reordering_across_a_load_shift() {
                 heavy.arrivals(slot)
             };
             for mut p in arrivals {
-                let key = p.input * n + p.output;
+                let key = p.input() * n + p.output();
                 p.voq_seq = voq_seq[key];
                 voq_seq[key] += 1;
                 p.arrival_slot = slot;
@@ -123,7 +123,7 @@ fn explicit_reconfiguration_preserves_order_mid_traffic() {
         }
         if slot < 20_000 {
             for mut p in gen.arrivals(slot) {
-                let key = p.input * n + p.output;
+                let key = p.input() * n + p.output();
                 p.voq_seq = voq_seq[key];
                 voq_seq[key] += 1;
                 p.arrival_slot = slot;
@@ -161,7 +161,7 @@ fn adaptive_and_matrix_sizing_converge_to_the_same_sizes() {
     let mut voq_seq = vec![0u64; n * n];
     for slot in 0..40_000u64 {
         for mut p in gen.arrivals(slot) {
-            let key = p.input * n + p.output;
+            let key = p.input() * n + p.output();
             p.voq_seq = voq_seq[key];
             voq_seq[key] += 1;
             sw.arrive(p);

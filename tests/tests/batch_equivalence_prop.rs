@@ -24,20 +24,33 @@ const N: usize = 8;
 const OFFERED_SLOTS: u64 = 96;
 const TOTAL_SLOTS: u64 = 512;
 
+/// A large port count that crosses the occupancy bitsets' 64-port word
+/// boundary, so the sparse stepping paths exercise the two-level summary
+/// walk (a power of two, so every Sprinklers variant builds too).
+const N_WIDE: usize = 128;
+const WIDE_OFFERED_SLOTS: u64 = 64;
+const WIDE_TOTAL_SLOTS: u64 = 768;
+
 /// A deterministic random arrival schedule: `schedule[slot]` holds the fully
 /// identity-stamped packets injected before stepping `slot`.
-fn arrival_schedule(seed: u64, load: f64) -> Vec<Vec<Packet>> {
+fn arrival_schedule_for(
+    n: usize,
+    offered_slots: u64,
+    total_slots: u64,
+    seed: u64,
+    load: f64,
+) -> Vec<Vec<Packet>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut voq_seq = vec![0u64; N * N];
+    let mut voq_seq = vec![0u64; n * n];
     let mut id = 0u64;
-    let mut schedule = Vec::with_capacity(TOTAL_SLOTS as usize);
-    for slot in 0..TOTAL_SLOTS {
+    let mut schedule = Vec::with_capacity(total_slots as usize);
+    for slot in 0..total_slots {
         let mut arrivals = Vec::new();
-        if slot < OFFERED_SLOTS {
-            for input in 0..N {
+        if slot < offered_slots {
+            for input in 0..n {
                 if rng.gen_range(0.0..1.0) < load {
-                    let output = rng.gen_range(0..N);
-                    let key = input * N + output;
+                    let output = rng.gen_range(0..n);
+                    let key = input * n + output;
                     let mut p = Packet::new(input, output, id, slot)
                         .with_flow(rng.gen_range(0..3u64))
                         .with_voq_seq(voq_seq[key]);
@@ -51,6 +64,10 @@ fn arrival_schedule(seed: u64, load: f64) -> Vec<Vec<Packet>> {
         schedule.push(arrivals);
     }
     schedule
+}
+
+fn arrival_schedule(seed: u64, load: f64) -> Vec<Vec<Packet>> {
+    arrival_schedule_for(N, OFFERED_SLOTS, TOTAL_SLOTS, seed, load)
 }
 
 /// Reference semantics: slot-at-a-time stepping.
@@ -94,13 +111,17 @@ fn run_batched(
     delivered
 }
 
-fn build(scheme: &str, seed: u64) -> Box<dyn Switch> {
+fn build_n(scheme: &str, n: usize, seed: u64) -> Box<dyn Switch> {
     // The sizing matrix only has to be fixed and identical for both copies;
     // it deliberately does not match the random arrivals (stripe sizing must
     // not matter for equivalence).
-    let matrix = TrafficMatrix::uniform(N, 0.7);
-    registry::build_named(scheme, N, &SizingSpec::Matrix, &matrix, seed)
+    let matrix = TrafficMatrix::uniform(n, 0.7);
+    registry::build_named(scheme, n, &SizingSpec::Matrix, &matrix, seed)
         .expect("registry scheme builds")
+}
+
+fn build(scheme: &str, seed: u64) -> Box<dyn Switch> {
+    build_n(scheme, N, seed)
 }
 
 proptest! {
@@ -139,6 +160,44 @@ proptest! {
                 batched.stats(),
                 reference.stats(),
                 "{} stats diverged", scheme
+            );
+        }
+    }
+
+    /// The wide-switch variant: at n = 128 the occupancy bitsets span two
+    /// words plus a summary level, so this pins the sparse stepping paths —
+    /// cursor walks across the word boundary, bit clears near it, the
+    /// summary-guided skip — to the slot-at-a-time reference for every
+    /// scheme.  A shorter offered window than the n = 8 suite keeps the
+    /// 16×-larger per-slot work affordable.
+    #[test]
+    fn batched_stepping_is_byte_identical_across_the_word_boundary(
+        seed in 0u64..u64::MAX,
+        split_seed in 0u64..u64::MAX,
+        load in 0.02f64..0.6,
+        max_chunk in 1u32..96,
+    ) {
+        let schedule =
+            arrival_schedule_for(N_WIDE, WIDE_OFFERED_SLOTS, WIDE_TOTAL_SLOTS, seed, load);
+        for scheme in registry::schemes() {
+            let mut reference = build_n(scheme, N_WIDE, seed);
+            let mut batched = build_n(scheme, N_WIDE, seed);
+            let expected = run_reference(reference.as_mut(), &schedule);
+            let got = run_batched(batched.as_mut(), &schedule, split_seed, max_chunk);
+            prop_assert_eq!(
+                &got,
+                &expected,
+                "{} diverged at n={} (max_chunk={})",
+                scheme,
+                N_WIDE,
+                max_chunk
+            );
+            prop_assert_eq!(
+                batched.stats(),
+                reference.stats(),
+                "{} stats diverged at n={}",
+                scheme,
+                N_WIDE
             );
         }
     }

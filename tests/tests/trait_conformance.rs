@@ -72,7 +72,7 @@ impl DeliverySink for ConformanceSink {
                 d.departure_slot, self.slot
             ));
         }
-        let output = d.packet.output;
+        let output = d.packet.output();
         if output >= self.n {
             self.violations
                 .push(format!("output {output} out of range"));
@@ -85,7 +85,7 @@ impl DeliverySink for ConformanceSink {
             ));
         }
         self.outputs_this_slot[output] = true;
-        if d.packet.is_padding {
+        if d.packet.is_padding() {
             self.padding += 1;
             return;
         }
@@ -121,7 +121,7 @@ fn drive_conformance(
             arrivals.clear();
             traffic.arrivals_into(slot, &mut arrivals);
             for mut p in arrivals.drain(..) {
-                let key = p.input * n + p.output;
+                let key = p.input() * n + p.output();
                 p.voq_seq = voq_seq[key];
                 voq_seq[key] += 1;
                 p.id = next_id;
