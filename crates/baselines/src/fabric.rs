@@ -16,6 +16,7 @@ pub fn first_fabric(input: usize, slot: u64, n: usize) -> usize {
 ///
 /// The batched `step_batch` paths rotate `t` across a batch instead of
 /// recomputing the `u64` modulo once per port per slot.
+// lint: hot-path
 #[inline]
 pub fn first_fabric_at(input: usize, t: usize, n: usize) -> usize {
     debug_assert!(t < n);
@@ -33,6 +34,7 @@ pub fn second_fabric_output(intermediate: usize, slot: u64, n: usize) -> usize {
 }
 
 /// [`second_fabric_output`] with the phase `t == slot mod n` already reduced.
+// lint: hot-path
 #[inline]
 pub fn second_fabric_output_at(intermediate: usize, t: usize, n: usize) -> usize {
     debug_assert!(t < n);

@@ -104,6 +104,7 @@ impl FoffSwitch {
     /// Advance one slot whose fabric phase `t == slot mod N` is already
     /// reduced (shared by `step` and the phase-rotating `step_batch`).
     /// All three passes walk their occupancy bitsets in ascending port order.
+    // lint: hot-path
     fn step_at(&mut self, slot: u64, t: usize, sink: &mut dyn DeliverySink) {
         // Second fabric: move packets into the output resequencers, then let
         // each output release at most one in-order packet (its line rate).
@@ -161,8 +162,9 @@ impl FoffSwitch {
                     debug_assert_eq!(svc.next_port(), connected);
                     sent = Some(svc.serve_next());
                     if svc.finished() {
-                        let done = input.in_service.take().expect("frame is in service");
-                        self.frame_pool.push(done.recycle());
+                        if let Some(done) = input.in_service.take() {
+                            self.frame_pool.push(done.recycle());
+                        }
                     }
                 } else if let Some(mut packet) = input.pop_round_robin() {
                     packet.set_intermediate(connected);

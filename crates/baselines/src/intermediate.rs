@@ -41,6 +41,7 @@ impl SimpleIntermediate {
     }
 
     /// Accept a packet from the first fabric.
+    // lint: hot-path
     pub fn receive(&mut self, packet: Packet) {
         debug_assert!(packet.output() < self.queues.len());
         self.queues[packet.output()].push_back(packet);
@@ -48,6 +49,7 @@ impl SimpleIntermediate {
     }
 
     /// Serve the output the second fabric currently connects this port to.
+    // lint: hot-path
     pub fn dequeue(&mut self, output: usize) -> Option<Packet> {
         let p = self.queues[output].pop_front();
         if p.is_some() {

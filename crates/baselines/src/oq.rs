@@ -63,6 +63,7 @@ impl Switch for OutputQueuedSwitch {
         self.outputs[packet.output()].push_back(packet);
     }
 
+    // lint: hot-path
     fn step(&mut self, slot: u64, sink: &mut dyn DeliverySink) {
         // Walk only the backlogged outputs, in ascending order like the dense
         // loop did (empty queues were no-ops there).
@@ -78,12 +79,13 @@ impl Switch for OutputQueuedSwitch {
                     .front()
                     .is_some_and(|packet| packet.arrival_slot < slot);
                 if eligible {
-                    let packet = queue.pop_front().expect("checked front above");
-                    if queue.is_empty() {
-                        self.occupied.remove(j);
+                    if let Some(packet) = queue.pop_front() {
+                        if queue.is_empty() {
+                            self.occupied.remove(j);
+                        }
+                        self.departures += 1;
+                        sink.deliver(DeliveredPacket::new(packet, slot));
                     }
-                    self.departures += 1;
-                    sink.deliver(DeliveredPacket::new(packet, slot));
                 }
             }
         }

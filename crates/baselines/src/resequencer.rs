@@ -62,6 +62,7 @@ impl Resequencer {
     }
 
     /// Accept a (possibly out-of-order) packet from the second fabric.
+    // lint: hot-path
     pub fn receive(&mut self, packet: Packet) {
         if packet.is_padding() {
             // Padding never reaches a FOFF resequencer, but be permissive.
@@ -78,6 +79,7 @@ impl Resequencer {
 
     /// Release at most one packet (the output line transmits one packet per
     /// slot).
+    // lint: hot-path
     pub fn release_one(&mut self) -> Option<Packet> {
         self.ready.pop_front()
     }
@@ -87,6 +89,7 @@ impl Resequencer {
         self.buffered + self.ready.len()
     }
 
+    // lint: hot-path
     fn promote(&mut self, input: usize) {
         let expected = &mut self.expected[input];
         let pending = &mut self.pending[input];
@@ -94,7 +97,7 @@ impl Resequencer {
             if candidate.voq_seq != next_seq {
                 break;
             }
-            let packet = pending.pop().expect("checked last above");
+            let Some(packet) = pending.pop() else { break };
             expected.pop_front();
             self.buffered -= 1;
             self.ready.push_back(packet);

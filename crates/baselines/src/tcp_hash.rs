@@ -89,6 +89,7 @@ impl TcpHashSwitch {
     /// Advance one slot whose fabric phase `t == slot mod N` is already
     /// reduced (shared by `step` and the phase-rotating `step_batch`).
     /// Both passes walk the occupancy bitsets in ascending port order.
+    // lint: hot-path
     fn step_at(&mut self, slot: u64, t: usize, sink: &mut dyn DeliverySink) {
         for w in 0..self.occupied_intermediates.word_count() {
             let mut bits = self.occupied_intermediates.word(w);

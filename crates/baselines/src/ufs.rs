@@ -91,6 +91,7 @@ impl UfsSwitch {
     /// Advance one slot whose fabric phase `t == slot mod N` is already
     /// reduced (shared by `step` and the phase-rotating `step_batch`).
     /// Both passes walk the occupancy bitsets in ascending port order.
+    // lint: hot-path
     fn step_at(&mut self, slot: u64, t: usize, sink: &mut dyn DeliverySink) {
         for w in 0..self.occupied_intermediates.word_count() {
             let mut bits = self.occupied_intermediates.word(w);
@@ -130,8 +131,9 @@ impl UfsSwitch {
                     self.occupied_intermediates.insert(connected);
                     self.intermediates[connected].receive(packet);
                     if svc.finished() {
-                        let done = input.in_service.take().expect("frame is in service");
-                        self.frame_pool.push(done.recycle());
+                        if let Some(done) = input.in_service.take() {
+                            self.frame_pool.push(done.recycle());
+                        }
                         if !input.transmittable() {
                             self.occupied_inputs.remove(i);
                         }

@@ -73,6 +73,7 @@ impl OccupancySet {
     }
 
     /// Mark a port occupied.  Returns true if it was previously empty.
+    // lint: hot-path
     #[inline]
     pub fn insert(&mut self, port: usize) -> bool {
         debug_assert!(port < self.n, "port {port} out of domain {}", self.n);
@@ -89,6 +90,7 @@ impl OccupancySet {
     }
 
     /// Mark a port empty.  Returns true if it was previously occupied.
+    // lint: hot-path
     #[inline]
     pub fn remove(&mut self, port: usize) -> bool {
         debug_assert!(port < self.n, "port {port} out of domain {}", self.n);
@@ -107,6 +109,7 @@ impl OccupancySet {
     }
 
     /// True if the port is marked occupied.
+    // lint: hot-path
     #[inline]
     pub fn contains(&self, port: usize) -> bool {
         debug_assert!(port < self.n);
@@ -124,6 +127,7 @@ impl OccupancySet {
     /// occupied port — which is safe because a pass only ever clears bits of
     /// ports it has already visited (the copy is unaffected), and any insert
     /// it performs targets a different set.
+    // lint: hot-path
     #[inline]
     pub fn word(&self, w: usize) -> u64 {
         self.words[w]
@@ -135,6 +139,7 @@ impl OccupancySet {
     /// with `i = p + 1` visits occupied ports in ascending order, and because
     /// the set is re-read on every step the loop body may clear (or set) any
     /// bit at or before `p` without invalidating the walk.
+    // lint: hot-path
     #[inline]
     pub fn next_at_or_after(&self, from: usize) -> Option<usize> {
         if self.len == 0 || from >= self.n {

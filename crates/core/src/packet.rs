@@ -106,7 +106,9 @@ impl Packet {
             flow: 0,
             arrival_slot,
             voq_seq: 0,
+            // lint: allow(cast) — ports bounded by assert_ports_fit in every build profile
             input: input as u32,
+            // lint: allow(cast) — same MAX_PORTS bound as `input` above
             output: output as u32,
             intermediate: 0,
             stripe_size: 0,
@@ -161,6 +163,7 @@ impl Packet {
     #[inline]
     pub fn set_intermediate(&mut self, intermediate: usize) {
         debug_assert!(intermediate <= u16::MAX as usize);
+        // lint: allow(cast) — intermediate < n ≤ MAX_PORTS by assert_ports_fit
         self.intermediate = intermediate as u16;
     }
 
@@ -175,6 +178,7 @@ impl Packet {
     #[inline]
     pub fn set_stripe_size(&mut self, stripe_size: usize) {
         debug_assert!(stripe_size <= u16::MAX as usize);
+        // lint: allow(cast) — a stripe spans at most n ≤ MAX_PORTS packets
         self.stripe_size = stripe_size as u16;
     }
 
@@ -188,6 +192,7 @@ impl Packet {
     #[inline]
     pub fn set_stripe_index(&mut self, stripe_index: usize) {
         debug_assert!(stripe_index <= u16::MAX as usize);
+        // lint: allow(cast) — stripe_index < stripe_size ≤ MAX_PORTS
         self.stripe_index = stripe_index as u16;
     }
 

@@ -166,6 +166,7 @@ impl SprinklersSwitch {
     /// and inputs without plastered stripes have nothing the fabric could
     /// serve, exactly as in the dense loops — the bitsets only skip provable
     /// no-op probes, which is what keeps the delivery stream byte-identical.
+    // lint: hot-path
     fn step_at(&mut self, slot: u64, t: usize, sink: &mut dyn DeliverySink) {
         let n = self.n;
         // Second fabric first: packets that arrived at the intermediate stage

@@ -1,0 +1,426 @@
+//! A minimal Rust lexer: just enough to token-scan source files safely.
+//!
+//! The analyzer never parses Rust properly — it *scrubs* a file (replacing
+//! the contents of comments, string literals, char literals and doc comments
+//! with spaces, preserving byte offsets and line structure exactly) and then
+//! token-scans the scrubbed text.  That is sufficient for the repo's rules
+//! because every denied construct is an identifier or macro name, and the
+//! scrubbing guarantees a `HashMap` mentioned in a doc comment or an error
+//! message string never trips the gate.
+//!
+//! Comments are collected (with their line numbers and byte offsets) rather
+//! than discarded: the `unsafe` audit needs `// SAFETY:` comments, and the
+//! suppression system needs `// lint: allow(...)` / `// lint: hot-path`
+//! markers.
+
+/// A comment extracted during scrubbing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Line the comment *ends* on (1-based).  For single-line comments this
+    /// is also the start line; for block comments the end line is what
+    /// adjacency checks (SAFETY, allow markers) care about.
+    pub line: usize,
+    /// Byte offset of the comment's start in the source.
+    pub start: usize,
+    /// The comment's text with the `//`/`/* */` framing and any doc `!`/`/`
+    /// prefix removed, trimmed.
+    pub text: String,
+}
+
+/// The result of scrubbing a source file.
+#[derive(Debug)]
+pub struct Scrubbed {
+    /// Same byte length and line structure as the input, with the contents of
+    /// comments and string/char literals replaced by spaces.
+    pub text: String,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >> 5 == 0b110 => 2,
+        b if b >> 4 == 0b1110 => 3,
+        _ => 4,
+    }
+}
+
+fn blank(out: &mut [u8], start: usize, end: usize) {
+    let end = end.min(out.len());
+    for b in &mut out[start..end] {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+/// Scrub `src`: blank out comments and literal contents, collect comments.
+pub fn scrub(src: &str) -> Scrubbed {
+    let bytes = src.as_bytes();
+    let len = bytes.len();
+    let mut out = bytes.to_vec();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    while i < len {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if i + 1 < len && bytes[i + 1] == b'/' => {
+                let start = i;
+                while i < len && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let raw = &src[start..i];
+                let text = raw
+                    .trim_start_matches('/')
+                    .trim_start_matches('!')
+                    .trim()
+                    .to_string();
+                comments.push(Comment { line, start, text });
+                blank(&mut out, start, i);
+            }
+            b'/' if i + 1 < len && bytes[i + 1] == b'*' => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < len && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && i + 1 < len && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < len && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let inner_end = if depth == 0 { i - 2 } else { i };
+                let text = src
+                    .get(start + 2..inner_end)
+                    .unwrap_or("")
+                    .trim_start_matches(['*', '!'])
+                    .trim()
+                    .to_string();
+                comments.push(Comment { line, start, text });
+                blank(&mut out, start, i);
+            }
+            b'"' => {
+                i = scan_string(bytes, i, &mut line, &mut out);
+            }
+            b'r' if (i == 0 || !is_ident_byte(bytes[i - 1]))
+                && i + 1 < len
+                && (bytes[i + 1] == b'"' || bytes[i + 1] == b'#') =>
+            {
+                if let Some(next) = scan_raw_string(bytes, i, &mut line, &mut out) {
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            b'b' if (i == 0 || !is_ident_byte(bytes[i - 1])) && i + 1 < len => match bytes[i + 1] {
+                b'"' => {
+                    i = scan_string(bytes, i + 1, &mut line, &mut out);
+                }
+                b'\'' => {
+                    i = scan_char_literal(bytes, i + 1, &mut out);
+                }
+                b'r' if i + 2 < len && (bytes[i + 2] == b'"' || bytes[i + 2] == b'#') => {
+                    if let Some(next) = scan_raw_string(bytes, i + 1, &mut line, &mut out) {
+                        i = next;
+                    } else {
+                        i += 1;
+                    }
+                }
+                _ => i += 1,
+            },
+            b'\'' => {
+                // Lifetime (or loop label) vs char literal.
+                if i + 1 < len && bytes[i + 1] == b'\\' {
+                    i = scan_char_literal(bytes, i, &mut out);
+                } else if i + 1 < len {
+                    let ch_len = utf8_len(bytes[i + 1]);
+                    if bytes[i + 1] != b'\''
+                        && i + 1 + ch_len < len
+                        && bytes[i + 1 + ch_len] == b'\''
+                    {
+                        // 'x' (any single char, possibly multi-byte).
+                        blank(&mut out, i + 1, i + 1 + ch_len);
+                        i += 2 + ch_len;
+                    } else {
+                        // A lifetime like 'a — leave the identifier; it can
+                        // never match a denied token because of the quote? No:
+                        // the quote is a separate byte, and the identifier
+                        // after it could theoretically collide.  Denied
+                        // tokens are never lifetime names in practice.
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    let text = String::from_utf8(out).unwrap_or_else(|e| {
+        // Scrubbing only writes ASCII spaces over whole UTF-8 sequences it
+        // recognized; reaching here means the file was not valid UTF-8 to
+        // begin with, which `fs::read_to_string` already rejects upstream.
+        String::from_utf8_lossy(e.as_bytes()).into_owned()
+    });
+    Scrubbed { text, comments }
+}
+
+/// Scan a (cooked) string literal starting at the opening quote; blanks the
+/// contents and returns the index one past the closing quote.
+fn scan_string(bytes: &[u8], open: usize, line: &mut usize, out: &mut [u8]) -> usize {
+    let len = bytes.len();
+    let mut i = open + 1;
+    while i < len {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                blank(out, open + 1, i);
+                return i + 1;
+            }
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    blank(out, open + 1, len);
+    len
+}
+
+/// Scan a raw string `r"..."` / `r#"..."#` starting at the `r`; returns the
+/// index one past the end, or `None` if it is not actually a raw string.
+fn scan_raw_string(bytes: &[u8], r_pos: usize, line: &mut usize, out: &mut [u8]) -> Option<usize> {
+    let len = bytes.len();
+    let mut i = r_pos + 1;
+    let mut hashes = 0usize;
+    while i < len && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= len || bytes[i] != b'"' {
+        return None; // e.g. `r#foo` raw identifier
+    }
+    let content_start = i + 1;
+    i += 1;
+    while i < len {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if bytes[i] == b'"' {
+            let close_ok = bytes[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&b| b == b'#')
+                .count()
+                == hashes
+                && i + 1 + hashes <= len;
+            if close_ok {
+                blank(out, content_start, i);
+                return Some(i + 1 + hashes);
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    blank(out, content_start, len);
+    Some(len)
+}
+
+/// Scan a char (or byte) literal starting at the opening quote; blanks the
+/// contents and returns the index one past the closing quote.
+fn scan_char_literal(bytes: &[u8], open: usize, out: &mut [u8]) -> usize {
+    let len = bytes.len();
+    let mut i = open + 1;
+    while i < len {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => {
+                blank(out, open + 1, i);
+                return i + 1;
+            }
+            b'\n' => return i, // malformed; bail without eating the line
+            _ => i += 1,
+        }
+    }
+    len
+}
+
+/// One token of the scrubbed text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Byte range in the scrubbed (== original) text.
+    pub start: usize,
+    pub end: usize,
+    /// 1-based line number.
+    pub line: usize,
+    /// True if the token is an identifier/keyword; false for a single
+    /// punctuation byte.
+    pub is_ident: bool,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Tokenize scrubbed text into identifiers and single-byte punctuation.
+pub fn tokenize(scrubbed: &str) -> Vec<Token> {
+    let bytes = scrubbed.as_bytes();
+    let len = bytes.len();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < len {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+        } else if b.is_ascii_whitespace() {
+            i += 1;
+        } else if is_ident_byte(b) && !b.is_ascii_digit() {
+            let start = i;
+            while i < len && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            tokens.push(Token {
+                start,
+                end: i,
+                line,
+                is_ident: true,
+            });
+        } else if b.is_ascii_digit() {
+            // Numeric literal (possibly with a type suffix): consume as one
+            // non-ident token so `0u64` never produces a `u64` identifier.
+            let start = i;
+            while i < len && (is_ident_byte(bytes[i]) || bytes[i] == b'.') {
+                i += 1;
+            }
+            tokens.push(Token {
+                start,
+                end: i,
+                line,
+                is_ident: false,
+            });
+        } else if b < 0x80 {
+            tokens.push(Token {
+                start: i,
+                end: i + 1,
+                line,
+                is_ident: false,
+            });
+            i += 1;
+        } else {
+            i += utf8_len(b);
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_blanked_and_collected() {
+        let src = "let x = 1; // HashMap here\nlet y = 2;";
+        let s = scrub(src);
+        assert!(!s.text.contains("HashMap"));
+        assert_eq!(s.text.len(), src.len());
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(s.comments[0].line, 1);
+        assert_eq!(s.comments[0].text, "HashMap here");
+    }
+
+    #[test]
+    fn doc_comments_and_block_comments_are_blanked() {
+        let src = "/// uses HashMap\n/* block\nHashSet */ fn f() {}";
+        let s = scrub(src);
+        assert!(!s.text.contains("HashMap"));
+        assert!(!s.text.contains("HashSet"));
+        assert!(s.text.contains("fn f"));
+        // The block comment is recorded at its *end* line.
+        assert_eq!(s.comments[1].line, 3);
+    }
+
+    #[test]
+    fn strings_are_blanked_but_code_survives() {
+        let src = r#"let s = "HashMap::new()"; let t = HashMap::new();"#;
+        let s = scrub(src);
+        assert_eq!(s.text.matches("HashMap").count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_and_escapes_are_handled() {
+        let src = "let a = r#\"say \"HashMap\"\"#; let b = \"esc\\\"HashSet\"; let c = 1;";
+        let s = scrub(src);
+        assert!(!s.text.contains("HashMap"));
+        assert!(!s.text.contains("HashSet"));
+        assert!(s.text.contains("let c"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_coexist() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let s = scrub(src);
+        assert!(s.text.contains("fn f"));
+        assert!(!s.text.contains("'x'") || s.text.contains("' '"));
+        let src2 = "let q = '\\''; let l = '\\n';";
+        let s2 = scrub(src2);
+        assert_eq!(s2.text.len(), src2.len());
+    }
+
+    #[test]
+    fn line_structure_is_preserved() {
+        let src = "a\n/* x\ny */\nb \"s\ntr\" c\n";
+        let s = scrub(src);
+        assert_eq!(
+            s.text.matches('\n').count(),
+            src.matches('\n').count(),
+            "newline count must survive scrubbing"
+        );
+    }
+
+    #[test]
+    fn tokens_carry_lines_and_identity() {
+        let toks = tokenize("foo.bar()\nbaz!");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text("foo.bar()\nbaz!")).collect();
+        assert_eq!(texts, vec!["foo", ".", "bar", "(", ")", "baz", "!"]);
+        assert_eq!(toks[5].line, 2);
+        assert!(toks[0].is_ident);
+        assert!(!toks[1].is_ident);
+    }
+
+    #[test]
+    fn numeric_suffixes_do_not_produce_identifiers() {
+        let toks = tokenize("let x = 0u64; let y = 1.5f32;");
+        let src = "let x = 0u64; let y = 1.5f32;";
+        assert!(toks
+            .iter()
+            .filter(|t| t.is_ident)
+            .all(|t| !t.text(src).starts_with(|c: char| c.is_ascii_digit())));
+        assert!(!toks.iter().any(|t| t.is_ident && t.text(src) == "u64"));
+    }
+}

@@ -1,0 +1,151 @@
+//! `sprinklers-lint` — the workspace's static-analysis gate.
+//!
+//! The runtime verification net (golden CSVs, worker/batch parity,
+//! record→replay trace parity) rests on invariants that are conventions, not
+//! compiler guarantees: no randomized-iteration containers or ambient
+//! entropy in result paths, no panicking or allocating constructs in the
+//! per-slot fabric hot paths, no silently-truncating casts onto the compact
+//! `Packet` fields, and an audit trail for any `unsafe`.  This crate turns
+//! those conventions into a machine-enforced gate: a dependency-free
+//! analyzer that scrubs comments/strings with a hand-rolled lexer
+//! ([`lexer`]) and token-scans every `.rs` file in the workspace against the
+//! rule families in [`rules`].
+//!
+//! Violations are suppressible only via an inline
+//! `// lint: allow(<rule>) — <justification>` marker; the justification is
+//! mandatory and every use is counted into the summary `check` prints.  Hot
+//! functions are designated in-source with `// lint: hot-path` directly
+//! above the `fn`.
+//!
+//! Run `cargo run -p sprinklers-lint -- check` (CI does) or `-- rules` for
+//! the rule reference.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{analyze, scope_for_path, AllowUse, Violation, ALL_RULES};
+use std::path::{Path, PathBuf};
+
+/// Result of linting a whole tree.
+#[derive(Debug, Default)]
+pub struct TreeReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// `(workspace-relative path, violation)` pairs, in path order.
+    pub violations: Vec<(String, Violation)>,
+    /// `(workspace-relative path, allow)` pairs, in path order.
+    pub allows_used: Vec<(String, AllowUse)>,
+}
+
+impl TreeReport {
+    /// True if the tree passes the gate.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Render every violation as `path:line: [rule] message`, in order.
+    pub fn rendered_violations(&self) -> Vec<String> {
+        self.violations
+            .iter()
+            .map(|(path, v)| v.render(path))
+            .collect()
+    }
+
+    /// The `(rule, count)` allow summary, covering all rule families.
+    pub fn allow_summary(&self) -> Vec<(&'static str, usize)> {
+        ALL_RULES
+            .iter()
+            .map(|&r| {
+                (
+                    r.name(),
+                    self.allows_used.iter().filter(|(_, a)| a.rule == r).count(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Directories never descended into: build output, VCS metadata, and the
+/// analyzer's own known-bad fixture corpus.
+fn skip_dir(name: &str) -> bool {
+    matches!(name, "target" | ".git" | "fixtures")
+}
+
+/// Collect every `.rs` file under `root` (sorted for deterministic output).
+fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                let name = path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                if !skip_dir(&name) {
+                    stack.push(path);
+                }
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lint every `.rs` file under `root` (the workspace root).
+pub fn lint_tree(root: &Path) -> std::io::Result<TreeReport> {
+    let mut report = TreeReport::default();
+    for path in collect_rs_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        let file_report = analyze(&src, scope_for_path(&rel));
+        report.files_scanned += 1;
+        for v in file_report.violations {
+            report.violations.push((rel.clone(), v));
+        }
+        for a in file_report.allows_used {
+            report.allows_used.push((rel.clone(), a));
+        }
+    }
+    Ok(report)
+}
+
+/// Find the workspace root by walking up from `start` until a `Cargo.toml`
+/// containing a `[workspace]` table is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_directories_are_skipped() {
+        assert!(skip_dir("fixtures"));
+        assert!(skip_dir("target"));
+        assert!(!skip_dir("src"));
+    }
+}

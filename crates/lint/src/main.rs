@@ -1,0 +1,137 @@
+//! CLI entry point: `sprinklers-lint check [--root <path>]` / `rules`.
+
+#![forbid(unsafe_code)]
+
+use sprinklers_lint::rules::ALL_RULES;
+use sprinklers_lint::{find_workspace_root, lint_tree};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+sprinklers-lint — the workspace static-analysis gate
+
+USAGE:
+    sprinklers-lint check [--root <path>]   lint every .rs file; exit 1 on violation
+    sprinklers-lint rules                   print the rule reference
+
+Suppression (audited, justification mandatory):
+    // lint: allow(<rule>) — <why this is sound>
+on the offending line or the line directly above it.
+
+Hot-path designation:
+    // lint: hot-path
+directly above a `fn` marks its body as a hot region.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            print_rules();
+            ExitCode::SUCCESS
+        }
+        Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" if i + 1 < args.len() => {
+                root = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("error: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match lint_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for line in report.rendered_violations() {
+        println!("{line}");
+    }
+
+    println!(
+        "sprinklers-lint: {} files scanned, {} violation{}, {} audited allow{}",
+        report.files_scanned,
+        report.violations.len(),
+        if report.violations.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+        report.allows_used.len(),
+        if report.allows_used.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+    );
+    println!("  rule         allows");
+    for (name, count) in report.allow_summary() {
+        println!("  {name:<12} {count}");
+    }
+    if !report.allows_used.is_empty() {
+        println!("audited allows:");
+        for (path, a) in &report.allows_used {
+            println!(
+                "  {path}:{}: [{}] {}",
+                a.line,
+                a.rule.name(),
+                a.justification
+            );
+        }
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_rules() {
+    println!("sprinklers-lint rule reference\n");
+    for rule in ALL_RULES {
+        println!("[{}]", rule.name());
+        println!("{}\n", rule.description());
+    }
+    println!(
+        "Suppression: `// lint: allow(<rule>) — <justification>` on the offending line\n\
+         or the line directly above.  The justification is mandatory; unused markers\n\
+         are violations; every allow is counted in the `check` summary.\n\n\
+         Hot-path designation: `// lint: hot-path` directly above a `fn` marks its\n\
+         body as a hot region for the hot-path rule."
+    );
+}

@@ -1,0 +1,40 @@
+//! The live tree must pass its own gate.
+//!
+//! This is the test-suite form of `cargo run -p sprinklers-lint -- check`:
+//! the workspace stays clean, and the audited allow markers it does carry
+//! keep their justifications.
+
+use sprinklers_lint::{find_workspace_root, lint_tree};
+use std::path::Path;
+
+#[test]
+fn the_workspace_passes_its_own_gate() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root above crates/lint");
+    let report = lint_tree(&root).expect("workspace tree is readable");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — walk broken?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "the tree has lint violations:\n{}",
+        report.rendered_violations().join("\n")
+    );
+    // The checked Packet accessors carry the workspace's audited casts; if
+    // this count drifts, the audit table in the README needs updating too.
+    let casts = report
+        .allows_used
+        .iter()
+        .filter(|(_, a)| a.rule == sprinklers_lint::rules::Rule::Cast)
+        .count();
+    assert!(casts >= 5, "expected the Packet accessors' audited casts");
+    assert!(
+        report
+            .allows_used
+            .iter()
+            .all(|(_, a)| !a.justification.is_empty()),
+        "audited allows must carry justifications"
+    );
+}

@@ -1,0 +1,7 @@
+//! Fixture: a bare allow marker is itself a violation, and the cast it
+//! fails to justify still fires.
+
+fn narrow(a: usize) -> u16 {
+    // lint: allow(cast)
+    a as u16
+}

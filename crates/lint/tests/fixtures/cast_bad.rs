@@ -1,0 +1,9 @@
+//! Fixture: bare narrowing casts fire under the cast scope.
+
+fn narrow(a: usize, b: usize) -> (u16, u32) {
+    (a as u16, b as u32)
+}
+
+fn widening_is_fine(a: u16) -> u64 {
+    a as u64
+}

@@ -1,0 +1,7 @@
+//! Fixture: a justified allow marker suppresses the cast and is audited.
+
+fn narrow(a: usize) -> u16 {
+    debug_assert!(a <= u16::MAX as usize);
+    // lint: allow(cast) — bounded by the caller's assert_ports_fit guard
+    a as u16
+}

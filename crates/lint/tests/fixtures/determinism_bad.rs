@@ -1,0 +1,18 @@
+//! Fixture: every determinism deny-list entry fires (scope: determinism).
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+fn read_env() -> String {
+    std::env::var("SPRINKLERS_MODE").unwrap_or_default()
+}
+
+fn timing() -> Instant {
+    Instant::now()
+}
+
+fn containers() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s: HashSet<u32> = HashSet::new();
+    let _ = (m, s);
+}

@@ -1,0 +1,24 @@
+//! Fixture: deterministic equivalents pass; mentions of HashMap in prose,
+//! strings and test modules never fire.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A HashMap would randomize iteration order; a BTreeMap never does.
+fn containers() {
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    let s: BTreeSet<u32> = BTreeSet::new();
+    let msg = "HashMap Instant thread_rng are only words inside this string";
+    let _ = (m, s, msg);
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_may_use_hash_containers() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        let _ = (m, Instant::now());
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: panicking and allocating constructs inside a designated
+//! hot-path function all fire; the same constructs in a cold function don't.
+
+// lint: hot-path
+fn step(queue: &mut Vec<Option<u32>>) -> u32 {
+    let head = queue.pop().unwrap();
+    let value = head.expect("head is present");
+    let scratch: Vec<u32> = Vec::new();
+    let label = format!("{value}");
+    let copy = label.clone();
+    let _ = (scratch, copy);
+    value
+}
+
+fn cold(queue: &mut Vec<Option<u32>>) -> u32 {
+    queue.pop().unwrap().expect("cold paths may panic")
+}

@@ -1,0 +1,14 @@
+//! Fixture: infallible, allocation-free patterns pass inside a hot path.
+
+// lint: hot-path
+fn step(queue: &mut Vec<Option<u32>>) -> u32 {
+    let Some(head) = queue.pop() else { return 0 };
+    // `unwrap_or` and `unwrap_or_default` are infallible, not `unwrap`.
+    let value = head.unwrap_or_default();
+    value.saturating_add(1)
+}
+
+fn warm_up(n: usize) -> Vec<u32> {
+    // Preallocation happens outside the designated hot function.
+    Vec::with_capacity(n)
+}

@@ -1,0 +1,5 @@
+//! Fixture: `unsafe` without a `// SAFETY:` comment fires in any scope.
+
+fn uninit() -> u8 {
+    unsafe { std::mem::zeroed() }
+}

@@ -1,0 +1,6 @@
+//! Fixture: an allow marker that suppresses nothing is a violation.
+
+fn plain() -> u64 {
+    // lint: allow(determinism) — stale marker left behind by a refactor
+    41 + 1
+}

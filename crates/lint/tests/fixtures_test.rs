@@ -1,0 +1,157 @@
+//! Fixture-based end-to-end tests: each rule family fires on its known-bad
+//! fixture with the exact diagnostic, and stays silent on the known-good one.
+
+use sprinklers_lint::rules::{analyze, Rule, Scope};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path:?}: {e}"))
+}
+
+const DETERMINISM: Scope = Scope {
+    determinism: true,
+    cast: false,
+};
+const CAST: Scope = Scope {
+    determinism: false,
+    cast: true,
+};
+const UNSCOPED: Scope = Scope {
+    determinism: false,
+    cast: false,
+};
+
+fn rendered(name: &str, scope: Scope) -> Vec<String> {
+    analyze(&fixture(name), scope)
+        .violations
+        .iter()
+        .map(|v| v.render(name))
+        .collect()
+}
+
+#[test]
+fn determinism_fixture_fires_on_every_denied_construct() {
+    let v = rendered("determinism_bad.rs", DETERMINISM);
+    let expected = [
+        "determinism_bad.rs:3: [determinism] `HashMap` is nondeterministic: randomized \
+         iteration order (default hasher); use BTreeMap or a flat vector",
+        "determinism_bad.rs:3: [determinism] `HashSet` is nondeterministic: randomized \
+         iteration order (default hasher); use BTreeSet or a bitset",
+        "determinism_bad.rs:4: [determinism] `Instant` is nondeterministic: wall-clock \
+         readings differ across runs",
+        "determinism_bad.rs:7: [determinism] `env::var` makes results depend on the \
+         process environment",
+    ];
+    for e in expected {
+        assert!(v.contains(&e.to_string()), "missing {e:?} in {v:#?}");
+    }
+    // Instant in the signature and body of `timing`, both HashMap/HashSet
+    // constructor calls: 10 in total.
+    assert_eq!(v.len(), 10, "{v:#?}");
+    assert!(v.iter().all(|d| d.contains("[determinism]")), "{v:#?}");
+}
+
+#[test]
+fn determinism_fixture_good_is_clean_and_out_of_scope_bad_is_too() {
+    assert!(rendered("determinism_good.rs", DETERMINISM).is_empty());
+    // The same bad file outside the determinism scope (e.g. crates/bench)
+    // is not checked.
+    assert!(rendered("determinism_bad.rs", UNSCOPED).is_empty());
+}
+
+#[test]
+fn hotpath_fixture_fires_inside_the_designated_fn_only() {
+    let v = rendered("hotpath_bad.rs", UNSCOPED);
+    let expected = [
+        "hotpath_bad.rs:6: [hot-path] `unwrap` can panic inside a hot-path function; \
+         restructure to an infallible pattern",
+        "hotpath_bad.rs:7: [hot-path] `expect` can panic inside a hot-path function; \
+         restructure to an infallible pattern",
+        "hotpath_bad.rs:8: [hot-path] allocating constructor `::new` inside a hot-path \
+         function; preallocate outside the per-slot loop",
+        "hotpath_bad.rs:9: [hot-path] `format!` allocates inside a hot-path function",
+        "hotpath_bad.rs:10: [hot-path] `clone` allocates inside a hot-path function",
+    ];
+    assert_eq!(v, expected, "{v:#?}");
+}
+
+#[test]
+fn hotpath_fixture_good_is_clean() {
+    assert!(rendered("hotpath_good.rs", UNSCOPED).is_empty());
+}
+
+#[test]
+fn cast_fixture_fires_on_narrowing_only() {
+    let v = rendered("cast_bad.rs", CAST);
+    let expected = [
+        "cast_bad.rs:4: [cast] bare `as u16` narrowing; use a checked accessor or \
+         try_into (silent truncation corrupts routing fields)",
+        "cast_bad.rs:4: [cast] bare `as u32` narrowing; use a checked accessor or \
+         try_into (silent truncation corrupts routing fields)",
+    ];
+    assert_eq!(v, expected, "{v:#?}");
+    // Outside the cast scope (everything but crates/core) it is silent.
+    assert!(rendered("cast_bad.rs", UNSCOPED).is_empty());
+}
+
+#[test]
+fn cast_fixture_allow_marker_suppresses_and_is_audited() {
+    let report = analyze(&fixture("cast_good.rs"), CAST);
+    assert!(report.violations.is_empty(), "{:#?}", report.violations);
+    assert_eq!(report.allows_used.len(), 1);
+    let a = &report.allows_used[0];
+    assert_eq!(a.rule, Rule::Cast);
+    assert_eq!(
+        a.justification,
+        "bounded by the caller's assert_ports_fit guard"
+    );
+}
+
+#[test]
+fn deleting_an_allow_justification_makes_the_gate_fail() {
+    // The acceptance criterion in reverse: strip the justification off the
+    // good fixture's marker and both a marker violation and the no-longer-
+    // suppressed cast must appear.
+    let src = fixture("cast_good.rs").replace(
+        "// lint: allow(cast) — bounded by the caller's assert_ports_fit guard",
+        "// lint: allow(cast)",
+    );
+    let report = analyze(&src, CAST);
+    assert_eq!(report.violations.len(), 2, "{:#?}", report.violations);
+    assert_eq!(report.violations[0].rule, Rule::Marker);
+    assert!(report.violations[0]
+        .message
+        .contains("missing a justification"));
+    assert_eq!(report.violations[1].rule, Rule::Cast);
+    assert!(report.allows_used.is_empty());
+}
+
+#[test]
+fn bare_allow_marker_fixture_fails() {
+    let v = rendered("allow_missing_justification.rs", CAST);
+    assert_eq!(v.len(), 2, "{v:#?}");
+    assert!(v[0].contains("[marker]"), "{v:#?}");
+    assert!(v[0].contains("missing a justification"), "{v:#?}");
+    assert!(v[1].contains("[cast]"), "{v:#?}");
+}
+
+#[test]
+fn unused_allow_marker_fixture_fails() {
+    let v = rendered("unused_allow.rs", DETERMINISM);
+    assert_eq!(v.len(), 1, "{v:#?}");
+    assert!(v[0].contains("unused allow marker"), "{v:#?}");
+}
+
+#[test]
+fn unsafe_fixture_requires_safety_comment_in_any_scope() {
+    let v = rendered("unsafe_bad.rs", UNSCOPED);
+    let expected = ["unsafe_bad.rs:4: [unsafe] `unsafe` without a preceding `// SAFETY:` comment"];
+    assert_eq!(v, expected, "{v:#?}");
+}
+
+#[test]
+fn unsafe_fixture_good_accepts_all_safety_comment_shapes() {
+    assert!(rendered("unsafe_good.rs", UNSCOPED).is_empty());
+}

@@ -19,7 +19,7 @@
 
 use serde::{Deserialize, Serialize};
 use sprinklers_core::packet::Packet;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Aggregate reordering statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -44,14 +44,20 @@ impl ReorderStats {
 }
 
 /// Streaming reordering detector.
+///
+/// The per-key high-water maps are `BTreeMap`s rather than hash maps: the
+/// detector sits inside the deterministic simulation core, where every
+/// container must iterate in a platform- and seed-independent order so that
+/// reports stay byte-identical across runs (the repo-wide rule
+/// `sprinklers-lint` enforces).
 #[derive(Debug, Default, Clone)]
 pub struct ReorderDetector {
     /// Highest `voq_seq` delivered so far per VOQ.
-    voq_high: HashMap<(usize, usize), u64>,
+    voq_high: BTreeMap<(usize, usize), u64>,
     /// Highest `voq_seq` delivered so far per (input, output, flow).
-    flow_high: HashMap<(usize, usize, u64), u64>,
+    flow_high: BTreeMap<(usize, usize, u64), u64>,
     /// VOQs with at least one violation.
-    dirty_voqs: std::collections::HashSet<(usize, usize)>,
+    dirty_voqs: BTreeSet<(usize, usize)>,
     stats: ReorderStats,
 }
 

@@ -739,11 +739,11 @@ mod json {
         }
 
         /// The value under `key`, when present (for optional fields).
-        pub fn maybe(&self, key: &str) -> Option<&Value> {
+        pub(super) fn maybe(&self, key: &str) -> Option<&Value> {
             self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
         }
 
-        pub fn get_str(&self, key: &str) -> Result<String, SpecError> {
+        pub(super) fn get_str(&self, key: &str) -> Result<String, SpecError> {
             match self.get(key)? {
                 Value::String(s) => Ok(s.clone()),
                 other => Err(SpecError::new(format!(
@@ -752,17 +752,17 @@ mod json {
             }
         }
 
-        pub fn get_num(&self, key: &str) -> Result<f64, SpecError> {
+        pub(super) fn get_num(&self, key: &str) -> Result<f64, SpecError> {
             self.get(key)?.as_number(key)
         }
 
-        pub fn get_u64(&self, key: &str) -> Result<u64, SpecError> {
+        pub(super) fn get_u64(&self, key: &str) -> Result<u64, SpecError> {
             self.get(key)?.as_u64(key)
         }
     }
 
     impl Value {
-        pub fn as_object(&self, what: &str) -> Result<&Object, SpecError> {
+        pub(super) fn as_object(&self, what: &str) -> Result<&Object, SpecError> {
             match self {
                 Value::Object(o) => Ok(o),
                 other => Err(SpecError::new(format!(
@@ -771,7 +771,7 @@ mod json {
             }
         }
 
-        pub fn as_number(&self, what: &str) -> Result<f64, SpecError> {
+        pub(super) fn as_number(&self, what: &str) -> Result<f64, SpecError> {
             match self {
                 Value::Number { value, .. } => Ok(*value),
                 other => Err(SpecError::new(format!(
@@ -782,7 +782,7 @@ mod json {
 
         /// The exact integer value — unlike [`Self::as_number`] this never
         /// goes through f64, so 64-bit seeds round-trip losslessly.
-        pub fn as_u64(&self, what: &str) -> Result<u64, SpecError> {
+        pub(super) fn as_u64(&self, what: &str) -> Result<u64, SpecError> {
             match self {
                 Value::Number {
                     integer: Some(i), ..

@@ -100,12 +100,12 @@ impl TrafficGenerator for FlowTraffic {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     #[test]
     fn packets_of_a_voq_share_flow_ids_in_runs() {
         let mut gen = FlowTraffic::uniform(4, 0.9, 10.0, 3);
-        let mut per_voq_flows: HashMap<(usize, usize), Vec<u64>> = HashMap::new();
+        let mut per_voq_flows: BTreeMap<(usize, usize), Vec<u64>> = BTreeMap::new();
         for slot in 0..20_000 {
             for p in gen.arrivals(slot) {
                 per_voq_flows.entry(p.voq()).or_default().push(p.flow);
@@ -114,7 +114,7 @@ mod tests {
         // Flow ids within a VOQ appear in contiguous runs (a flow never
         // resumes after it ended).
         for (_, flows) in per_voq_flows {
-            let mut seen_closed = std::collections::HashSet::new();
+            let mut seen_closed = std::collections::BTreeSet::new();
             let mut current = None;
             for f in flows {
                 if Some(f) != current {
@@ -132,7 +132,7 @@ mod tests {
     fn mean_flow_length_is_respected() {
         let mean = 8.0;
         let mut gen = FlowTraffic::uniform(2, 1.0, mean, 11);
-        let mut counts: HashMap<u64, u64> = HashMap::new();
+        let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
         for slot in 0..100_000 {
             for p in gen.arrivals(slot) {
                 *counts.entry(p.flow).or_insert(0) += 1;
@@ -151,7 +151,7 @@ mod tests {
     #[test]
     fn flow_ids_are_distinct_across_voqs() {
         let mut gen = FlowTraffic::uniform(4, 1.0, 5.0, 2);
-        let mut flow_owner: HashMap<u64, (usize, usize)> = HashMap::new();
+        let mut flow_owner: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
         for slot in 0..5_000 {
             for p in gen.arrivals(slot) {
                 let owner = flow_owner.entry(p.flow).or_insert_with(|| p.voq());
