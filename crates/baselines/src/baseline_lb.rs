@@ -61,10 +61,11 @@ impl BaselineLbSwitch {
     // lint: hot-path
     fn step_at(&mut self, slot: u64, t: usize, sink: &mut dyn DeliverySink) {
         // Second fabric first (store-and-forward).
-        for w in 0..self.occupied_intermediates.word_count() {
-            let mut bits = self.occupied_intermediates.word(w);
+        let mut w = 0usize;
+        while let Some(wi) = self.occupied_intermediates.next_occupied_word(w) {
+            let mut bits = self.occupied_intermediates.word(wi);
             while bits != 0 {
-                let l = (w << 6) + bits.trailing_zeros() as usize;
+                let l = (wi << 6) + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 let output = second_fabric_output_at(l, t, self.n);
                 if let Some(packet) = self.intermediates[l].dequeue(output) {
@@ -76,13 +77,15 @@ impl BaselineLbSwitch {
                     sink.deliver(DeliveredPacket::new(packet, slot));
                 }
             }
+            w = wi + 1;
         }
         // First fabric: every backlogged input forwards its head-of-line
         // packet to the intermediate port it is connected to in this slot.
-        for w in 0..self.occupied_inputs.word_count() {
-            let mut bits = self.occupied_inputs.word(w);
+        let mut w = 0usize;
+        while let Some(wi) = self.occupied_inputs.next_occupied_word(w) {
+            let mut bits = self.occupied_inputs.word(wi);
             while bits != 0 {
-                let i = (w << 6) + bits.trailing_zeros() as usize;
+                let i = (wi << 6) + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 // The occupancy bit guarantees a head-of-line packet; an
                 // empty queue here would be a bookkeeping bug, and skipping
@@ -101,6 +104,7 @@ impl BaselineLbSwitch {
                 self.occupied_intermediates.insert(l);
                 self.intermediates[l].receive(packet);
             }
+            w = wi + 1;
         }
     }
 }

@@ -108,10 +108,11 @@ impl FoffSwitch {
     fn step_at(&mut self, slot: u64, t: usize, sink: &mut dyn DeliverySink) {
         // Second fabric: move packets into the output resequencers, then let
         // each output release at most one in-order packet (its line rate).
-        for w in 0..self.occupied_intermediates.word_count() {
-            let mut bits = self.occupied_intermediates.word(w);
+        let mut w = 0usize;
+        while let Some(wi) = self.occupied_intermediates.next_occupied_word(w) {
+            let mut bits = self.occupied_intermediates.word(wi);
             while bits != 0 {
-                let l = (w << 6) + bits.trailing_zeros() as usize;
+                let l = (wi << 6) + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 let output = second_fabric_output_at(l, t, self.n);
                 if let Some(packet) = self.intermediates[l].dequeue(output) {
@@ -124,13 +125,15 @@ impl FoffSwitch {
                     self.resequencers[output].receive(packet);
                 }
             }
+            w = wi + 1;
         }
         // A resequencer can be occupied and still release nothing: all of
         // its buffered packets may be waiting for an earlier sequence number.
-        for w in 0..self.occupied_outputs.word_count() {
-            let mut bits = self.occupied_outputs.word(w);
+        let mut w = 0usize;
+        while let Some(wi) = self.occupied_outputs.next_occupied_word(w) {
+            let mut bits = self.occupied_outputs.word(wi);
             while bits != 0 {
-                let output = (w << 6) + bits.trailing_zeros() as usize;
+                let output = (wi << 6) + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 if let Some(packet) = self.resequencers[output].release_one() {
                     debug_assert_eq!(packet.output(), output);
@@ -142,13 +145,15 @@ impl FoffSwitch {
                     sink.deliver(DeliveredPacket::new(packet, slot));
                 }
             }
+            w = wi + 1;
         }
         // First fabric: full frames first, round-robin partial service
         // otherwise.
-        for w in 0..self.occupied_inputs.word_count() {
-            let mut bits = self.occupied_inputs.word(w);
+        let mut w = 0usize;
+        while let Some(wi) = self.occupied_inputs.next_occupied_word(w) {
+            let mut bits = self.occupied_inputs.word(wi);
             while bits != 0 {
-                let i = (w << 6) + bits.trailing_zeros() as usize;
+                let i = (wi << 6) + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 let connected = first_fabric_at(i, t, self.n);
                 let input = &mut self.inputs[i];
@@ -182,6 +187,7 @@ impl FoffSwitch {
                     self.intermediates[connected].receive(packet);
                 }
             }
+            w = wi + 1;
         }
     }
 }

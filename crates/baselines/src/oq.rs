@@ -67,10 +67,11 @@ impl Switch for OutputQueuedSwitch {
     fn step(&mut self, slot: u64, sink: &mut dyn DeliverySink) {
         // Walk only the backlogged outputs, in ascending order like the dense
         // loop did (empty queues were no-ops there).
-        for w in 0..self.occupied.word_count() {
-            let mut bits = self.occupied.word(w);
+        let mut w = 0usize;
+        while let Some(wi) = self.occupied.next_occupied_word(w) {
+            let mut bits = self.occupied.word(wi);
             while bits != 0 {
-                let j = (w << 6) + bits.trailing_zeros() as usize;
+                let j = (wi << 6) + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 let queue = &mut self.outputs[j];
                 // Store-and-forward: a packet needs at least one slot inside the
@@ -88,6 +89,7 @@ impl Switch for OutputQueuedSwitch {
                     }
                 }
             }
+            w = wi + 1;
         }
     }
 

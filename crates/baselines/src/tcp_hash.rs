@@ -91,10 +91,11 @@ impl TcpHashSwitch {
     /// Both passes walk the occupancy bitsets in ascending port order.
     // lint: hot-path
     fn step_at(&mut self, slot: u64, t: usize, sink: &mut dyn DeliverySink) {
-        for w in 0..self.occupied_intermediates.word_count() {
-            let mut bits = self.occupied_intermediates.word(w);
+        let mut w = 0usize;
+        while let Some(wi) = self.occupied_intermediates.next_occupied_word(w) {
+            let mut bits = self.occupied_intermediates.word(wi);
             while bits != 0 {
-                let l = (w << 6) + bits.trailing_zeros() as usize;
+                let l = (wi << 6) + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 let output = second_fabric_output_at(l, t, self.n);
                 if let Some(packet) = self.intermediates[l].dequeue(output) {
@@ -106,13 +107,15 @@ impl TcpHashSwitch {
                     sink.deliver(DeliveredPacket::new(packet, slot));
                 }
             }
+            w = wi + 1;
         }
         // An occupied input may still miss: its packets can be pinned to
         // per-path FIFOs other than the one the fabric reaches this slot.
-        for w in 0..self.occupied_inputs.word_count() {
-            let mut bits = self.occupied_inputs.word(w);
+        let mut w = 0usize;
+        while let Some(wi) = self.occupied_inputs.next_occupied_word(w) {
+            let mut bits = self.occupied_inputs.word(wi);
             while bits != 0 {
-                let i = (w << 6) + bits.trailing_zeros() as usize;
+                let i = (wi << 6) + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 let l = first_fabric_at(i, t, self.n);
                 if let Some(mut packet) = self.inputs[i].per_intermediate[l].pop_front() {
@@ -128,6 +131,7 @@ impl TcpHashSwitch {
                     self.intermediates[l].receive(packet);
                 }
             }
+            w = wi + 1;
         }
     }
 }

@@ -93,10 +93,11 @@ impl UfsSwitch {
     /// Both passes walk the occupancy bitsets in ascending port order.
     // lint: hot-path
     fn step_at(&mut self, slot: u64, t: usize, sink: &mut dyn DeliverySink) {
-        for w in 0..self.occupied_intermediates.word_count() {
-            let mut bits = self.occupied_intermediates.word(w);
+        let mut w = 0usize;
+        while let Some(wi) = self.occupied_intermediates.next_occupied_word(w) {
+            let mut bits = self.occupied_intermediates.word(wi);
             while bits != 0 {
-                let l = (w << 6) + bits.trailing_zeros() as usize;
+                let l = (wi << 6) + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 let output = second_fabric_output_at(l, t, self.n);
                 if let Some(packet) = self.intermediates[l].dequeue(output) {
@@ -108,11 +109,13 @@ impl UfsSwitch {
                     sink.deliver(DeliveredPacket::new(packet, slot));
                 }
             }
+            w = wi + 1;
         }
-        for w in 0..self.occupied_inputs.word_count() {
-            let mut bits = self.occupied_inputs.word(w);
+        let mut w = 0usize;
+        while let Some(wi) = self.occupied_inputs.next_occupied_word(w) {
+            let mut bits = self.occupied_inputs.word(wi);
             while bits != 0 {
-                let i = (w << 6) + bits.trailing_zeros() as usize;
+                let i = (wi << 6) + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 let connected = first_fabric_at(i, t, self.n);
                 let input = &mut self.inputs[i];
@@ -140,6 +143,7 @@ impl UfsSwitch {
                     }
                 }
             }
+            w = wi + 1;
         }
     }
 }

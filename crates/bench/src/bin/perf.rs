@@ -14,9 +14,14 @@
 //!
 //! ```text
 //! perf [--schemes a,b,..] [--ns 64,256] [--loads 0.05,0.3,0.95]
-//!      [--batches 1,64] [--slots 8192] [--drain 16384] [--reps 3]
-//!      [--json out.json] [--quick]
+//!      [--batches 1,64] [--threads 1,4] [--slots 8192] [--drain 16384]
+//!      [--reps 3] [--json out.json] [--quick]
 //! ```
+//!
+//! `--threads` is a grid dimension like `--batches`: each listed value runs
+//! every cell with that many intra-slot worker threads
+//! ([`Switch::set_threads`]).  Deliveries are byte-identical at any value;
+//! only the throughput column should move.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -57,25 +62,36 @@ struct Cell {
     n: usize,
     load: f64,
     batch: u32,
+    threads: u32,
     total_slots: u64,
     delivered: u64,
     mslots_per_sec: f64,
 }
 
-/// Drive one cell once: arrive + step_batch over offered + drain slots,
-/// timed.  Returns (seconds, delivered packets).
-fn drive(
-    scheme: &str,
+/// Grid coordinates of one timed cell (everything `drive` needs besides the
+/// pre-generated schedule and the window lengths).
+struct CellCfg<'a> {
+    scheme: &'a str,
     n: usize,
     load: f64,
     batch: u64,
-    arrivals: &[Arrival],
-    offered_slots: u64,
-    drain_slots: u64,
-) -> (f64, u64) {
+    threads: u32,
+}
+
+/// Drive one cell once: arrive + step_batch over offered + drain slots,
+/// timed.  Returns (seconds, delivered packets).
+fn drive(cfg: &CellCfg, arrivals: &[Arrival], offered_slots: u64, drain_slots: u64) -> (f64, u64) {
+    let &CellCfg {
+        scheme,
+        n,
+        load,
+        batch,
+        threads,
+    } = cfg;
     let matrix = TrafficMatrix::uniform(n, load.max(0.01));
     let mut switch = registry::build_named(scheme, n, &SizingSpec::Matrix, &matrix, 7)
         .unwrap_or_else(|e| sprinklers_bench::cli::fail(&e.to_string()));
+    switch.set_threads(threads as usize);
     let mut voq_seq = vec![0u64; n * n];
     let mut sink = CountingSink::default();
     let total = offered_slots + drain_slots;
@@ -139,65 +155,208 @@ fn main() {
         }
     });
     let batches = parse_list_flag::<u32>(&args, "--batches").unwrap_or_else(|| vec![1, 64]);
+    let threads_grid = parse_list_flag::<u32>(&args, "--threads").unwrap_or_else(|| vec![1]);
+    if threads_grid.contains(&0) {
+        sprinklers_bench::cli::fail("--threads values must be at least 1");
+    }
     let offered: u64 = parse_flag(&args, "--slots").unwrap_or(if quick { 2_048 } else { 8_192 });
     let drain: u64 = parse_flag(&args, "--drain").unwrap_or(if quick { 4_096 } else { 16_384 });
     let reps: u32 = parse_flag(&args, "--reps").unwrap_or(if quick { 1 } else { 3 });
     let json_path = sprinklers_bench::cli::arg_value(&args, "--json");
 
     let mut cells: Vec<Cell> = Vec::new();
-    println!("scheme,n,load,batch,total_slots,delivered,mslots_per_sec");
+    println!("scheme,n,load,batch,threads,total_slots,delivered,mslots_per_sec");
     for &n in &ns {
         for &load in &loads {
             let arrivals = schedule(n, load, offered, 2014);
             for scheme in &schemes {
                 for &batch in &batches {
-                    // Best-of-reps: throughput benchmarking wants the least
-                    // perturbed run, not the average.
-                    let mut best = f64::INFINITY;
-                    let mut delivered = 0u64;
-                    for _ in 0..reps {
-                        let (secs, d) =
-                            drive(scheme, n, load, u64::from(batch), &arrivals, offered, drain);
-                        best = best.min(secs);
-                        delivered = d;
+                    for &threads in &threads_grid {
+                        // Best-of-reps: throughput benchmarking wants the
+                        // least perturbed run, not the average.
+                        let mut best = f64::INFINITY;
+                        let mut delivered = 0u64;
+                        let cfg = CellCfg {
+                            scheme,
+                            n,
+                            load,
+                            batch: u64::from(batch),
+                            threads,
+                        };
+                        for _ in 0..reps {
+                            let (secs, d) = drive(&cfg, &arrivals, offered, drain);
+                            best = best.min(secs);
+                            delivered = d;
+                        }
+                        let total_slots = offered + drain;
+                        let mslots = total_slots as f64 / best / 1e6;
+                        println!(
+                            "{scheme},{n},{load},{batch},{threads},{total_slots},\
+                             {delivered},{mslots:.2}"
+                        );
+                        cells.push(Cell {
+                            scheme: scheme.clone(),
+                            n,
+                            load,
+                            batch,
+                            threads,
+                            total_slots,
+                            delivered,
+                            mslots_per_sec: mslots,
+                        });
                     }
-                    let total_slots = offered + drain;
-                    let mslots = total_slots as f64 / best / 1e6;
-                    println!("{scheme},{n},{load},{batch},{total_slots},{delivered},{mslots:.2}");
-                    cells.push(Cell {
-                        scheme: scheme.clone(),
-                        n,
-                        load,
-                        batch,
-                        total_slots,
-                        delivered,
-                        mslots_per_sec: mslots,
-                    });
                 }
             }
         }
     }
 
     if let Some(path) = json_path {
-        // Hand-rolled JSON: the workspace's serde is an offline marker shim,
-        // and the schema here is flat enough that formatting it directly is
-        // clearer than growing the shim a serializer.
-        let mut out = String::from("{\n  \"bench\": \"sparse_stepping\",\n");
-        let _ = writeln!(out, "  \"offered_slots\": {offered},");
-        let _ = writeln!(out, "  \"drain_slots\": {drain},");
-        out.push_str("  \"results\": [\n");
-        for (i, c) in cells.iter().enumerate() {
-            let comma = if i + 1 == cells.len() { "" } else { "," };
-            let _ = writeln!(
-                out,
-                "    {{\"scheme\": \"{}\", \"n\": {}, \"load\": {}, \"batch\": {}, \
-                 \"total_slots\": {}, \"delivered\": {}, \"mslots_per_sec\": {:.2}}}{}",
-                c.scheme, c.n, c.load, c.batch, c.total_slots, c.delivered, c.mslots_per_sec, comma
-            );
-        }
-        out.push_str("  ]\n}\n");
-        std::fs::write(&path, out)
+        std::fs::write(&path, render_json(offered, drain, &cells))
             .unwrap_or_else(|e| sprinklers_bench::cli::fail(&format!("cannot write {path}: {e}")));
         eprintln!("wrote {path}");
+    }
+}
+
+/// `{:.2}` for a finite throughput, JSON `null` otherwise.  `Display` for
+/// f64 happily writes `inf` or `NaN` — neither is JSON — and a cell whose
+/// best elapsed time rounds to ~0 s really does produce an infinite
+/// Mslots/s, so the guard is load-bearing, not defensive.
+fn json_mslots(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.2}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render the machine-readable report.  Hand-rolled JSON: the workspace's
+/// serde is an offline marker shim, and the schema here is flat enough that
+/// formatting it directly is clearer than growing the shim a serializer.
+fn render_json(offered: u64, drain: u64, cells: &[Cell]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"sparse_stepping\",\n");
+    let _ = writeln!(out, "  \"offered_slots\": {offered},");
+    let _ = writeln!(out, "  \"drain_slots\": {drain},");
+    out.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"scheme\": \"{}\", \"n\": {}, \"load\": {}, \"batch\": {}, \
+             \"threads\": {}, \"total_slots\": {}, \"delivered\": {}, \
+             \"mslots_per_sec\": {}}}{}",
+            c.scheme,
+            c.n,
+            c.load,
+            c.batch,
+            c.threads,
+            c.total_slots,
+            c.delivered,
+            json_mslots(c.mslots_per_sec),
+            comma
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal JSON well-formedness checker (the sim crate's spec reader is
+    /// deliberately object/number/string-only, so it can't validate the
+    /// array-bearing report).  Returns the rest of the input on success.
+    fn skip_value(s: &str) -> Result<&str, String> {
+        let s = s.trim_start();
+        let mut chars = s.char_indices();
+        match chars.next().map(|(_, c)| c) {
+            Some('{') => skip_seq(&s[1..], '}', true),
+            Some('[') => skip_seq(&s[1..], ']', false),
+            Some('"') => skip_string(s),
+            Some(c) if c == '-' || c.is_ascii_digit() => {
+                let end = s
+                    .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+                    .unwrap_or(s.len());
+                s[..end]
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad number '{}': {e}", &s[..end]))?;
+                Ok(&s[end..])
+            }
+            _ if s.starts_with("null") => Ok(&s[4..]),
+            _ if s.starts_with("true") => Ok(&s[4..]),
+            _ if s.starts_with("false") => Ok(&s[5..]),
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn skip_string(s: &str) -> Result<&str, String> {
+        let inner = &s[1..];
+        let end = inner.find('"').ok_or("unterminated string")?;
+        Ok(&inner[end + 1..])
+    }
+
+    fn skip_seq(mut s: &str, close: char, keyed: bool) -> Result<&str, String> {
+        loop {
+            s = s.trim_start();
+            if let Some(rest) = s.strip_prefix(close) {
+                return Ok(rest);
+            }
+            if keyed {
+                s = skip_string(s.trim_start())?;
+                s = s
+                    .trim_start()
+                    .strip_prefix(':')
+                    .ok_or("missing ':' after key")?;
+            }
+            s = skip_value(s)?;
+            s = s.trim_start();
+            if let Some(rest) = s.strip_prefix(',') {
+                s = rest;
+            } else if !s.starts_with(close) {
+                return Err(format!(
+                    "expected ',' or '{close}' at {:?}",
+                    &s[..s.len().min(12)]
+                ));
+            }
+        }
+    }
+
+    fn assert_parses(text: &str) {
+        let rest = skip_value(text).unwrap_or_else(|e| panic!("{e}\nin:\n{text}"));
+        assert!(rest.trim().is_empty(), "trailing input: {rest:?}");
+    }
+
+    #[test]
+    fn report_json_is_well_formed_even_with_non_finite_throughput() {
+        let cell = |mslots: f64| Cell {
+            scheme: "sprinklers".into(),
+            n: 64,
+            load: 0.05,
+            batch: 64,
+            threads: 4,
+            total_slots: 6144,
+            delivered: 19_000,
+            mslots_per_sec: mslots,
+        };
+        // A ~0s best elapsed time yields ±inf; a 0/0 pathology yields NaN.
+        // `{:.2}` would write them verbatim, producing unparseable JSON.
+        for cells in [
+            vec![],
+            vec![cell(123.45)],
+            vec![cell(f64::INFINITY)],
+            vec![cell(f64::NAN), cell(0.0), cell(f64::NEG_INFINITY)],
+        ] {
+            let text = render_json(2048, 4096, &cells);
+            assert_parses(&text);
+            assert!(!text.contains("inf") && !text.contains("NaN"), "{text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_throughput_renders_as_null() {
+        assert_eq!(json_mslots(f64::INFINITY), "null");
+        assert_eq!(json_mslots(f64::NEG_INFINITY), "null");
+        assert_eq!(json_mslots(f64::NAN), "null");
+        assert_eq!(json_mslots(12.345), "12.35");
     }
 }

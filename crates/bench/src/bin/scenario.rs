@@ -23,10 +23,10 @@ const USAGE: &str = "\
 Run one simulation scenario described by a JSON ScenarioSpec.
 
 Usage:
-  scenario --spec <file.json> [--batch <slots>]
+  scenario --spec <file.json> [--batch <slots>] [--threads <N>]
   scenario [--scheme <name>] [--n <ports>] [--load <rho>]
            [--pattern uniform|diagonal] [--seed <u64>] [--quick]
-           [--batch <slots>]
+           [--batch <slots>] [--threads <N>]
   scenario [--scheme <name>] [--n <ports>] --trace <file.{csv,sprt}>
            [--repeat <copies>] [--scale <factor>] [--seed <u64>] [--quick]
   scenario --print-template    print a ScenarioSpec JSON template
@@ -39,6 +39,10 @@ stretches (<1) its timebase.
 --batch sets how many slots each Switch::step_batch call advances (default
 64; effectively capped at n by the occupancy-sampling period).  It is a
 pure performance knob: the report is byte-identical at any value.
+
+--threads shards each simulated slot's fabric work across N worker threads
+(default 1 = serial; clamped to n by the switch).  Also a pure performance
+knob: the report is byte-identical at any value.
 
 Defaults: --scheme sprinklers --n 32 --load 0.6 --pattern uniform --seed 2014";
 
@@ -102,6 +106,12 @@ fn main() {
             fail("--batch must be at least 1");
         }
         spec.batch = batch;
+    }
+    if let Some(threads) = parse_flag::<u32>(&args, "--threads") {
+        if threads == 0 {
+            fail("--threads must be at least 1");
+        }
+        spec.threads = threads;
     }
 
     eprintln!("running scenario: {}", spec.label());

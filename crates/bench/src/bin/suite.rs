@@ -36,11 +36,13 @@ Options:
   --loads <x,y,z>      re-run every (spec, scheme) once per offered load
   --batch <slots>      slots per Switch::step_batch call (perf knob, default
                        from each spec; results are identical at any value)
+  --threads <N>        intra-slot worker threads per run (perf knob, default
+                       from each spec; results are identical at any value)
   --quick              shrink every run to the quick RunConfig
   --out <file.csv>     write the merged CSV to a file instead of stdout
 
 The merged CSV is deterministic: same specs + seeds give byte-identical
-output at any --workers and any --batch value.";
+output at any --workers, any --batch and any --threads value.";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,6 +65,12 @@ fn main() {
             fail("--batch must be at least 1");
         }
         suite = suite.with_batch(batch);
+    }
+    if let Some(threads) = parse_flag::<u32>(&args, "--threads") {
+        if threads == 0 {
+            fail("--threads must be at least 1");
+        }
+        suite = suite.with_threads(threads);
     }
 
     let mut cases = suite.load_cases().unwrap_or_else(|e| fail(&e.to_string()));

@@ -11,11 +11,15 @@
 //! empty-batch elision from the batched stepping work is the degenerate
 //! case: [`OccupancySet::is_empty`] is a single counter read.
 //!
-//! A summary level (one bit per level-0 word) is maintained alongside; today
-//! it backs the cursor API ([`OccupancySet::next_at_or_after`] /
-//! [`OccupancySet::iter`]) and the consistency nets, not the step loops —
-//! skipping 64 empty ports at a time in the hot walks (and vectorizing the
-//! scan) is the ROADMAP's "SIMD-batched bitset scans" open item.
+//! A summary level (one bit per level-0 word) is maintained alongside and
+//! backs the scalar word-scan fallback; the hot walks themselves go through
+//! [`OccupancySet::next_occupied_word`], a chunked scan that OR-reduces
+//! [`SCAN_CHUNK`] level-0 words at a time (a shape LLVM autovectorizes into
+//! one wide load + compare per chunk), and the fused
+//! [`OccupancySet::next_occupied_matching`] query intersects occupancy with a
+//! caller-supplied [`PortMask`] in the same chunked shape — the primitive the
+//! sharded parallel step uses to confine each worker to its port range
+//! without a per-port branch.
 //!
 //! The sets are plain indexes, deliberately decoupled from the containers
 //! they summarize: a switch inserts a port when it enqueues into it and
@@ -26,6 +30,12 @@
 //! copied word).
 
 use serde::{Deserialize, Serialize};
+
+/// Level-0 words scanned per chunk by the vectorized walks: four `u64`s, one
+/// 256-bit lane on AVX2/NEON-class hardware.  The OR-reduction over a fixed
+/// `[u64; SCAN_CHUNK]` window is the portable-SIMD idiom — no intrinsics, but
+/// a shape the autovectorizer reliably turns into wide loads.
+pub const SCAN_CHUNK: usize = 4;
 
 /// A two-level bitset over port indexes `0..n`.
 ///
@@ -133,6 +143,79 @@ impl OccupancySet {
         self.words[w]
     }
 
+    /// The smallest index `>= from_word` of a non-zero level-0 word, or
+    /// `None`.  This is the step loops' word cursor: instead of visiting all
+    /// `word_count()` words (most of them zero in sparse regimes), a pass
+    /// asks for the next occupied word, pops its bits, and resumes from the
+    /// word after it.
+    ///
+    /// Chunked scan: after a scalar prologue to a [`SCAN_CHUNK`] boundary,
+    /// whole chunks are rejected with one OR-reduction each — a single wide
+    /// load + compare once autovectorized — and only an occupied chunk is
+    /// re-scanned word by word.  Tiny domains (`word_count() <= SCAN_CHUNK`)
+    /// take the summary-driven scalar path, which touches fewer cache lines.
+    // lint: hot-path
+    #[inline]
+    pub fn next_occupied_word(&self, from_word: usize) -> Option<usize> {
+        let count = self.words.len();
+        if self.len == 0 || from_word >= count {
+            return None;
+        }
+        if count <= SCAN_CHUNK {
+            return self.next_occupied_word_scalar(from_word);
+        }
+        let mut w = from_word;
+        while w < count && !w.is_multiple_of(SCAN_CHUNK) {
+            if self.words[w] != 0 {
+                return Some(w);
+            }
+            w += 1;
+        }
+        while w + SCAN_CHUNK <= count {
+            let c = &self.words[w..w + SCAN_CHUNK];
+            if (c[0] | c[1]) | (c[2] | c[3]) != 0 {
+                for (k, &word) in c.iter().enumerate() {
+                    if word != 0 {
+                        return Some(w + k);
+                    }
+                }
+            }
+            w += SCAN_CHUNK;
+        }
+        while w < count {
+            if self.words[w] != 0 {
+                return Some(w);
+            }
+            w += 1;
+        }
+        None
+    }
+
+    /// Scalar reference for [`Self::next_occupied_word`]: walk the summary
+    /// level for the next non-zero word.  Kept public so the SIMD-vs-scalar
+    /// parity nets can pin both paths against each other, and used directly
+    /// for tiny domains where chunking cannot pay for itself.
+    // lint: hot-path
+    #[inline]
+    pub fn next_occupied_word_scalar(&self, from_word: usize) -> Option<usize> {
+        if self.len == 0 || from_word >= self.words.len() {
+            return None;
+        }
+        let mut sw = from_word >> 6;
+        let mut mask = !0u64 << (from_word & 63);
+        while sw < self.summary.len() {
+            let s = self.summary[sw] & mask;
+            if s != 0 {
+                let w = (sw << 6) + s.trailing_zeros() as usize;
+                debug_assert_ne!(self.words[w], 0, "summary bit set for an empty word");
+                return Some(w);
+            }
+            mask = !0u64;
+            sw += 1;
+        }
+        None
+    }
+
     /// The smallest occupied port `>= from`, or `None`.
     ///
     /// This is the hot-loop cursor: `while let Some(p) = set.next_at_or_after(i)`
@@ -151,31 +234,153 @@ impl OccupancySet {
         if word != 0 {
             return Some((w0 << 6) + word.trailing_zeros() as usize);
         }
-        // Walk the summary for the next non-zero word after w0.
-        let start = w0 + 1;
-        let mut sw = start >> 6;
-        let mut mask = if start & 63 == 0 {
-            !0u64
-        } else {
-            !0u64 << (start & 63)
-        };
-        while sw < self.summary.len() {
-            let s = self.summary[sw] & mask;
-            if s != 0 {
-                let w = (sw << 6) + s.trailing_zeros() as usize;
-                let word = self.words[w];
-                debug_assert_ne!(word, 0, "summary bit set for an empty word");
+        let w = self.next_occupied_word_scalar(w0 + 1)?;
+        let word = self.words[w];
+        debug_assert_ne!(word, 0, "summary bit set for an empty word");
+        Some((w << 6) + word.trailing_zeros() as usize)
+    }
+
+    /// The smallest port `>= from` that is occupied *and* set in `mask`, or
+    /// `None`.  The fused query the sharded step uses: a worker confined to a
+    /// contiguous port range intersects occupancy with its range mask chunk
+    /// by chunk instead of filtering ports one at a time, so an all-idle
+    /// foreign range is rejected [`SCAN_CHUNK`] words per compare.
+    ///
+    /// `mask` must cover the same domain; the walk visits matching ports in
+    /// ascending order under the same mid-walk mutation contract as
+    /// [`Self::next_at_or_after`].
+    // lint: hot-path
+    #[inline]
+    pub fn next_occupied_matching(&self, from: usize, mask: &PortMask) -> Option<usize> {
+        debug_assert_eq!(mask.n, self.n, "mask domain mismatch");
+        let count = self.words.len();
+        if self.len == 0 || from >= self.n {
+            return None;
+        }
+        // The word containing `from`, masked to bits at or above it.
+        let w0 = from >> 6;
+        let first = self.words[w0] & mask.words[w0] & (!0u64 << (from & 63));
+        if first != 0 {
+            return Some((w0 << 6) + first.trailing_zeros() as usize);
+        }
+        let mut w = w0 + 1;
+        while w < count && !w.is_multiple_of(SCAN_CHUNK) {
+            let word = self.words[w] & mask.words[w];
+            if word != 0 {
                 return Some((w << 6) + word.trailing_zeros() as usize);
             }
-            mask = !0u64;
-            sw += 1;
+            w += 1;
+        }
+        while w + SCAN_CHUNK <= count {
+            let a = &self.words[w..w + SCAN_CHUNK];
+            let b = &mask.words[w..w + SCAN_CHUNK];
+            let m = [a[0] & b[0], a[1] & b[1], a[2] & b[2], a[3] & b[3]];
+            if (m[0] | m[1]) | (m[2] | m[3]) != 0 {
+                for (k, &word) in m.iter().enumerate() {
+                    if word != 0 {
+                        return Some(((w + k) << 6) + word.trailing_zeros() as usize);
+                    }
+                }
+            }
+            w += SCAN_CHUNK;
+        }
+        while w < count {
+            let word = self.words[w] & mask.words[w];
+            if word != 0 {
+                return Some((w << 6) + word.trailing_zeros() as usize);
+            }
+            w += 1;
         }
         None
+    }
+
+    /// Scalar reference for [`Self::next_occupied_matching`] — a plain
+    /// port-at-a-time probe, kept public for the parity nets.
+    pub fn next_occupied_matching_scalar(&self, from: usize, mask: &PortMask) -> Option<usize> {
+        debug_assert_eq!(mask.n, self.n, "mask domain mismatch");
+        (from..self.n).find(|&p| self.contains(p) && mask.contains(p))
     }
 
     /// Iterate occupied ports in ascending order (tests, cold paths).
     pub fn iter(&self) -> Iter<'_> {
         Iter { set: self, from: 0 }
+    }
+}
+
+/// A flat bitmask over ports `0..n` — the second operand of the fused
+/// [`OccupancySet::next_occupied_matching`] query.
+///
+/// Unlike [`OccupancySet`] it carries no summary level or length counter:
+/// masks are built once (e.g. one contiguous range per parallel shard) and
+/// then only read, so the maintenance cost would buy nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortMask {
+    n: usize,
+    /// One bit per port, same word layout as `OccupancySet::words`.
+    words: Vec<u64>,
+}
+
+impl PortMask {
+    /// Create an all-empty mask over ports `0..n`.
+    pub fn new(n: usize) -> Self {
+        PortMask {
+            n,
+            words: vec![0; n.div_ceil(64).max(1)],
+        }
+    }
+
+    /// Create a mask with every port in `0..n` set.
+    pub fn all(n: usize) -> Self {
+        let mut mask = PortMask::new(n);
+        mask.set_range(0, n);
+        mask
+    }
+
+    /// The port-index domain this mask covers.
+    pub fn domain(&self) -> usize {
+        self.n
+    }
+
+    /// Clear every port.
+    pub fn clear(&mut self) {
+        for word in &mut self.words {
+            *word = 0;
+        }
+    }
+
+    /// Set one port.
+    pub fn set(&mut self, port: usize) {
+        debug_assert!(port < self.n, "port {port} out of domain {}", self.n);
+        self.words[port >> 6] |= 1u64 << (port & 63);
+    }
+
+    /// Set every port in `[lo, hi)`.  `hi` is clamped to the domain and
+    /// `lo >= hi` sets nothing, so callers can pass raw shard bounds.
+    pub fn set_range(&mut self, lo: usize, hi: usize) {
+        let hi = hi.min(self.n);
+        if lo >= hi {
+            return;
+        }
+        let (wl, wh) = (lo >> 6, (hi - 1) >> 6);
+        let lo_mask = !0u64 << (lo & 63);
+        let hi_mask = !0u64 >> (63 - ((hi - 1) & 63));
+        if wl == wh {
+            self.words[wl] |= lo_mask & hi_mask;
+        } else {
+            self.words[wl] |= lo_mask;
+            for w in &mut self.words[wl + 1..wh] {
+                *w = !0u64;
+            }
+            self.words[wh] |= hi_mask;
+        }
+    }
+
+    /// True if the port is set.
+    // lint: hot-path
+    #[inline]
+    pub fn contains(&self, port: usize) -> bool {
+        debug_assert!(port < self.n);
+        self.words[port >> 6] & (1u64 << (port & 63)) != 0
     }
 }
 
@@ -259,7 +464,84 @@ mod tests {
         assert_eq!(s.next_at_or_after(2), None);
     }
 
+    #[test]
+    fn port_mask_ranges_cover_word_boundaries() {
+        let mut m = PortMask::new(300);
+        m.set_range(60, 70);
+        m.set_range(128, 128); // empty range: no-op
+        m.set_range(250, 1000); // hi clamps to the domain
+        for p in 0..300 {
+            let want = (60..70).contains(&p) || (250..300).contains(&p);
+            assert_eq!(m.contains(p), want, "port {p}");
+        }
+        m.clear();
+        assert!((0..300).all(|p| !m.contains(p)));
+        let all = PortMask::all(300);
+        assert!((0..300).all(|p| all.contains(p)));
+        assert_eq!(all.domain(), 300);
+    }
+
+    #[test]
+    fn fused_query_intersects_occupancy_with_the_mask() {
+        let mut s = OccupancySet::new(512);
+        for p in [0usize, 63, 64, 200, 255, 256, 300, 511] {
+            s.insert(p);
+        }
+        let mut m = PortMask::new(512);
+        m.set_range(64, 256);
+        assert_eq!(s.next_occupied_matching(0, &m), Some(64));
+        assert_eq!(s.next_occupied_matching(65, &m), Some(200));
+        assert_eq!(s.next_occupied_matching(201, &m), Some(255));
+        assert_eq!(s.next_occupied_matching(256, &m), None);
+        let empty = PortMask::new(512);
+        assert_eq!(s.next_occupied_matching(0, &empty), None);
+        let all = PortMask::all(512);
+        assert_eq!(s.next_occupied_matching(257, &all), Some(300));
+    }
+
     proptest! {
+        /// The chunked scans agree with their scalar references and with a
+        /// brute-force model, for domains that are not multiples of 64 and
+        /// masks whose ranges start/end exactly on word boundaries.
+        #[test]
+        fn chunked_scans_match_scalar_references(
+            n in 1usize..600,
+            ports in proptest::collection::vec(0usize..600, 0..120),
+            ranges in proptest::collection::vec((0usize..10, 0usize..10), 0..4),
+        ) {
+            let mut set = OccupancySet::new(n);
+            let mut model = vec![false; n];
+            for raw in ports {
+                let p = raw % n;
+                set.insert(p);
+                model[p] = true;
+            }
+            // Build a mask from word-granular ranges so boundaries land
+            // exactly on multiples of 64 (plus the clamped domain edge).
+            let mut mask = PortMask::new(n);
+            let mut mask_model = vec![false; n];
+            for (a, b) in ranges {
+                let (lo, hi) = (a * 64, b * 64 + 64);
+                mask.set_range(lo, hi);
+                for covered in mask_model.iter_mut().take(hi.min(n)).skip(lo) {
+                    *covered = true;
+                }
+            }
+            for w in 0..=set.word_count() {
+                let brute = (w..set.word_count()).find(|&i| set.word(i) != 0);
+                prop_assert_eq!(set.next_occupied_word(w), brute);
+                prop_assert_eq!(set.next_occupied_word_scalar(w), brute);
+            }
+            for from in 0..=n {
+                let brute = (from..n).find(|&p| model[p] && mask_model[p]);
+                prop_assert_eq!(set.next_occupied_matching(from, &mask), brute);
+                prop_assert_eq!(
+                    set.next_occupied_matching_scalar(from, &mask),
+                    brute
+                );
+            }
+        }
+
         /// The two-level bitset agrees with a brute-force `Vec<bool>` model
         /// under arbitrary insert/remove interleavings, for domains that
         /// stay inside one word and ones that cross the 64-port boundary.

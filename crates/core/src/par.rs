@@ -1,0 +1,375 @@
+//! A persistent worker pool for deterministic intra-slot parallelism.
+//!
+//! The fabric phases of a switch partition cleanly by port: at a fixed slot
+//! each input owns one intermediate and each intermediate one output, so a
+//! phase's occupied-port walk can be split into contiguous port ranges and
+//! stepped concurrently, with every cross-range effect (bitset updates,
+//! counters, sink deliveries) deferred to a serial merge in ascending port
+//! order.  That merge is what keeps the delivery stream byte-identical to the
+//! serial walk — the same submission-order-reassembly trick the spec-level
+//! parallel executor uses — so the `threads` knob is a pure performance
+//! setting, excluded from scientific identity exactly like `batch`.
+//!
+//! [`StepPool`] keeps its threads alive across slots (spawning per slot would
+//! cost more than a sparse slot does) and hands each worker a fixed shard
+//! index; [`StepPool::run_on_ranges`] is the safe entry point that splits one
+//! `&mut [T]` into disjoint per-shard sub-slices plus a per-shard scratch
+//! buffer.  All `unsafe` in the workspace lives in this module, behind that
+//! checked-disjointness API.
+//!
+//! This module is cold-path orchestration: jobs are published under a
+//! `Mutex`/`Condvar` pair (allowed by the determinism lint — unlike clocks or
+//! random state, blocking primitives cannot leak nondeterminism into results
+//! that are merged in a fixed order).
+#![allow(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Type-erased pointer to the job closure of the current epoch.
+///
+/// The pointee is `Sync` and the pointer is only dereferenced while the
+/// submitting thread is blocked inside [`StepPool::run`], which keeps the
+/// underlying borrow alive for every dereference.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: see `JobPtr` — the pointee is `Sync`, and `StepPool::run` does not
+// return (and therefore the borrow it erases does not end) until every
+// participating worker has finished dereferencing the pointer.
+unsafe impl Send for JobPtr {}
+
+struct JobState {
+    /// Bumped once per `run` call; workers use it to detect new jobs.
+    epoch: u64,
+    /// Shard count of the current epoch; worker `k` executes shard `k + 1`
+    /// when `k + 1 < shards` (the submitting thread executes shard 0).
+    shards: usize,
+    job: Option<JobPtr>,
+    /// Participating workers that have not yet finished the current epoch.
+    remaining: usize,
+    /// Set if a worker's job panicked; the pool is unusable afterwards.
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<JobState>,
+    /// Workers wait here for a new epoch (or shutdown).
+    work: Condvar,
+    /// `run` waits here for `remaining == 0`.
+    done: Condvar,
+}
+
+/// A fixed-size pool of step workers with static shard assignment.
+///
+/// `run(shards, job)` executes `job(0)` on the calling thread and
+/// `job(1..shards)` on the pool, returning only when every shard finished —
+/// the two fabric phases of a slot stay strictly sequential.  Shard-to-data
+/// assignment is by shard index, so results cannot depend on which OS thread
+/// ran a shard.
+pub struct StepPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl StepPool {
+    /// Spawn a pool with `helpers` worker threads (supporting up to
+    /// `helpers + 1` shards including the caller's).
+    pub fn new(helpers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(JobState {
+                epoch: 0,
+                shards: 0,
+                job: None,
+                remaining: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (0..helpers)
+            .map(|k| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sprinklers-step-{k}"))
+                    .spawn(move || worker_loop(&shared, k))
+                    .expect("failed to spawn a step worker thread")
+            })
+            .collect();
+        StepPool { shared, workers }
+    }
+
+    /// Number of helper threads (maximum shards minus the caller's one).
+    pub fn helpers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Execute `job(s)` for every shard `s in 0..shards` and wait for all of
+    /// them; shard 0 runs on the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards - 1` exceeds [`Self::helpers`], or if a worker's job
+    /// panicked (in this call or an earlier one — the pool does not survive a
+    /// worker panic).
+    pub fn run(&self, shards: usize, job: &(dyn Fn(usize) + Sync)) {
+        let helpers = shards.saturating_sub(1);
+        assert!(
+            helpers <= self.workers.len(),
+            "StepPool::run asked for {shards} shards but the pool has only \
+             {} helper threads",
+            self.workers.len()
+        );
+        if helpers == 0 {
+            job(0);
+            return;
+        }
+        {
+            let mut st = self.shared.state.lock().expect("step pool poisoned");
+            assert!(!st.panicked, "a step worker panicked in an earlier slot");
+            let ptr = job as *const (dyn Fn(usize) + Sync + '_);
+            // SAFETY: only the borrow lifetime is erased; workers dereference
+            // the pointer exclusively between this publication and the
+            // `remaining == 0` handshake below, and this function does not
+            // return (so `job` stays borrowed) until that handshake.
+            let ptr: *const (dyn Fn(usize) + Sync + 'static) = unsafe { std::mem::transmute(ptr) };
+            st.job = Some(JobPtr(ptr));
+            st.shards = shards;
+            st.remaining = helpers;
+            st.epoch += 1;
+        }
+        self.shared.work.notify_all();
+        job(0);
+        let mut st = self.shared.state.lock().expect("step pool poisoned");
+        while st.remaining > 0 {
+            st = self.shared.done.wait(st).expect("step pool poisoned");
+        }
+        st.job = None;
+        assert!(!st.panicked, "a step worker panicked during this slot");
+    }
+
+    /// Split `data` into the given sorted, disjoint, half-open index ranges
+    /// and run `f(shard, &mut data[lo..hi], &mut scratch[shard])` for every
+    /// shard concurrently — the safe facade over [`Self::run`] that the
+    /// switch phases use.  Range disjointness is validated here, so callers
+    /// need no unsafe code.
+    pub fn run_on_ranges<T, R, F>(
+        &self,
+        data: &mut [T],
+        ranges: &[(usize, usize)],
+        scratch: &mut [Vec<R>],
+        f: F,
+    ) where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut [T], &mut Vec<R>) + Sync,
+    {
+        let shards = ranges.len();
+        assert_eq!(scratch.len(), shards, "one scratch buffer per shard");
+        let mut prev = 0usize;
+        for &(lo, hi) in ranges {
+            assert!(
+                lo >= prev && lo <= hi && hi <= data.len(),
+                "shard ranges must be sorted, disjoint and in bounds"
+            );
+            prev = hi;
+        }
+        let data_span = RawSpan::new(data);
+        let scratch_span = RawSpan::new(scratch);
+        self.run(shards, &|s| {
+            let (lo, hi) = ranges[s];
+            // SAFETY: the ranges were validated sorted and disjoint above,
+            // `run` executes each shard index exactly once per call, and the
+            // source `&mut` borrows are held (unused) across `run` — so each
+            // reborrow below is exclusive and in bounds.
+            let local = unsafe { std::slice::from_raw_parts_mut(data_span.ptr().add(lo), hi - lo) };
+            // SAFETY: as above — shard `s` is the only accessor of
+            // `scratch[s]`, and `s < shards == scratch.len()`.
+            let out = unsafe { &mut *scratch_span.ptr().add(s) };
+            f(s, local, out);
+        });
+    }
+}
+
+impl Drop for StepPool {
+    fn drop(&mut self) {
+        if let Ok(mut st) = self.shared.state.lock() {
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for StepPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StepPool")
+            .field("helpers", &self.workers.len())
+            .finish()
+    }
+}
+
+/// A `Sync` wrapper around a raw slice base pointer, used by
+/// [`StepPool::run_on_ranges`] to move the base address into the job closure.
+struct RawSpan<'a, T> {
+    ptr: *mut T,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+impl<'a, T> RawSpan<'a, T> {
+    fn new(slice: &'a mut [T]) -> Self {
+        RawSpan {
+            ptr: slice.as_mut_ptr(),
+            _marker: PhantomData,
+        }
+    }
+
+    fn ptr(&self) -> *mut T {
+        self.ptr
+    }
+}
+
+// SAFETY: `RawSpan` is only a base address; `run_on_ranges` derives disjoint
+// sub-slices from it (validated ranges, one shard per index), so with
+// `T: Send` those exclusive accesses may happen from worker threads.
+unsafe impl<T: Send> Sync for RawSpan<'_, T> {}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let (job, epoch, participate) = {
+            let mut st = shared.state.lock().expect("step pool poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    break;
+                }
+                st = shared.work.wait(st).expect("step pool poisoned");
+            }
+            (st.job, st.epoch, index + 1 < st.shards)
+        };
+        seen_epoch = epoch;
+        if !participate {
+            continue;
+        }
+        let Some(job) = job else { continue };
+        let mut guard = DoneGuard {
+            shared,
+            clean: false,
+        };
+        // SAFETY: `StepPool::run` keeps the closure borrow alive until this
+        // worker (a participant of the current epoch) decrements `remaining`,
+        // which the guard only does after this call returns or unwinds.
+        (unsafe { &*job.0 })(index + 1);
+        guard.clean = true;
+    }
+}
+
+/// Decrements `remaining` when dropped — including on unwind, so a panicking
+/// job wakes the submitter (which then reports the poisoned pool) instead of
+/// deadlocking it.
+struct DoneGuard<'a> {
+    shared: &'a Shared,
+    clean: bool,
+}
+
+impl Drop for DoneGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = match self.shared.state.lock() {
+            Ok(st) => st,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if !self.clean {
+            st.panicked = true;
+        }
+        st.remaining -= 1;
+        drop(st);
+        self.shared.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_executes_every_shard_exactly_once() {
+        let pool = StepPool::new(3);
+        assert_eq!(pool.helpers(), 3);
+        for shards in 1..=4usize {
+            let hits: Vec<AtomicUsize> = (0..shards).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(shards, &|s| {
+                hits[s].fetch_add(1, Ordering::SeqCst);
+            });
+            for (s, hit) in hits.iter().enumerate() {
+                assert_eq!(hit.load(Ordering::SeqCst), 1, "shard {s} of {shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_on_ranges_gives_each_shard_its_disjoint_slice() {
+        let pool = StepPool::new(2);
+        let mut data: Vec<usize> = vec![0; 10];
+        let ranges = [(0usize, 4usize), (4, 7), (7, 10)];
+        let mut scratch: Vec<Vec<usize>> = vec![Vec::new(); 3];
+        for round in 1..=3usize {
+            pool.run_on_ranges(&mut data, &ranges, &mut scratch, |s, local, out| {
+                out.clear();
+                for (k, cell) in local.iter_mut().enumerate() {
+                    *cell += round * 100 + s * 10;
+                    out.push(ranges[s].0 + k);
+                }
+            });
+            // Scratch buffers report exactly the indexes of their range.
+            for (s, &(lo, hi)) in ranges.iter().enumerate() {
+                let want: Vec<usize> = (lo..hi).collect();
+                assert_eq!(scratch[s], want);
+            }
+        }
+        for (idx, &cell) in data.iter().enumerate() {
+            let shard = match idx {
+                0..=3 => 0,
+                4..=6 => 1,
+                _ => 2,
+            };
+            assert_eq!(cell, (100 + 200 + 300) + 3 * shard * 10, "index {idx}");
+        }
+    }
+
+    #[test]
+    fn sequential_runs_reuse_the_same_workers() {
+        let pool = StepPool::new(1);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..500 {
+            pool.run(2, &|_s| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "asked for 3 shards")]
+    fn too_many_shards_is_reported() {
+        let pool = StepPool::new(1);
+        pool.run(3, &|_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted, disjoint")]
+    fn overlapping_ranges_are_rejected() {
+        let pool = StepPool::new(1);
+        let mut data = [0u8; 8];
+        let mut scratch: Vec<Vec<u8>> = vec![Vec::new(); 2];
+        pool.run_on_ranges(&mut data, &[(0, 5), (4, 8)], &mut scratch, |_, _, _| {});
+    }
+}

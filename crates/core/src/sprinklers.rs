@@ -15,13 +15,80 @@ use crate::config::{SizingMode, SprinklersConfig};
 use crate::input_port::SprinklersInputPort;
 use crate::intermediate_port::SprinklersIntermediatePort;
 use crate::matrix::TrafficMatrix;
-use crate::occupancy::OccupancySet;
+use crate::occupancy::{OccupancySet, PortMask};
 use crate::ols::WeaklyUniformOls;
 use crate::packet::{DeliveredPacket, Packet};
+use crate::par::StepPool;
 use crate::sizing::stripe_size;
 use crate::switch::{DeliverySink, Switch, SwitchStats};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Minimum occupied ports in a fabric phase before the sharded parallel walk
+/// is worth its dispatch cost (two condvar round trips per phase); below it
+/// the serial walk runs.  Switching between the two paths is free of
+/// determinism risk because they are byte-equivalent by construction — the
+/// parallel path merges every cross-port effect in ascending port order, so
+/// this constant (like the `threads` knob itself) is a pure perf setting.
+const PAR_MIN_OCCUPIED: usize = 64;
+
+/// Pool and scratch state for sharded stepping, present when the switch was
+/// hinted `threads >= 2` via [`Switch::set_threads`].
+struct ParCtx {
+    pool: StepPool,
+    /// Contiguous half-open port ranges, one per shard, covering `0..n`.
+    ranges: Vec<(usize, usize)>,
+    /// `ranges[s]` as a [`PortMask`], the operand of the fused
+    /// occupancy-∩-eligibility query each shard walks.
+    masks: Vec<PortMask>,
+    /// Phase-A (second fabric) scratch: `(intermediate, packet)` dequeued by
+    /// each shard, merged serially in ascending shard order.
+    deliveries: Vec<Vec<(usize, Packet)>>,
+    /// Phase-B (first fabric) scratch: `(input, intermediate, packet,
+    /// input_still_servable)` per shard.
+    pushes: Vec<Vec<(usize, usize, Packet, bool)>>,
+}
+
+impl ParCtx {
+    fn new(n: usize, shards: usize) -> Self {
+        debug_assert!(shards >= 2 && shards <= n);
+        let base = n / shards;
+        let rem = n % shards;
+        let mut ranges = Vec::with_capacity(shards);
+        let mut lo = 0usize;
+        for s in 0..shards {
+            let width = base + usize::from(s < rem);
+            ranges.push((lo, lo + width));
+            lo += width;
+        }
+        debug_assert_eq!(lo, n);
+        let masks = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                let mut mask = PortMask::new(n);
+                mask.set_range(lo, hi);
+                mask
+            })
+            .collect();
+        ParCtx {
+            pool: StepPool::new(shards - 1),
+            deliveries: ranges
+                .iter()
+                .map(|&(lo, hi)| Vec::with_capacity(hi - lo))
+                .collect(),
+            pushes: ranges
+                .iter()
+                .map(|&(lo, hi)| Vec::with_capacity(hi - lo))
+                .collect(),
+            ranges,
+            masks,
+        }
+    }
+
+    fn shards(&self) -> usize {
+        self.ranges.len()
+    }
+}
 
 /// A complete Sprinklers switch.
 pub struct SprinklersSwitch {
@@ -51,6 +118,9 @@ pub struct SprinklersSwitch {
     resizes: u64,
     arrivals: u64,
     departures: u64,
+    /// Sharded-stepping state, present when `set_threads(>= 2)` was applied.
+    /// `None` means pure serial stepping — today's default.
+    par: Option<ParCtx>,
 }
 
 impl SprinklersSwitch {
@@ -99,6 +169,7 @@ impl SprinklersSwitch {
             resizes: 0,
             arrivals: 0,
             departures: 0,
+            par: None,
         }
     }
 
@@ -169,57 +240,18 @@ impl SprinklersSwitch {
     // lint: hot-path
     fn step_at(&mut self, slot: u64, t: usize, sink: &mut dyn DeliverySink) {
         let n = self.n;
-        // Second fabric first: packets that arrived at the intermediate stage
-        // in earlier slots may move to their outputs.  Ascending port order,
-        // like the dense loop; the walk reads a copy of each word, which is
-        // safe because the body only clears bits of ports it already visited.
-        for w in 0..self.occupied_intermediates.word_count() {
-            let mut bits = self.occupied_intermediates.word(w);
-            while bits != 0 {
-                let l = (w << 6) + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                self.intermediates[l].release_eligible(slot);
-                let output = if l >= t { l - t } else { l + n - t };
-                if let Some(packet) = self.intermediates[l].dequeue(output) {
-                    debug_assert_eq!(packet.output(), output);
-                    if self.intermediates[l].queued_packets() == 0 {
-                        self.occupied_intermediates.remove(l);
-                    }
-                    self.queued_intermediates -= 1;
-                    // Tell the originating VOQ so clearance-phase accounting
-                    // works; a committing resize can release backlogged stripes
-                    // into the input's scheduler, which may set its bit.
-                    let input = packet.input();
-                    let before = self.inputs[input].resizes_committed();
-                    self.inputs[input].packet_delivered(packet.output());
-                    self.resizes += self.inputs[input].resizes_committed() - before;
-                    if self.inputs[input].has_servable() {
-                        self.occupied_inputs.insert(input);
-                    }
-                    self.departures += 1;
-                    sink.deliver(DeliveredPacket::new(packet, slot));
-                }
+        // `par` is taken out of `self` for the duration of the step so the
+        // phase helpers can borrow switch fields and pool/scratch state
+        // independently; it is restored before any early return below.
+        match self.par.take() {
+            Some(mut par) => {
+                self.second_fabric_parallel(slot, t, sink, &mut par);
+                self.first_fabric_parallel(slot, t, &mut par);
+                self.par = Some(par);
             }
-        }
-
-        // First fabric: each occupied input may push one packet to the
-        // intermediate port it is connected to in this slot.
-        for w in 0..self.occupied_inputs.word_count() {
-            let mut bits = self.occupied_inputs.word(w);
-            while bits != 0 {
-                let i = (w << 6) + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                let l = if i + t >= n { i + t - n } else { i + t };
-                if let Some(packet) = self.inputs[i].dequeue(l) {
-                    debug_assert_eq!(packet.intermediate(), l);
-                    if !self.inputs[i].has_servable() {
-                        self.occupied_inputs.remove(i);
-                    }
-                    self.queued_inputs -= 1;
-                    self.queued_intermediates += 1;
-                    self.occupied_intermediates.insert(l);
-                    self.intermediates[l].receive(packet, slot);
-                }
+            None => {
+                self.second_fabric_serial(slot, t, sink);
+                self.first_fabric_serial(slot, t);
             }
         }
 
@@ -236,6 +268,194 @@ impl SprinklersSwitch {
                 if self.inputs[i].has_servable() {
                     self.occupied_inputs.insert(i);
                 }
+            }
+        }
+    }
+
+    /// Second fabric, serial walk: packets that arrived at the intermediate
+    /// stage in earlier slots may move to their outputs.  Ascending port
+    /// order, like the dense loop; the walk reads a copy of each occupied
+    /// word (found by the chunked word scan), which is safe because the body
+    /// only clears bits of ports it has already visited.
+    // lint: hot-path
+    fn second_fabric_serial(&mut self, slot: u64, t: usize, sink: &mut dyn DeliverySink) {
+        let n = self.n;
+        let mut w = 0usize;
+        while let Some(wi) = self.occupied_intermediates.next_occupied_word(w) {
+            let mut bits = self.occupied_intermediates.word(wi);
+            while bits != 0 {
+                let l = (wi << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.intermediates[l].release_eligible(slot);
+                let output = if l >= t { l - t } else { l + n - t };
+                if let Some(packet) = self.intermediates[l].dequeue(output) {
+                    debug_assert_eq!(packet.output(), output);
+                    if self.intermediates[l].queued_packets() == 0 {
+                        self.occupied_intermediates.remove(l);
+                    }
+                    self.queued_intermediates -= 1;
+                    self.deliver_from_intermediate(packet, slot, sink);
+                }
+            }
+            w = wi + 1;
+        }
+    }
+
+    /// Second fabric, sharded walk: each shard visits the occupied
+    /// intermediates of its own contiguous port range (via the fused
+    /// occupancy-∩-range-mask query), performs the port-local work —
+    /// `release_eligible` plus the output-FIFO dequeue — and records its
+    /// dequeues; every cross-port effect (bitset updates, counters, VOQ
+    /// delivery notifications, sink pushes) happens afterwards in ascending
+    /// shard order, which is ascending port order, so the delivery stream is
+    /// byte-identical to the serial walk.
+    // lint: hot-path
+    fn second_fabric_parallel(
+        &mut self,
+        slot: u64,
+        t: usize,
+        sink: &mut dyn DeliverySink,
+        par: &mut ParCtx,
+    ) {
+        if self.occupied_intermediates.len() < PAR_MIN_OCCUPIED {
+            self.second_fabric_serial(slot, t, sink);
+            return;
+        }
+        let n = self.n;
+        let occupied = &self.occupied_intermediates;
+        let ranges = &par.ranges;
+        let masks = &par.masks;
+        par.pool.run_on_ranges(
+            &mut self.intermediates,
+            ranges,
+            &mut par.deliveries,
+            |s, local, out| {
+                out.clear();
+                let (lo, _hi) = ranges[s];
+                let mask = &masks[s];
+                let mut from = lo;
+                while let Some(l) = occupied.next_occupied_matching(from, mask) {
+                    from = l + 1;
+                    let port = &mut local[l - lo];
+                    port.release_eligible(slot);
+                    let output = if l >= t { l - t } else { l + n - t };
+                    if let Some(packet) = port.dequeue(output) {
+                        debug_assert_eq!(packet.output(), output);
+                        out.push((l, packet));
+                    }
+                }
+            },
+        );
+        for s in 0..par.shards() {
+            for (l, packet) in par.deliveries[s].drain(..) {
+                if self.intermediates[l].queued_packets() == 0 {
+                    self.occupied_intermediates.remove(l);
+                }
+                self.queued_intermediates -= 1;
+                self.deliver_from_intermediate(packet, slot, sink);
+            }
+        }
+    }
+
+    /// Cross-port bookkeeping for one second-fabric delivery: notify the
+    /// originating VOQ (clearance-phase accounting; a committing resize can
+    /// release backlogged stripes into the input's scheduler, which may set
+    /// its occupancy bit) and push the packet into the sink.  Shared verbatim
+    /// by the serial walk and the parallel merge — it *is* the ordered-merge
+    /// body, so the two paths cannot drift apart.
+    // lint: hot-path
+    #[inline]
+    fn deliver_from_intermediate(
+        &mut self,
+        packet: Packet,
+        slot: u64,
+        sink: &mut dyn DeliverySink,
+    ) {
+        let input = packet.input();
+        let before = self.inputs[input].resizes_committed();
+        self.inputs[input].packet_delivered(packet.output());
+        self.resizes += self.inputs[input].resizes_committed() - before;
+        if self.inputs[input].has_servable() {
+            self.occupied_inputs.insert(input);
+        }
+        self.departures += 1;
+        sink.deliver(DeliveredPacket::new(packet, slot));
+    }
+
+    /// First fabric, serial walk: each occupied input may push one packet to
+    /// the intermediate port it is connected to in this slot.
+    // lint: hot-path
+    fn first_fabric_serial(&mut self, slot: u64, t: usize) {
+        let n = self.n;
+        let mut w = 0usize;
+        while let Some(wi) = self.occupied_inputs.next_occupied_word(w) {
+            let mut bits = self.occupied_inputs.word(wi);
+            while bits != 0 {
+                let i = (wi << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let l = if i + t >= n { i + t - n } else { i + t };
+                if let Some(packet) = self.inputs[i].dequeue(l) {
+                    debug_assert_eq!(packet.intermediate(), l);
+                    if !self.inputs[i].has_servable() {
+                        self.occupied_inputs.remove(i);
+                    }
+                    self.queued_inputs -= 1;
+                    self.queued_intermediates += 1;
+                    self.occupied_intermediates.insert(l);
+                    self.intermediates[l].receive(packet, slot);
+                }
+            }
+            w = wi + 1;
+        }
+    }
+
+    /// First fabric, sharded walk: each shard dequeues from the occupied
+    /// inputs of its own port range (the input-side LSF dequeue is the
+    /// expensive part) and records `(input, intermediate, packet,
+    /// still_servable)`; the intermediate-side `receive` and all bitset and
+    /// counter updates run in the ascending-shard merge.  The first fabric
+    /// connects input `i` to intermediate `(i + t) mod n` — a bijection — so
+    /// at most one packet lands on any intermediate per slot and the merge
+    /// order matches the serial walk's ascending-input order exactly.
+    // lint: hot-path
+    fn first_fabric_parallel(&mut self, slot: u64, t: usize, par: &mut ParCtx) {
+        if self.occupied_inputs.len() < PAR_MIN_OCCUPIED {
+            self.first_fabric_serial(slot, t);
+            return;
+        }
+        let n = self.n;
+        let occupied = &self.occupied_inputs;
+        let ranges = &par.ranges;
+        let masks = &par.masks;
+        par.pool.run_on_ranges(
+            &mut self.inputs,
+            ranges,
+            &mut par.pushes,
+            |s, local, out| {
+                out.clear();
+                let (lo, _hi) = ranges[s];
+                let mask = &masks[s];
+                let mut from = lo;
+                while let Some(i) = occupied.next_occupied_matching(from, mask) {
+                    from = i + 1;
+                    let l = if i + t >= n { i + t - n } else { i + t };
+                    let port = &mut local[i - lo];
+                    if let Some(packet) = port.dequeue(l) {
+                        debug_assert_eq!(packet.intermediate(), l);
+                        out.push((i, l, packet, port.has_servable()));
+                    }
+                }
+            },
+        );
+        for s in 0..par.shards() {
+            for (i, l, packet, still_servable) in par.pushes[s].drain(..) {
+                if !still_servable {
+                    self.occupied_inputs.remove(i);
+                }
+                self.queued_inputs -= 1;
+                self.queued_intermediates += 1;
+                self.occupied_intermediates.insert(l);
+                self.intermediates[l].receive(packet, slot);
             }
         }
     }
@@ -288,6 +508,18 @@ impl Switch for SprinklersSwitch {
             self.step_at(slot, t, sink);
             true
         });
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        // One shard needs at least one port; beyond `n` extra threads could
+        // only idle.  `threads <= 1` (and 0) means serial stepping, dropping
+        // any existing pool.
+        let shards = threads.max(1).min(self.n.max(1));
+        if shards <= 1 {
+            self.par = None;
+        } else if self.par.as_ref().is_none_or(|par| par.shards() != shards) {
+            self.par = Some(ParCtx::new(self.n, shards));
+        }
     }
 
     fn stats(&self) -> SwitchStats {
@@ -566,6 +798,74 @@ mod tests {
                 check(&sw, &format!("n={n} {alignment:?} post-drain"));
             }
         }
+    }
+
+    /// The sharded parallel step must reproduce the serial delivery stream
+    /// byte for byte.  n = 256 at high load pushes both fabric phases well
+    /// past `PAR_MIN_OCCUPIED`, so the pool path (not just its serial
+    /// fallback) is what's being pinned; thread counts that do not divide n
+    /// exercise uneven shard ranges.
+    #[test]
+    fn parallel_stepping_is_byte_identical_to_serial() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let n = 256usize;
+        let build = || {
+            SprinklersSwitch::new(
+                SprinklersConfig::new(n).with_sizing(SizingMode::FixedSize(2)),
+                17,
+            )
+        };
+        // Pre-generate a dense arrival schedule shared by every run.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut voq_seq = vec![0u64; n * n];
+        let mut arrivals: Vec<Vec<Packet>> = Vec::new();
+        let mut id = 0u64;
+        let offered = 3 * n as u64;
+        for slot in 0..offered {
+            let mut this_slot = Vec::new();
+            for input in 0..n {
+                if rng.gen_range(0.0..1.0) < 0.85 {
+                    let output = rng.gen_range(0..n);
+                    let key = input * n + output;
+                    this_slot.push(pkt(input, output, id, slot, voq_seq[key]));
+                    voq_seq[key] += 1;
+                    id += 1;
+                }
+            }
+            arrivals.push(this_slot);
+        }
+        let total = offered + 6 * n as u64;
+        let run = |threads: usize| -> (Vec<DeliveredPacket>, SwitchStats) {
+            let mut sw = build();
+            sw.set_threads(threads);
+            let mut out = Vec::new();
+            for slot in 0..total {
+                if let Some(batch) = arrivals.get(slot as usize) {
+                    for p in batch {
+                        sw.arrive(p.clone());
+                    }
+                }
+                sw.step(slot, &mut out);
+            }
+            (out, sw.stats())
+        };
+        let (reference, ref_stats) = run(1);
+        assert!(
+            reference.len() > 1000,
+            "workload too small to exercise the parallel path"
+        );
+        for threads in [2usize, 3, 4, 7] {
+            let (got, stats) = run(threads);
+            assert_eq!(got, reference, "threads={threads} diverged from serial");
+            assert_eq!(stats, ref_stats, "threads={threads} stats diverged");
+        }
+        // Oversized and degenerate hints are clamped, not errors.
+        let mut sw = build();
+        sw.set_threads(10_000);
+        sw.set_threads(0);
+        sw.step(0, &mut crate::switch::NullSink);
     }
 
     #[test]

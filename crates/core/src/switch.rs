@@ -183,6 +183,16 @@ pub trait Switch {
         }
     }
 
+    /// Set the number of threads the switch may use *inside* one step.
+    ///
+    /// This is a pure performance knob, not part of a scenario's scientific
+    /// identity: for any value the delivery stream must stay byte-identical
+    /// to `threads = 1` (deterministic port sharding + ascending-port merge).
+    /// The default implementation ignores the hint — single-threaded stepping
+    /// is always a correct implementation of it.  Values are clamped by the
+    /// implementation; `0` is treated as `1`.
+    fn set_threads(&mut self, _threads: usize) {}
+
     /// Current occupancy and throughput counters.
     fn stats(&self) -> SwitchStats;
 }
@@ -202,6 +212,9 @@ impl<T: Switch + ?Sized> Switch for Box<T> {
     }
     fn step_batch(&mut self, first_slot: u64, count: u32, sink: &mut dyn DeliverySink) {
         (**self).step_batch(first_slot, count, sink)
+    }
+    fn set_threads(&mut self, threads: usize) {
+        (**self).set_threads(threads)
     }
     fn stats(&self) -> SwitchStats {
         (**self).stats()
@@ -223,6 +236,9 @@ impl<T: Switch + ?Sized> Switch for &mut T {
     }
     fn step_batch(&mut self, first_slot: u64, count: u32, sink: &mut dyn DeliverySink) {
         (**self).step_batch(first_slot, count, sink)
+    }
+    fn set_threads(&mut self, threads: usize) {
+        (**self).set_threads(threads)
     }
     fn stats(&self) -> SwitchStats {
         (**self).stats()
@@ -303,6 +319,7 @@ mod tests {
     /// `step_batch` (and the blanket impls) to the slot-at-a-time semantics.
     struct SlotRecorder {
         slots: Vec<u64>,
+        threads: usize,
     }
 
     impl Switch for SlotRecorder {
@@ -317,14 +334,56 @@ mod tests {
             self.slots.push(slot);
             sink.deliver(DeliveredPacket::new(Packet::new(0, 1, slot, 0), slot));
         }
+        fn set_threads(&mut self, threads: usize) {
+            self.threads = threads;
+        }
         fn stats(&self) -> SwitchStats {
             SwitchStats::default()
         }
     }
 
     #[test]
+    fn set_threads_defaults_to_a_noop_and_forwards_through_blankets() {
+        // The default implementation is a no-op hint.
+        struct Minimal;
+        impl Switch for Minimal {
+            fn n(&self) -> usize {
+                1
+            }
+            fn name(&self) -> &'static str {
+                "minimal"
+            }
+            fn arrive(&mut self, _packet: Packet) {}
+            fn step(&mut self, _slot: u64, _sink: &mut dyn DeliverySink) {}
+            fn stats(&self) -> SwitchStats {
+                SwitchStats::default()
+            }
+        }
+        Minimal.set_threads(8);
+
+        // Box<T> and &mut T forward to the override.
+        let mut boxed: Box<dyn Switch> = Box::new(SlotRecorder {
+            slots: Vec::new(),
+            threads: 1,
+        });
+        boxed.set_threads(4);
+        let mut concrete = SlotRecorder {
+            slots: Vec::new(),
+            threads: 1,
+        };
+        fn hint<S: Switch>(mut switch: S) {
+            switch.set_threads(3);
+        }
+        hint(&mut concrete);
+        assert_eq!(concrete.threads, 3);
+    }
+
+    #[test]
     fn default_step_batch_is_the_sequential_step_loop() {
-        let mut sw = SlotRecorder { slots: Vec::new() };
+        let mut sw = SlotRecorder {
+            slots: Vec::new(),
+            threads: 1,
+        };
         let mut sink: Vec<DeliveredPacket> = Vec::new();
         sw.step_batch(10, 4, &mut sink);
         assert_eq!(sw.slots, vec![10, 11, 12, 13]);
@@ -334,7 +393,10 @@ mod tests {
 
     #[test]
     fn default_step_batch_of_zero_slots_is_a_noop() {
-        let mut sw = SlotRecorder { slots: Vec::new() };
+        let mut sw = SlotRecorder {
+            slots: Vec::new(),
+            threads: 1,
+        };
         sw.step_batch(7, 0, &mut NullSink);
         assert!(sw.slots.is_empty());
     }
@@ -355,7 +417,10 @@ mod tests {
 
     #[test]
     fn boxed_and_borrowed_switches_forward_step_batch() {
-        let mut boxed: Box<dyn Switch> = Box::new(SlotRecorder { slots: Vec::new() });
+        let mut boxed: Box<dyn Switch> = Box::new(SlotRecorder {
+            slots: Vec::new(),
+            threads: 1,
+        });
         boxed.step_batch(0, 3, &mut NullSink);
 
         // Drive through a generic bound so the `impl Switch for &mut T`
@@ -363,7 +428,10 @@ mod tests {
         fn drive<S: Switch>(mut switch: S) {
             switch.step_batch(3, 2, &mut NullSink);
         }
-        let mut concrete = SlotRecorder { slots: Vec::new() };
+        let mut concrete = SlotRecorder {
+            slots: Vec::new(),
+            threads: 1,
+        };
         drive(&mut concrete);
         assert_eq!(concrete.slots, vec![3, 4]);
     }

@@ -191,7 +191,15 @@ fn scan_string(bytes: &[u8], open: usize, line: &mut usize, out: &mut [u8]) -> u
     let mut i = open + 1;
     while i < len {
         match bytes[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                // A `\`-continued string still ends the source line: count
+                // the escaped newline or every later comment/token line is
+                // off by one, which silently breaks adjacency checks.
+                if i + 1 < len && bytes[i + 1] == b'\n' {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'"' => {
                 blank(out, open + 1, i);
                 return i + 1;
@@ -401,6 +409,18 @@ mod tests {
             src.matches('\n').count(),
             "newline count must survive scrubbing"
         );
+    }
+
+    #[test]
+    fn backslash_continued_strings_keep_comment_lines_aligned() {
+        // A `\`-continuation escapes the newline inside the literal; the
+        // scrubber must still count it or every comment after the string is
+        // recorded one line too low (which broke SAFETY adjacency checks).
+        let src = "let s = \"one \\\n two\";\n// SAFETY: fine\nlet x = 1;\n";
+        let s = scrub(src);
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(s.comments[0].line, 3, "{:?}", s.comments[0]);
+        assert!(s.comments[0].text.contains("SAFETY:"));
     }
 
     #[test]

@@ -107,7 +107,11 @@ impl Engine {
         // and validating the file twice per run.
         let traffic = spec.build_traffic()?;
         let matrix = traffic.rate_matrix();
-        let switch = registry::build_named(&spec.scheme, spec.n, &spec.sizing, &matrix, spec.seed)?;
+        let mut switch =
+            registry::build_named(&spec.scheme, spec.n, &spec.sizing, &matrix, spec.seed)?;
+        // Pure perf knob, applied after construction: any value yields a
+        // byte-identical report (see `ScenarioSpec::threads`).
+        switch.set_threads(spec.threads as usize);
         Ok(self.run_parts_batched(switch, traffic, spec.run, spec.batch))
     }
 

@@ -11,8 +11,11 @@ use serde::{Deserialize, Serialize};
 pub struct DelayStats {
     /// `histogram[d]` counts packets with delay exactly `d` slots, `d < cap`.
     histogram: Vec<u64>,
-    /// Delays `≥ cap`, kept exactly (there are few of them in practice).
-    overflow: Vec<u64>,
+    /// Delays `≥ cap`, as sorted `(delay, count)` pairs.  Exact like the
+    /// histogram, but sized by *distinct* overflow values, so recording or
+    /// merging a million copies of one pathological delay costs one entry —
+    /// not a million — and percentile walks need no sort.
+    overflow: Vec<(u64, u64)>,
     count: u64,
     sum: u128,
     max: u64,
@@ -45,7 +48,16 @@ impl DelayStats {
         if (delay as usize) < self.histogram.len() {
             self.histogram[delay as usize] += 1;
         } else {
-            self.overflow.push(delay);
+            self.add_overflow(delay, 1);
+        }
+    }
+
+    /// Count `count` packets of an above-cap `delay`, keeping `overflow`
+    /// sorted and deduplicated.
+    fn add_overflow(&mut self, delay: u64, count: u64) {
+        match self.overflow.binary_search_by_key(&delay, |&(d, _)| d) {
+            Ok(i) => self.overflow[i].1 += count,
+            Err(i) => self.overflow.insert(i, (delay, count)),
         }
     }
 
@@ -82,30 +94,43 @@ impl DelayStats {
                 return d as u64;
             }
         }
-        let mut overflow = self.overflow.clone();
-        overflow.sort_unstable();
-        let remaining = (target - acc) as usize;
-        overflow
-            .get(remaining.saturating_sub(1))
-            .copied()
-            .unwrap_or(self.max)
+        // `overflow` is already sorted, so the cumulative walk simply
+        // continues past the histogram — no clone, no sort.
+        for &(d, c) in &self.overflow {
+            acc += c;
+            if acc >= target {
+                return d;
+            }
+        }
+        self.max
     }
 
-    /// Merge another set of statistics into this one.
+    /// Merge another set of statistics into this one.  Caps may differ:
+    /// `other`'s delays are re-bucketed against *this* histogram's cap, so
+    /// above-cap mass stays `(delay, count)`-compressed (never expanded one
+    /// entry per packet) and below-cap mass lands in the histogram where the
+    /// percentile walk expects it.
     pub fn merge(&mut self, other: &DelayStats) {
         self.count += other.count;
         self.sum += other.sum;
         self.max = self.max.max(other.max);
         for (d, &c) in other.histogram.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
             if d < self.histogram.len() {
                 self.histogram[d] += c;
             } else {
-                for _ in 0..c {
-                    self.overflow.push(d as u64);
-                }
+                self.add_overflow(d as u64, c);
             }
         }
-        self.overflow.extend_from_slice(&other.overflow);
+        for &(d, c) in &other.overflow {
+            if (d as usize) < self.histogram.len() {
+                self.histogram[d as usize] += c;
+            } else {
+                self.add_overflow(d, c);
+            }
+        }
     }
 }
 
@@ -155,6 +180,70 @@ mod tests {
         assert!((s.mean() - (5.0 + 500.0 + 1000.0) / 3.0).abs() < 1e-9);
         assert_eq!(s.max(), 1000);
         assert_eq!(s.percentile(1.0), 1000);
+    }
+
+    #[test]
+    fn repeated_overflow_values_collapse_to_one_pair() {
+        let mut s = DelayStats::new(2);
+        for _ in 0..1000 {
+            s.record(7);
+        }
+        for _ in 0..10 {
+            s.record(5);
+        }
+        assert_eq!(s.overflow.len(), 2, "one pair per distinct delay");
+        assert_eq!(s.percentile(0.001), 5);
+        assert_eq!(s.percentile(0.5), 7);
+        assert_eq!(s.percentile(1.0), 7);
+        assert_eq!(s.max(), 7);
+    }
+
+    #[test]
+    fn merge_with_mismatched_caps_stays_compact_and_exact() {
+        // A million copies of one above-cap delay used to expand into a
+        // million overflow entries on merge; they must collapse into one
+        // (delay, count) pair, and percentiles must match stats recorded
+        // directly at the small cap.
+        let big_delay = 100_000u64;
+        let mut wide = DelayStats::new(1 << 20); // big_delay is in-histogram
+        for _ in 0..1_000_000 {
+            wide.record(big_delay);
+        }
+        wide.record(2);
+        let mut narrow = DelayStats::new(4);
+        narrow.record(1);
+        narrow.merge(&wide);
+        assert_eq!(narrow.count(), 1_000_002);
+        assert_eq!(narrow.overflow.len(), 1, "bounded by distinct values");
+
+        let mut direct = DelayStats::new(4);
+        direct.record(1);
+        for _ in 0..1_000_000 {
+            direct.record(big_delay);
+        }
+        direct.record(2);
+        for p in [0.0, 0.000001, 0.25, 0.5, 0.9, 0.999999, 1.0] {
+            assert_eq!(narrow.percentile(p), direct.percentile(p), "p = {p}");
+        }
+        assert_eq!(narrow.max(), direct.max());
+        assert!((narrow.mean() - direct.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_rebuckets_overflow_that_fits_the_larger_cap() {
+        // Merging small-cap stats into large-cap stats must move the small
+        // side's overflow into the histogram, or the percentile walk would
+        // visit it out of order.
+        let mut narrow = DelayStats::new(4);
+        narrow.record(10);
+        narrow.record(10);
+        let mut wide = DelayStats::new(1000);
+        wide.record(20);
+        wide.merge(&narrow);
+        assert!(wide.overflow.is_empty());
+        assert_eq!(wide.count(), 3);
+        assert_eq!(wide.percentile(0.5), 10);
+        assert_eq!(wide.percentile(1.0), 20);
     }
 
     #[test]

@@ -233,6 +233,15 @@ pub struct ScenarioSpec {
     /// batch at `n` (see the `engine` module docs), so values above `n`
     /// simply saturate.
     pub batch: u32,
+    /// Worker threads used *inside* each simulated slot (see
+    /// [`sprinklers_core::switch::Switch::set_threads`]).  Like `batch`,
+    /// purely a performance knob: the fabric phases shard by contiguous port
+    /// range and merge in ascending port order, so any value produces a
+    /// byte-identical report (the `thread-parity` CI job and the differential
+    /// property suite enforce this) and it is *not* part of the scenario's
+    /// scientific identity.  Switches clamp it to `[1, n]`; schemes without a
+    /// parallel path simply ignore it.
+    pub threads: u32,
 }
 
 impl ScenarioSpec {
@@ -247,6 +256,7 @@ impl ScenarioSpec {
             run: RunConfig::default(),
             seed: 1,
             batch: DEFAULT_BATCH,
+            threads: 1,
         }
     }
 
@@ -282,6 +292,14 @@ impl ScenarioSpec {
     #[must_use]
     pub fn with_batch(mut self, batch: u32) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Set the intra-slot worker thread count (clamped to `[1, n]` by the
+    /// switch; 1 is the serial path).
+    #[must_use]
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -364,7 +382,8 @@ impl ScenarioSpec {
                 "  \"traffic\": {},\n",
                 "  \"run\": {{\"slots\":{},\"warmup_slots\":{},\"drain_slots\":{}}},\n",
                 "  \"seed\": {},\n",
-                "  \"batch\": {}\n",
+                "  \"batch\": {},\n",
+                "  \"threads\": {}\n",
                 "}}"
             ),
             escape_json_string(&self.scheme),
@@ -376,6 +395,7 @@ impl ScenarioSpec {
             self.run.drain_slots,
             self.seed,
             self.batch,
+            self.threads,
         )
     }
 
@@ -398,6 +418,15 @@ impl ScenarioSpec {
                         )));
                     }
                     spec.batch = batch as u32;
+                }
+                "threads" => {
+                    let threads = val.as_u64(key)?;
+                    if threads == 0 || threads > u64::from(u32::MAX) {
+                        return Err(SpecError::new(format!(
+                            "threads must be in 1..=u32::MAX, got {threads}"
+                        )));
+                    }
+                    spec.threads = threads as u32;
                 }
                 "run" => {
                     let run = val.as_object(key)?;
@@ -463,6 +492,11 @@ pub struct SuiteSpec {
     /// `batch-parity` CI job exercises — so, unlike the scheme and load
     /// overrides, it never appears in case names.
     pub batch: Option<u32>,
+    /// When set, every expanded case runs with this intra-slot worker thread
+    /// count (overriding each spec's own `threads`).  Like `batch`, a pure
+    /// performance knob enforced byte-identical by the `thread-parity` CI
+    /// job, so it never appears in case names either.
+    pub threads: Option<u32>,
 }
 
 /// One expanded member of a suite: a stable name (file stem plus any
@@ -483,6 +517,7 @@ impl SuiteSpec {
             schemes: None,
             loads: None,
             batch: None,
+            threads: None,
         }
     }
 
@@ -504,6 +539,13 @@ impl SuiteSpec {
     #[must_use]
     pub fn with_batch(mut self, batch: u32) -> Self {
         self.batch = Some(batch);
+        self
+    }
+
+    /// Run every expanded case with this intra-slot worker thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.threads = Some(threads);
         self
     }
 
@@ -573,6 +615,9 @@ impl SuiteSpec {
                 }
                 if let Some(batch) = self.batch {
                     spec.batch = batch;
+                }
+                if let Some(threads) = self.threads {
+                    spec.threads = threads;
                 }
                 cases.push(SuiteCase {
                     name: case_name,
@@ -1031,6 +1076,29 @@ mod tests {
     }
 
     #[test]
+    fn threads_round_trips_and_defaults() {
+        let spec = ScenarioSpec::new("sprinklers", 8).with_threads(4);
+        let parsed = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(parsed.threads, 4);
+        assert_eq!(parsed, spec);
+        // Specs written before the threads knob existed parse to the serial
+        // default.
+        let legacy = ScenarioSpec::from_json(r#"{"scheme": "oq", "n": 8}"#).unwrap();
+        assert_eq!(legacy.threads, 1);
+    }
+
+    #[test]
+    fn zero_and_fractional_thread_counts_are_rejected() {
+        for bad in [
+            r#"{"scheme": "oq", "n": 8, "threads": 0}"#,
+            r#"{"scheme": "oq", "n": 8, "threads": 2.5}"#,
+            r#"{"scheme": "oq", "n": 8, "threads": 4294967296}"#,
+        ] {
+            assert!(ScenarioSpec::from_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
     fn seeds_beyond_f64_precision_round_trip_exactly() {
         // Found by the spec_roundtrip_prop property suite: the JSON reader
         // used to funnel integers through f64, corrupting seeds > 2^53.
@@ -1141,6 +1209,23 @@ mod tests {
         assert!(cases.iter().all(|c| c.spec.batch == 5));
         // Batch is a perf knob, not part of the case identity: names must be
         // stable so batch-parity runs can `cmp` their CSVs.
+        let without = SuiteSpec::new("unused")
+            .with_schemes(vec!["sprinklers".into(), "foff".into()])
+            .expand("base", &base);
+        let names = |cs: &[SuiteCase]| cs.iter().map(|c| c.name.clone()).collect::<Vec<_>>();
+        assert_eq!(names(&cases), names(&without));
+    }
+
+    #[test]
+    fn suite_threads_override_reaches_every_case_but_not_the_names() {
+        let base = ScenarioSpec::new("oq", 8);
+        let suite = SuiteSpec::new("unused")
+            .with_schemes(vec!["sprinklers".into(), "foff".into()])
+            .with_threads(4);
+        let cases = suite.expand("base", &base);
+        assert!(cases.iter().all(|c| c.spec.threads == 4));
+        // Like batch, threads is a perf knob, not part of the case identity:
+        // names must be stable so thread-parity runs can `cmp` their CSVs.
         let without = SuiteSpec::new("unused")
             .with_schemes(vec!["sprinklers".into(), "foff".into()])
             .expand("base", &base);

@@ -50,11 +50,65 @@ pub struct TraceStream {
     matrix: TrafficMatrix,
 }
 
+/// `floor(abs_slot / scale)`, computed *exactly* for every `u64` slot.
+///
+/// The obvious `(abs_slot as f64 / scale).floor() as u64` silently corrupts
+/// slots ≥ 2^53 (the `as f64` conversion rounds away low bits before the
+/// division even happens) and can land on the wrong side of an integer
+/// boundary even for small slots when the rounded quotient crosses it.
+/// Instead, decompose the (finite, positive — validated in [`TraceStream::
+/// open`]) scale into its exact dyadic form `m · 2^e` with `m` odd, so
+///
+/// ```text
+/// floor(slot / (m · 2^e)) = floor((slot >> e) / m)            e ≥ 0
+/// floor(slot / (m · 2^e)) = floor(slot · 2^(−e) / m)          e < 0
+/// ```
+///
+/// using nested floor-division for `e ≥ 0` and a shift-and-subtract long
+/// division (doubling the remainder `−e` times) for `e < 0`.  Results past
+/// `u64::MAX` saturate, matching the old `as u64` cast's behavior.
 fn scaled_slot(abs_slot: u64, scale: f64) -> u64 {
     if scale == 1.0 {
         return abs_slot; // identity must be bit-exact, not a float round-trip
     }
-    (abs_slot as f64 / scale).floor() as u64
+    // Exact dyadic decomposition of the f64: scale = m · 2^e, m odd.
+    let bits = scale.to_bits();
+    let exp_field = (bits >> 52) & 0x7ff;
+    let frac = bits & ((1u64 << 52) - 1);
+    let (mut m, mut e) = if exp_field == 0 {
+        (frac, -1074i64) // subnormal: no implicit leading bit
+    } else {
+        (frac | (1u64 << 52), exp_field as i64 - 1075)
+    };
+    debug_assert!(m != 0, "open() rejects scale <= 0");
+    let tz = i64::from(m.trailing_zeros());
+    m >>= tz;
+    e += tz;
+
+    if e >= 0 {
+        // floor(slot / (m << e)) via nested floor-division; e ≥ 64 means the
+        // divisor exceeds any u64 slot.
+        if e >= 64 {
+            return 0;
+        }
+        (abs_slot >> e) / m
+    } else {
+        // floor(slot << k / m) with k = −e, without ever materializing the
+        // (up to 1138-bit) numerator: standard long division, doubling the
+        // running remainder once per shifted-in zero bit.
+        let mut q = abs_slot / m;
+        let mut r = abs_slot % m;
+        for _ in 0..-e {
+            r <<= 1; // r < m ≤ 2^53, cannot overflow
+            let carry = u64::from(r >= m);
+            r -= m & carry.wrapping_neg();
+            q = match q.checked_mul(2).and_then(|d| d.checked_add(carry)) {
+                Some(doubled) => doubled,
+                None => return u64::MAX,
+            };
+        }
+        q
+    }
 }
 
 impl TraceStream {
@@ -487,6 +541,67 @@ mod tests {
             .to_string();
         assert!(err.contains("two packets at input 0"), "{err}");
         assert!(err.contains("scale"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scaled_slot_is_exact_past_f64_precision() {
+        // The old float path (`(slot as f64 / scale).floor() as u64`) rounds
+        // the slot to 53 bits before dividing; these all came out wrong.
+        let big = 1u64 << 53;
+        assert_eq!(scaled_slot(big + 1, 1.0), big + 1);
+        assert_eq!(scaled_slot(big + 1, 0.5), 2 * (big + 1)); // float: 2*big
+        assert_eq!(scaled_slot(big + 3, 2.0), big / 2 + 1); // float: big/2 + 2
+        assert_eq!(scaled_slot(u64::MAX, 2.0), u64::MAX / 2);
+        assert_eq!(scaled_slot(u64::MAX - 1, 1.0), u64::MAX - 1);
+        // Results past u64::MAX saturate (the old cast's behavior).
+        assert_eq!(scaled_slot(u64::MAX, 0.5), u64::MAX);
+        assert_eq!(scaled_slot(1 << 63, 0.25), u64::MAX);
+        // A divisor larger than any representable slot floors to zero.
+        assert_eq!(scaled_slot(u64::MAX, 1e300), 0);
+        assert_eq!(scaled_slot(0, 0.3), 0);
+    }
+
+    #[test]
+    fn scaled_slot_matches_exact_rational_division() {
+        // Cross-check against an independent u128 evaluation of
+        // floor(slot * 2^k / m) for non-dyadic scales (m odd, scale = m*2^-k;
+        // slot << k fits u128 for these exponents).
+        for scale in [0.3, 0.7, 1.5, 3.0, 0.9999999999999999, 1.0000000000000002] {
+            let bits = f64::to_bits(scale);
+            let mut m = (bits & ((1u64 << 52) - 1)) | (1 << 52);
+            let mut e = ((bits >> 52) & 0x7ff) as i64 - 1075;
+            let tz = i64::from(m.trailing_zeros());
+            m >>= tz;
+            e += tz;
+            for slot in [0, 1, 7, (1 << 53) - 1, 1 << 53, (1 << 53) + 1, u64::MAX] {
+                let expect = if e >= 0 {
+                    (u128::from(slot) >> e) / u128::from(m)
+                } else {
+                    (u128::from(slot) << -e) / u128::from(m)
+                };
+                assert_eq!(
+                    u128::from(scaled_slot(slot, scale)),
+                    expect.min(u128::from(u64::MAX)),
+                    "slot {slot} scale {scale}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn huge_slots_survive_scaling_without_false_collisions() {
+        // Two adjacent slots past 2^53 used to collapse onto the same f64,
+        // so compressing *or even stretching* reported a phantom collision.
+        let path = tmp("hugeslots.csv");
+        let a = 1u64 << 53;
+        std::fs::write(&path, format!("{a},0,1\n{},0,2\n", a + 1)).unwrap();
+        let mut stream = TraceStream::open(&path, None, 4, 1, 0.5).unwrap();
+        let first = stream.next_transformed().unwrap();
+        let second = stream.next_transformed().unwrap();
+        assert_eq!(first.slot, 2 * a);
+        assert_eq!(second.slot, 2 * a + 2);
+        assert!(stream.next_transformed().is_none());
         std::fs::remove_file(&path).ok();
     }
 
