@@ -32,6 +32,12 @@ Usage:
   scenario --print-template    print a ScenarioSpec JSON template
   scenario --list-schemes      list every scheme the registry knows
 
+Sidecar:
+  --metrics full --metrics-out <file.json>
+      also write the full metrics JSON (delay histogram, per-output
+      throughput and utilization, Jain fairness, windowed time series) to
+      <file.json>; stdout stays the same two CSV lines either way
+
 --trace replays a recorded trace file (see the `trace` binary) instead of a
 synthetic pattern; --repeat tiles it and --scale compresses (>1) or
 stretches (<1) its timebase.
@@ -114,12 +120,32 @@ fn main() {
         spec.threads = threads;
     }
 
+    let metrics_out = match arg_value(&args, "--metrics").as_deref() {
+        None => {
+            if arg_value(&args, "--metrics-out").is_some() {
+                fail("--metrics-out requires --metrics full");
+            }
+            None
+        }
+        Some("full") => Some(
+            arg_value(&args, "--metrics-out")
+                .unwrap_or_else(|| fail("--metrics full needs --metrics-out <file.json>")),
+        ),
+        Some(other) => fail(&format!("--metrics only understands 'full', got '{other}'")),
+    };
+
     eprintln!("running scenario: {}", spec.label());
     eprintln!("{}", spec.to_json());
     let report = Engine::new()
         .run(&spec)
         .unwrap_or_else(|e| fail(&e.to_string()));
     print_report(&report);
+    if let Some(path) = metrics_out {
+        let mut json = report.metrics_json();
+        json.push('\n');
+        std::fs::write(&path, json).unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote metrics sidecar to {path}");
+    }
 }
 
 fn print_report(report: &SimReport) {

@@ -35,6 +35,7 @@
 
 use crate::metrics::occupancy::OccupancySampler;
 use crate::metrics::sink::MetricsSink;
+use crate::metrics::window::WindowSeries;
 use crate::registry;
 use crate::report::SimReport;
 use crate::spec::{ScenarioSpec, SpecError};
@@ -153,8 +154,9 @@ impl Engine {
         let batch = u64::from(batch.max(1));
         let mut next_packet_id = 0u64;
         let mut voq_seq = vec![0u64; n * n];
-        let mut sink = MetricsSink::new(config.warmup_slots);
+        let mut sink = MetricsSink::new(config.warmup_slots, n);
         let mut occupancy = OccupancySampler::new();
+        let mut windows = WindowSeries::new(n_u64);
         let mut offered = 0u64;
 
         let total_slots = config.slots + config.drain_slots;
@@ -203,11 +205,31 @@ impl Engine {
 
             slot += window;
             if (slot - 1).is_multiple_of(n_u64) {
-                occupancy.sample(&switch.stats());
+                // One stats() snapshot feeds both the whole-run occupancy
+                // aggregate and the windowed series, so they always agree.
+                let stats = switch.stats();
+                occupancy.sample(&stats);
+                windows.record(
+                    slot,
+                    offered,
+                    sink.delivered_packets(),
+                    sink.padding_packets(),
+                    &stats,
+                );
             }
         }
+        // A run whose length is not a multiple of the sampling period ends
+        // between boundaries; capture the active remainder so window sums
+        // equal the run totals.
+        windows.finish(
+            total_slots,
+            offered,
+            sink.delivered_packets(),
+            sink.padding_packets(),
+            &switch.stats(),
+        );
 
-        let (delay, reordering, delivered, padding) = sink.into_parts();
+        let totals = sink.into_parts();
         SimReport {
             switch_name: switch.name().to_string(),
             traffic_label: traffic.label(),
@@ -215,12 +237,14 @@ impl Engine {
             slots: config.slots,
             warmup_slots: config.warmup_slots,
             offered_packets: offered,
-            delivered_packets: delivered,
-            padding_packets: padding,
-            residual_packets: offered - delivered,
-            delay,
-            reordering,
+            delivered_packets: totals.delivered,
+            padding_packets: totals.padding,
+            residual_packets: offered - totals.delivered,
+            delay: totals.delay,
+            reordering: totals.reordering,
             occupancy: occupancy.stats(),
+            per_output_delivered: totals.per_output_delivered,
+            windows,
         }
     }
 }

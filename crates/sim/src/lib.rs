@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod engine;
 pub mod metrics;
 pub mod parallel;
@@ -52,6 +53,7 @@ pub mod traffic;
 
 /// Convenient re-exports of the most commonly used simulator types.
 pub mod prelude {
+    pub use crate::cache::{fnv1a_128, CachedRun, ExperimentCache};
     pub use crate::engine::{Engine, RunConfig};
     pub use crate::metrics::delay::DelayStats;
     pub use crate::metrics::reorder::ReorderStats;

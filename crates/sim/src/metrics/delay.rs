@@ -81,12 +81,19 @@ impl DelayStats {
     }
 
     /// Exact delay percentile (e.g. `0.5` for the median, `0.99` for p99).
+    ///
+    /// The rank is `ceil(count · p)` computed in integer arithmetic against
+    /// the exact rational value the `f64` encodes.  The obvious
+    /// `(p * count as f64).ceil()` is wrong near integer boundaries: the f64
+    /// product rounds to nearest, so e.g. `0.1 × 10` rounds *down* to exactly
+    /// `1.0` even though the rational product `10 · 0.1f64` is strictly above
+    /// 1, silently shifting the reported rank by one.
     pub fn percentile(&self, p: f64) -> u64 {
         assert!((0.0..=1.0).contains(&p));
         if self.count == 0 {
             return 0;
         }
-        let target = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let target = ceil_rank(self.count, p).clamp(1, self.count);
         let mut acc = 0u64;
         for (d, &c) in self.histogram.iter().enumerate() {
             acc += c;
@@ -103,6 +110,18 @@ impl DelayStats {
             }
         }
         self.max
+    }
+
+    /// Iterate over the non-empty histogram buckets as `(delay, count)`
+    /// pairs in ascending delay order, histogram and overflow alike — the
+    /// full exact distribution, for sidecar export.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.histogram
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(d, &c)| (d as u64, c))
+            .chain(self.overflow.iter().copied())
     }
 
     /// Merge another set of statistics into this one.  Caps may differ:
@@ -132,6 +151,38 @@ impl DelayStats {
             }
         }
     }
+}
+
+/// Exact `ceil(count · p)` where `p` is the rational value its `f64`
+/// encoding denotes: `mant · 2^exp` with `mant < 2^53`.  `count · mant`
+/// fits u128 (`< 2^64 · 2^53 = 2^117`), and for `p ≤ 1` the exponent is
+/// always negative (at most `-52`, reached by `p = 1.0`), so the product
+/// only ever shifts right.
+fn ceil_rank(count: u64, p: f64) -> u64 {
+    let bits = p.to_bits();
+    let exp_field = (bits >> 52) & 0x7ff;
+    let frac = bits & ((1u64 << 52) - 1);
+    // Subnormals (exp_field == 0) have no implicit leading bit and a fixed
+    // exponent of -1074; normals get the implicit bit and a biased exponent.
+    let (mant, exp) = if exp_field == 0 {
+        (frac, -1074i64)
+    } else {
+        (frac | (1 << 52), exp_field as i64 - 1075)
+    };
+    if mant == 0 {
+        return 0; // p == +0.0
+    }
+    debug_assert!(exp < 0, "p in [0, 1] always has a negative exponent");
+    let prod = u128::from(count) * u128::from(mant);
+    let shift = -exp as u32;
+    if shift >= 128 {
+        // prod < 2^117 and the scale is ≤ 2^-128: the value is a positive
+        // number below 1, whose ceiling is 1.
+        return 1;
+    }
+    let floor = (prod >> shift) as u64; // ≤ count because p ≤ 1
+    let rounds_up = prod & ((1u128 << shift) - 1) != 0;
+    floor + u64::from(rounds_up)
 }
 
 #[cfg(test)]
@@ -167,7 +218,76 @@ mod tests {
         assert_eq!(s.percentile(0.5), 50);
         assert_eq!(s.percentile(0.99), 99);
         assert_eq!(s.percentile(1.0), 100);
-        assert_eq!(s.percentile(0.01), 1);
+        // 0.01f64 is strictly above 1/100, so the exact rank of p1 over 100
+        // records is ceil(100 · 0.0100000000000000002…) = 2.
+        assert_eq!(s.percentile(0.01), 2);
+    }
+
+    #[test]
+    fn percentile_rank_is_exact_at_integer_boundaries() {
+        // Regression: the rank used to be (p * count as f64).ceil().  For
+        // p = 0.1 and count = 10 the f64 product rounds down to exactly 1.0
+        // (rank 1), but 10 · 0.1f64 = 1.0000000000000000555… whose true
+        // ceiling is 2 — the old code reported the wrong bucket.
+        let mut s = DelayStats::new(100);
+        for d in 1..=10u64 {
+            s.record(d);
+        }
+        assert_eq!(s.percentile(0.1), 2);
+        // Exact dyadic p values sit exactly on boundaries and must not move.
+        assert_eq!(s.percentile(0.5), 5);
+        assert_eq!(s.percentile(0.25), 3);
+        assert_eq!(s.percentile(1.0), 10);
+        assert_eq!(s.percentile(0.0), 1);
+    }
+
+    #[test]
+    fn ceil_rank_matches_a_brute_force_search() {
+        // Independent model: the smallest r ≥ 1 with r · 2^shift ≥ count · mant,
+        // phrased as an inequality instead of a shift-and-round division.
+        fn model(count: u64, p: f64) -> u64 {
+            if p == 0.0 {
+                return 0;
+            }
+            (1..=count)
+                .find(|&r| exact_ge(r, count, p))
+                .unwrap_or(count)
+        }
+        fn exact_ge(r: u64, count: u64, p: f64) -> bool {
+            // r ≥ count · mant · 2^exp  ⇔  r · 2^-exp ≥ count · mant
+            let bits = p.to_bits();
+            let exp_field = (bits >> 52) & 0x7ff;
+            let frac = bits & ((1u64 << 52) - 1);
+            let (mant, exp) = if exp_field == 0 {
+                (frac, -1074i64)
+            } else {
+                (frac | (1 << 52), exp_field as i64 - 1075)
+            };
+            let shift = (-exp) as u32;
+            let prod = u128::from(count) * u128::from(mant);
+            match u128::from(r).checked_shl(shift) {
+                Some(scaled) => scaled >= prod,
+                None => true, // r · 2^shift ≥ 2^128 > prod
+            }
+        }
+        for count in [1u64, 2, 3, 7, 10, 100, 999, 12345] {
+            for p in [0.0, 0.01, 0.1, 0.25, 1.0 / 3.0, 0.5, 0.9, 0.95, 0.99, 1.0] {
+                assert_eq!(ceil_rank(count, p), model(count, p), "count={count} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn nonzero_buckets_walk_histogram_then_overflow_in_order() {
+        let mut s = DelayStats::new(4);
+        s.record(1);
+        s.record(1);
+        s.record(3);
+        s.record(100);
+        s.record(7);
+        let buckets: Vec<(u64, u64)> = s.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(1, 2), (3, 1), (7, 1), (100, 1)]);
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), s.count());
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! Jain's fairness index.
+//!
+//! `J(x) = (Σx)² / (n · Σx²)` over per-output delivered-packet counts:
+//! 1.0 when every output received the same share, approaching `1/n` as the
+//! traffic concentrates on a single output.  This is the standard fairness
+//! measure load-balancer evaluations report alongside throughput.
+
+/// Jain's fairness index over a set of non-negative values.
+///
+/// Returns 1.0 for an empty or all-zero set: with nothing delivered there is
+/// no allocation to be unfair about, and 1.0 keeps the index continuous with
+/// the uniform case instead of manufacturing a 0/0.
+pub fn jain_index(values: &[u64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for &v in values {
+        let v = v as f64;
+        sum += v;
+        sum_sq += v * v;
+    }
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (values.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_allocations_are_perfectly_fair() {
+        assert_eq!(jain_index(&[7, 7, 7, 7]), 1.0);
+        assert_eq!(jain_index(&[1]), 1.0);
+    }
+
+    #[test]
+    fn empty_and_all_zero_sets_are_fair_by_convention() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0, 0, 0]), 1.0);
+    }
+
+    #[test]
+    fn a_single_hot_output_scores_one_over_n() {
+        let j = jain_index(&[100, 0, 0, 0]);
+        assert!((j - 0.25).abs() < 1e-12, "got {j}");
+    }
+
+    #[test]
+    fn skew_lowers_the_index_monotonically() {
+        let even = jain_index(&[50, 50]);
+        let mild = jain_index(&[60, 40]);
+        let harsh = jain_index(&[90, 10]);
+        assert!(even > mild && mild > harsh, "{even} {mild} {harsh}");
+        assert!(harsh > 0.5, "bounded below by 1/n");
+    }
+}

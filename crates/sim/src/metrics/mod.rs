@@ -6,11 +6,15 @@
 //! collection.
 
 pub mod delay;
+pub mod fairness;
 pub mod occupancy;
 pub mod reorder;
 pub mod sink;
+pub mod window;
 
 pub use delay::DelayStats;
+pub use fairness::jain_index;
 pub use occupancy::OccupancyStats;
 pub use reorder::{ReorderDetector, ReorderStats};
-pub use sink::MetricsSink;
+pub use sink::{MetricsSink, SinkTotals};
+pub use window::{WindowSample, WindowSeries};

@@ -20,19 +20,23 @@ pub struct MetricsSink {
     delivered: u64,
     padding: u64,
     warmup_slots: u64,
+    /// Data packets delivered per output port (index = output).  Sized once
+    /// at construction, so the deliver path stays allocation-free.
+    per_output: Vec<u64>,
 }
 
 impl MetricsSink {
-    /// Create a sink; packets that *arrived* before `warmup_slots` are
-    /// excluded from the delay statistics (they still count for reordering
-    /// and conservation).
-    pub fn new(warmup_slots: u64) -> Self {
+    /// Create a sink for a switch with `n` output ports; packets that
+    /// *arrived* before `warmup_slots` are excluded from the delay
+    /// statistics (they still count for reordering and conservation).
+    pub fn new(warmup_slots: u64, n: usize) -> Self {
         MetricsSink {
             delay: DelayStats::default(),
             reorder: ReorderDetector::new(),
             delivered: 0,
             padding: 0,
             warmup_slots,
+            per_output: vec![0; n],
         }
     }
 
@@ -46,6 +50,11 @@ impl MetricsSink {
         self.padding
     }
 
+    /// Data packets delivered so far per output port.
+    pub fn per_output_delivered(&self) -> &[u64] {
+        &self.per_output
+    }
+
     /// Reordering statistics accumulated so far.
     pub fn reordering(&self) -> ReorderStats {
         self.reorder.stats()
@@ -56,11 +65,32 @@ impl MetricsSink {
         &self.delay
     }
 
-    /// Consume the sink, returning the delay statistics and reordering stats.
-    pub fn into_parts(self) -> (DelayStats, ReorderStats, u64, u64) {
+    /// Consume the sink, returning its accumulated pieces.
+    pub fn into_parts(self) -> SinkTotals {
         let reordering = self.reorder.stats();
-        (self.delay, reordering, self.delivered, self.padding)
+        SinkTotals {
+            delay: self.delay,
+            reordering,
+            delivered: self.delivered,
+            padding: self.padding,
+            per_output_delivered: self.per_output,
+        }
     }
+}
+
+/// Everything a finished [`MetricsSink`] accumulated, by value.
+#[derive(Debug, Clone)]
+pub struct SinkTotals {
+    /// Delay statistics over post-warm-up deliveries.
+    pub delay: DelayStats,
+    /// Reordering statistics over every data delivery.
+    pub reordering: ReorderStats,
+    /// Total data packets delivered.
+    pub delivered: u64,
+    /// Total padding packets delivered.
+    pub padding: u64,
+    /// Data packets delivered per output port.
+    pub per_output_delivered: Vec<u64>,
 }
 
 impl DeliverySink for MetricsSink {
@@ -70,6 +100,7 @@ impl DeliverySink for MetricsSink {
             return;
         }
         self.delivered += 1;
+        self.per_output[delivered.packet.output()] += 1;
         self.reorder.observe(&delivered.packet);
         if delivered.packet.arrival_slot >= self.warmup_slots {
             self.delay.record(delivered.delay());
@@ -88,7 +119,7 @@ mod tests {
 
     #[test]
     fn counts_and_measures_post_warmup_packets() {
-        let mut sink = MetricsSink::new(10);
+        let mut sink = MetricsSink::new(10, 4);
         sink.deliver(delivery(0, 5, 8)); // pre-warm-up arrival: counted, not measured
         sink.deliver(delivery(1, 12, 20)); // measured, delay 8
         assert_eq!(sink.delivered_packets(), 2);
@@ -99,19 +130,40 @@ mod tests {
 
     #[test]
     fn padding_is_counted_separately_and_ignored_by_metrics() {
-        let mut sink = MetricsSink::new(0);
+        let mut sink = MetricsSink::new(0, 4);
         sink.deliver(DeliveredPacket::new(Packet::padding(0, 1, 0), 4));
         assert_eq!(sink.delivered_packets(), 0);
         assert_eq!(sink.padding_packets(), 1);
         assert_eq!(sink.delay().count(), 0);
+        assert_eq!(sink.per_output_delivered(), &[0, 0, 0, 0]);
     }
 
     #[test]
     fn reordering_is_observed_through_the_sink() {
-        let mut sink = MetricsSink::new(0);
+        let mut sink = MetricsSink::new(0, 4);
         sink.deliver(delivery(3, 0, 1));
         sink.deliver(delivery(1, 0, 2));
         assert!(!sink.reordering().is_ordered());
         assert_eq!(sink.reordering().voq_reorder_events, 1);
+    }
+
+    #[test]
+    fn per_output_counts_follow_each_packet_destination() {
+        let mut sink = MetricsSink::new(0, 4);
+        let to = |output: usize, seq: u64| {
+            DeliveredPacket::new(Packet::new(0, output, seq, 0).with_voq_seq(seq), 1)
+        };
+        sink.deliver(to(1, 0));
+        sink.deliver(to(1, 1));
+        sink.deliver(to(3, 0));
+        // Padding never counts toward an output's delivered share.
+        sink.deliver(DeliveredPacket::new(Packet::padding(0, 1, 0), 1));
+        assert_eq!(sink.per_output_delivered(), &[0, 2, 0, 1]);
+        let totals = sink.into_parts();
+        assert_eq!(totals.per_output_delivered, vec![0, 2, 0, 1]);
+        assert_eq!(
+            totals.per_output_delivered.iter().sum::<u64>(),
+            totals.delivered
+        );
     }
 }

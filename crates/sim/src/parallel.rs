@@ -162,6 +162,26 @@ mod tests {
     }
 
     #[test]
+    fn metrics_sidecar_is_identical_at_any_worker_count() {
+        // The CSV row summarises; the metrics JSON exposes every counter,
+        // the full delay histogram and the windowed series.  All of it must
+        // be scheduling-invariant, not just the 14 summary columns.
+        let specs = grid();
+        let serial = run_specs_parallel(&specs, 1);
+        for workers in [3, 0] {
+            let parallel = run_specs_parallel(&specs, workers);
+            for (a, b) in serial.iter().zip(&parallel) {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                assert_eq!(
+                    a.metrics_json(),
+                    b.metrics_json(),
+                    "workers={workers} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn batch_size_is_orthogonal_to_worker_count() {
         // Batched stepping and thread sharding are both pure perf knobs; any
         // combination must reproduce the same reports in the same order.

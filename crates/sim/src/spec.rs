@@ -579,6 +579,19 @@ impl SuiteSpec {
                 .file_stem()
                 .map(|s| s.to_string_lossy().into_owned())
                 .unwrap_or_else(|| "spec".to_string());
+            // The stem becomes the merged CSV's leading `case` column
+            // verbatim; a comma or newline in it would silently splice extra
+            // columns or rows into every downstream consumer.  Reject at
+            // load time with a typed error instead.
+            if stem.contains(',') || stem.contains('\n') || stem.contains('\r') {
+                return Err(SpecError::new(format!(
+                    "spec file name '{}' contains a comma or newline; case names \
+                     form the merged CSV's first column, so these characters would \
+                     corrupt its structure ({})",
+                    stem.escape_debug(),
+                    path.display()
+                )));
+            }
             cases.extend(self.expand(&stem, &base));
         }
         Ok(cases)
@@ -708,7 +721,7 @@ fn parse_traffic(traffic: &json::Object) -> Result<TrafficSpec, SpecError> {
 /// [`ScenarioSpec::to_json`] round-trips through [`ScenarioSpec::from_json`]
 /// even when the (unvalidated-at-spec-level) scheme name contains quotes,
 /// backslashes or control characters.
-fn escape_json_string(s: &str) -> String {
+pub(crate) fn escape_json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -1274,6 +1287,40 @@ mod tests {
         let err = SuiteSpec::new(&dir).load_cases().unwrap_err().to_string();
         assert!(err.contains("c_bad.json"), "{err}");
 
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn csv_hostile_spec_file_names_are_rejected_at_load_time() {
+        // Regression: a stem like `evil,0.9` used to flow straight into the
+        // merged CSV's `case` column, silently shifting every later column
+        // of that row.  Now it is a typed load-time error.
+        let dir = std::env::temp_dir().join(format!("sprinklers-inject-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("ok.json"), ScenarioSpec::new("oq", 8).to_json()).unwrap();
+        std::fs::write(
+            dir.join("evil,case.json"),
+            ScenarioSpec::new("oq", 8).to_json(),
+        )
+        .unwrap();
+        let err = SuiteSpec::new(&dir).load_cases().unwrap_err().to_string();
+        assert!(err.contains("comma or newline"), "{err}");
+        assert!(err.contains("evil,case"), "{err}");
+
+        // A newline in the file name is just as hostile: it would inject a
+        // whole extra CSV row.
+        std::fs::remove_file(dir.join("evil,case.json")).unwrap();
+        std::fs::write(
+            dir.join("evil\nrow.json"),
+            ScenarioSpec::new("oq", 8).to_json(),
+        )
+        .unwrap();
+        let err = SuiteSpec::new(&dir).load_cases().unwrap_err().to_string();
+        assert!(err.contains("comma or newline"), "{err}");
+
+        // Clean stems still load fine once the hostile file is gone.
+        std::fs::remove_file(dir.join("evil\nrow.json")).unwrap();
+        assert_eq!(SuiteSpec::new(&dir).load_cases().unwrap().len(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

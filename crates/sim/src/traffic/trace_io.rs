@@ -132,6 +132,28 @@ fn path_err(path: &Path, msg: impl Into<String>) -> SpecError {
     SpecError::new(msg.into()).context(format!("trace file {}", path.display()))
 }
 
+/// Reject trace labels that would corrupt line-structured output downstream.
+/// A recorded label is replayed verbatim as the report's `traffic_label`, so
+/// a newline (or a stray carriage return) in it would splice extra rows into
+/// every merged CSV — and break the CSV trace header's own line framing.
+/// Rejecting at both write and read time turns that silent corruption into a
+/// typed error, including for hand-crafted binary traces (whose label block
+/// can carry arbitrary bytes).  Commas stay legal: synthetic generator
+/// labels such as `bursty(peak=1,burst≈16)` already contain them, the golden
+/// CSVs pin those bytes, and rows stay attributable because the merged CSV's
+/// leading `case` column is comma-free (validated at suite load).
+fn validate_label(path: &Path, label: &str) -> Result<(), SpecError> {
+    if label.contains('\n') || label.contains('\r') {
+        return Err(path_err(
+            path,
+            "label contains a newline, which would corrupt CSV reports built \
+             from the replayed trace"
+                .to_string(),
+        ));
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------------------
 // Reader
 // ---------------------------------------------------------------------------
@@ -453,7 +475,12 @@ fn parse_csv_meta(
                     .map_err(|_| path_err(path, format!("bad '# entries = {value}' metadata")))?,
             );
         }
-        "label" => meta.label = Some(value.to_string()),
+        "label" => {
+            // Lines cannot smuggle '\n', but an interior '\r' survives the
+            // line framing and would resurface in CSV reports.
+            validate_label(path, value)?;
+            meta.label = Some(value.to_string());
+        }
         "matrix" => {
             let n = meta.n.ok_or_else(|| {
                 path_err(path, "'# matrix =' must come after '# n ='".to_string())
@@ -577,10 +604,10 @@ fn read_sprt_header(
             .read_exact(&mut buf)
             .map_err(|_| truncated("label"))?;
         header_len += 4 + len as u64;
-        Some(
-            String::from_utf8(buf)
-                .map_err(|_| path_err(path, "label is not valid UTF-8".to_string()))?,
-        )
+        let label = String::from_utf8(buf)
+            .map_err(|_| path_err(path, "label is not valid UTF-8".to_string()))?;
+        validate_label(path, &label)?;
+        Some(label)
     } else {
         None
     };
@@ -653,6 +680,11 @@ impl TraceWriter {
                 ));
             }
         }
+        if let Some(label) = &meta.label {
+            // Fail fast at write time too — a file we wrote should never be
+            // one our own reader rejects.
+            validate_label(&path, label)?;
+        }
         let file =
             File::create(&path).map_err(|e| path_err(&path, format!("cannot create: {e}")))?;
         let mut writer = BufWriter::new(file);
@@ -668,7 +700,9 @@ impl TraceWriter {
                     writeln!(writer, "# slots = {}", meta.slots).map_err(io)?;
                 }
                 if let Some(label) = &meta.label {
-                    writeln!(writer, "# label = {}", label.replace('\n', " ")).map_err(io)?;
+                    // Validated newline-free above, so the header's line
+                    // framing is safe without silent rewriting.
+                    writeln!(writer, "# label = {label}").map_err(io)?;
                 }
                 if let Some(matrix) = &meta.matrix {
                     let n = matrix.n();
@@ -1171,6 +1205,72 @@ mod tests {
         let err = TraceReader::open(&path, None).unwrap_err().to_string();
         assert!(err.contains("magic"), "{err}");
         assert!(err.contains("magic.sprt"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn newline_labels_are_rejected_at_write_time() {
+        for format in [TraceFormat::Csv, TraceFormat::Sprt] {
+            for label in ["two\nlines", "carriage\rreturn"] {
+                let path = tmp(&format!("badlabel.{}", format.name()));
+                let meta = TraceMeta {
+                    n: Some(4),
+                    label: Some(label.to_string()),
+                    ..TraceMeta::default()
+                };
+                let err = TraceWriter::create(&path, format, &meta)
+                    .err()
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| panic!("{format}: label {label:?} was accepted"));
+                assert!(err.contains("newline"), "{format}: {err}");
+                std::fs::remove_file(&path).ok();
+            }
+        }
+        // Commas stay legal: scenario labels like "bursty(peak=1,burst≈16)"
+        // are golden-pinned and CSV reports quote nothing.
+        let path = tmp("commalabel.csv");
+        let meta = TraceMeta {
+            n: Some(4),
+            label: Some("bursty(peak=1,burst≈16)".into()),
+            ..TraceMeta::default()
+        };
+        write_all(&path, TraceFormat::Csv, &meta, &sample_records());
+        assert_eq!(
+            TraceReader::open(&path, None).unwrap().meta().label,
+            meta.label
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_meta_label_with_carriage_return_is_rejected_at_open() {
+        // '\n' cannot survive the line framing, but a bare '\r' can; it
+        // would resurface verbatim inside CSV reports downstream.
+        let path = tmp("crlabel.csv");
+        std::fs::write(&path, "# label = split\rrow\n0,0,1\n").unwrap();
+        let err = TraceReader::open(&path, None).unwrap_err().to_string();
+        assert!(err.contains("newline"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_labels_with_newlines_are_rejected_at_open() {
+        // Hand-craft a header the writer now refuses to produce: old trace
+        // files (or other producers) must not smuggle one past the reader.
+        let path = tmp("nllabel.sprt");
+        let label = b"two\nlines";
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&SPRT_MAGIC);
+        bytes.extend_from_slice(&SPRT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.push(0b10);
+        bytes.extend_from_slice(&(label.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(label);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = TraceReader::open(&path, None).unwrap_err().to_string();
+        assert!(err.contains("newline"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,146 @@
+//! End-to-end parity for the content-addressed experiment cache.
+//!
+//! The cache's contract is that a warm run is *indistinguishable* from a
+//! cold one: the merged CSV assembled from cached rows must be
+//! byte-identical to the one assembled from fresh reports, the stored
+//! summary scalars must be bit-exact, and the key must ignore exactly the
+//! two performance knobs (`batch`, `threads`) — nothing else.
+
+use sprinklers_sim::cache::{CachedRun, ExperimentCache};
+use sprinklers_sim::engine::RunConfig;
+use sprinklers_sim::parallel::run_specs_parallel_ok;
+use sprinklers_sim::report::merge_csv_rows;
+use sprinklers_sim::spec::{ScenarioSpec, TrafficSpec};
+
+fn grid() -> Vec<(String, ScenarioSpec)> {
+    let mut cases = Vec::new();
+    for scheme in ["sprinklers", "oq", "foff"] {
+        for load in [0.4, 0.8] {
+            let spec = ScenarioSpec::new(scheme, 8)
+                .with_traffic(TrafficSpec::Uniform { load })
+                .with_run(RunConfig {
+                    slots: 900,
+                    warmup_slots: 90,
+                    drain_slots: 4_096,
+                })
+                .with_seed(23);
+            cases.push((format!("{scheme}_{load}"), spec));
+        }
+    }
+    cases
+}
+
+fn temp_cache(name: &str) -> ExperimentCache {
+    let dir = std::env::temp_dir().join(format!(
+        "sprinklers-cache-parity-{name}-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    ExperimentCache::open(dir).unwrap()
+}
+
+#[test]
+fn identity_hash_ignores_batch_and_threads_but_nothing_else() {
+    let (_, base) = grid().remove(0);
+    let hash = base.content_hash();
+    // Every (batch, threads) combination maps to the same experiment.
+    for (batch, threads) in [(1, 1), (64, 4), (1_000, 8)] {
+        assert_eq!(
+            base.clone()
+                .with_batch(batch)
+                .with_threads(threads)
+                .content_hash(),
+            hash
+        );
+    }
+    // Everything scientific separates.
+    let variations = [
+        base.clone().with_seed(base.seed + 1),
+        base.clone()
+            .with_traffic(TrafficSpec::Uniform { load: 0.41 }),
+        base.clone().with_run(RunConfig {
+            slots: 901,
+            ..base.run
+        }),
+        ScenarioSpec::new("oq", base.n),
+        ScenarioSpec::new(&base.scheme, 16),
+    ];
+    let mut hashes: Vec<u128> = variations.iter().map(ScenarioSpec::content_hash).collect();
+    hashes.push(hash);
+    hashes.sort_unstable();
+    hashes.dedup();
+    assert_eq!(hashes.len(), variations.len() + 1, "hash collision in grid");
+}
+
+#[test]
+fn warm_cache_reproduces_the_cold_merged_csv_byte_for_byte() {
+    let cache = temp_cache("roundtrip");
+    let cases = grid();
+    let specs: Vec<ScenarioSpec> = cases.iter().map(|(_, s)| s.clone()).collect();
+
+    // Cold pass: simulate everything, store every entry (with metrics).
+    let reports = run_specs_parallel_ok(&specs, 2).unwrap();
+    let mut cold_rows = Vec::new();
+    for (spec, report) in specs.iter().zip(&reports) {
+        let run = CachedRun::from_report(report, true);
+        cache.store(spec.content_hash(), &run).unwrap();
+        cold_rows.push(run.csv_row.clone());
+    }
+    let cold_csv = merge_csv_rows(
+        cases
+            .iter()
+            .map(|(name, _)| name.as_str())
+            .zip(cold_rows.iter().cloned()),
+    );
+
+    // Warm pass: every cell must hit, at a *different* batch/thread
+    // configuration, and reproduce rows, scalars and metrics bit-exactly.
+    let mut warm_rows = Vec::new();
+    for ((_, spec), report) in cases.iter().zip(&reports) {
+        let retuned = spec.clone().with_batch(7).with_threads(3);
+        let hit = cache
+            .load(retuned.content_hash())
+            .expect("warm pass must not miss");
+        assert_eq!(hit, CachedRun::from_report(report, true));
+        assert_eq!(
+            hit.mean_delay.to_bits(),
+            report.delay.mean().to_bits(),
+            "stored scalar drifted"
+        );
+        warm_rows.push(hit.csv_row);
+    }
+    let warm_csv = merge_csv_rows(
+        cases
+            .iter()
+            .map(|(name, _)| name.as_str())
+            .zip(warm_rows.iter().cloned()),
+    );
+    assert_eq!(cold_csv, warm_csv, "cached CSV differs from computed CSV");
+    std::fs::remove_dir_all(cache.dir()).ok();
+}
+
+#[test]
+fn an_entry_stored_without_metrics_cannot_serve_a_metrics_run() {
+    // The suite treats a metrics-less hit as a miss when --metrics full is
+    // active; the data layer's part of that contract is simply that the
+    // absence round-trips (None stays None, never an empty string).
+    let cache = temp_cache("nometrics");
+    let (_, spec) = grid().remove(0);
+    let report = run_specs_parallel_ok(std::slice::from_ref(&spec), 1)
+        .unwrap()
+        .remove(0);
+    cache
+        .store(spec.content_hash(), &CachedRun::from_report(&report, false))
+        .unwrap();
+    let hit = cache.load(spec.content_hash()).unwrap();
+    assert_eq!(hit.metrics_json, None);
+    // Re-storing with metrics upgrades the entry in place.
+    cache
+        .store(spec.content_hash(), &CachedRun::from_report(&report, true))
+        .unwrap();
+    assert_eq!(
+        cache.load(spec.content_hash()).unwrap().metrics_json,
+        Some(report.metrics_json())
+    );
+    std::fs::remove_dir_all(cache.dir()).ok();
+}
