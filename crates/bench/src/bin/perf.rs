@@ -15,22 +15,30 @@
 //! ```text
 //! perf [--schemes a,b,..] [--ns 64,256] [--loads 0.05,0.3,0.95]
 //!      [--batches 1,64] [--threads 1,4] [--slots 8192] [--drain 16384]
-//!      [--reps 3] [--json out.json] [--quick]
+//!      [--reps 3] [--json out.json] [--quick] [--fabric ExCxH]
 //! ```
 //!
 //! `--threads` is a grid dimension like `--batches`: each listed value runs
 //! every cell with that many intra-slot worker threads
 //! ([`Switch::set_threads`]).  Deliveries are byte-identical at any value;
 //! only the throughput column should move.
+//!
+//! `--fabric ExCxH` appends fat-tree fabric cells (E edge switches, C
+//! cores, H hosts per edge, stripe routing) after the single-switch grid:
+//! the same timed loop drives a whole [`FabricWorld`] through the
+//! [`Steppable`] surface, so the numbers are directly comparable slots/s.
+//! Schemes whose node sizes the fabric can't instantiate (e.g. Sprinklers
+//! on a non-power-of-two node) are skipped with a note on stderr.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sprinklers_bench::cli::{has_flag, parse_flag, parse_list_flag};
 use sprinklers_core::matrix::TrafficMatrix;
 use sprinklers_core::packet::Packet;
-use sprinklers_core::switch::{CountingSink, Switch};
+use sprinklers_core::switch::{CountingSink, Steppable};
+use sprinklers_sim::fabric::FabricWorld;
 use sprinklers_sim::registry;
-use sprinklers_sim::spec::SizingSpec;
+use sprinklers_sim::spec::{LinkSpec, RoutingSpec, SizingSpec, TopologySpec};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -76,22 +84,35 @@ struct CellCfg<'a> {
     load: f64,
     batch: u64,
     threads: u32,
+    /// When set, the cell times a whole fabric (n = its host count)
+    /// instead of one switch.
+    fabric: Option<&'a TopologySpec>,
 }
 
-/// Drive one cell once: arrive + step_batch over offered + drain slots,
+/// Build the world a cell times: a lone registry switch, or a fabric.
+fn build_world(cfg: &CellCfg) -> Result<Box<dyn Steppable>, String> {
+    let load = cfg.load.max(0.01);
+    match cfg.fabric {
+        Some(topo) => FabricWorld::build(topo, cfg.scheme, &SizingSpec::Matrix, 7, load)
+            .map(|w| Box::new(w) as Box<dyn Steppable>)
+            .map_err(|e| e.to_string()),
+        None => {
+            let matrix = TrafficMatrix::uniform(cfg.n, load);
+            registry::build_named(cfg.scheme, cfg.n, &SizingSpec::Matrix, &matrix, 7)
+                .map(|s| Box::new(s) as Box<dyn Steppable>)
+                .map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Drive one cell once: inject + advance over offered + drain slots,
 /// timed.  Returns (seconds, delivered packets).
 fn drive(cfg: &CellCfg, arrivals: &[Arrival], offered_slots: u64, drain_slots: u64) -> (f64, u64) {
     let &CellCfg {
-        scheme,
-        n,
-        load,
-        batch,
-        threads,
+        n, batch, threads, ..
     } = cfg;
-    let matrix = TrafficMatrix::uniform(n, load.max(0.01));
-    let mut switch = registry::build_named(scheme, n, &SizingSpec::Matrix, &matrix, 7)
-        .unwrap_or_else(|e| sprinklers_bench::cli::fail(&e.to_string()));
-    switch.set_threads(threads as usize);
+    let mut world = build_world(cfg).unwrap_or_else(|e| sprinklers_bench::cli::fail(&e));
+    world.set_parallelism(threads as usize);
     let mut voq_seq = vec![0u64; n * n];
     let mut sink = CountingSink::default();
     let total = offered_slots + drain_slots;
@@ -107,7 +128,7 @@ fn drive(cfg: &CellCfg, arrivals: &[Arrival], offered_slots: u64, drain_slots: u
             let p = Packet::new(input, output, next_id, slot).with_voq_seq(voq_seq[key]);
             voq_seq[key] += 1;
             next_id += 1;
-            switch.arrive(p);
+            world.inject(p);
             idx += 1;
         }
         let next_arrival = arrivals.get(idx).map_or(total, |a| a.0);
@@ -115,7 +136,7 @@ fn drive(cfg: &CellCfg, arrivals: &[Arrival], offered_slots: u64, drain_slots: u
         let mut s = slot;
         while s < run_end {
             let count = batch.min(run_end - s);
-            switch.step_batch(s, count as u32, &mut sink);
+            world.advance(s, count as u32, &mut sink);
             s += count;
         }
         slot = run_end;
@@ -182,6 +203,7 @@ fn main() {
                             load,
                             batch: u64::from(batch),
                             threads,
+                            fabric: None,
                         };
                         for _ in 0..reps {
                             let (secs, d) = drive(&cfg, &arrivals, offered, drain);
@@ -210,10 +232,92 @@ fn main() {
         }
     }
 
+    // Fabric cells ride after the single-switch grid: same timed loop, the
+    // whole fat-tree as the world, n = its host count.
+    if let Some(shape) = sprinklers_bench::cli::arg_value(&args, "--fabric") {
+        let topo = parse_fabric(&shape);
+        let hosts = topo.hosts();
+        topo.validate(hosts)
+            .unwrap_or_else(|e| sprinklers_bench::cli::fail(&e.to_string()));
+        for &load in &loads {
+            let arrivals = schedule(hosts, load, offered, 2014);
+            for scheme in &schemes {
+                for &batch in &batches {
+                    for &threads in &threads_grid {
+                        let cfg = CellCfg {
+                            scheme,
+                            n: hosts,
+                            load,
+                            batch: u64::from(batch),
+                            threads,
+                            fabric: Some(&topo),
+                        };
+                        let label = match build_world(&cfg) {
+                            Ok(world) => world.label(),
+                            Err(e) => {
+                                eprintln!("skipping fabric cell for {scheme}: {e}");
+                                continue;
+                            }
+                        };
+                        let mut best = f64::INFINITY;
+                        let mut delivered = 0u64;
+                        for _ in 0..reps {
+                            let (secs, d) = drive(&cfg, &arrivals, offered, drain);
+                            best = best.min(secs);
+                            delivered = d;
+                        }
+                        let total_slots = offered + drain;
+                        let mslots = total_slots as f64 / best / 1e6;
+                        println!(
+                            "{label},{hosts},{load},{batch},{threads},{total_slots},\
+                             {delivered},{mslots:.2}"
+                        );
+                        cells.push(Cell {
+                            scheme: label,
+                            n: hosts,
+                            load,
+                            batch,
+                            threads,
+                            total_slots,
+                            delivered,
+                            mslots_per_sec: mslots,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
     if let Some(path) = json_path {
         std::fs::write(&path, render_json(offered, drain, &cells))
             .unwrap_or_else(|e| sprinklers_bench::cli::fail(&format!("cannot write {path}: {e}")));
         eprintln!("wrote {path}");
+    }
+}
+
+/// Parse `--fabric ExCxH` into a stripe-routed fat-tree with unit links.
+fn parse_fabric(shape: &str) -> TopologySpec {
+    let parts: Vec<usize> = shape
+        .split('x')
+        .map(|p| {
+            p.parse().unwrap_or_else(|_| {
+                sprinklers_bench::cli::fail(&format!(
+                    "--fabric expects ExCxH (e.g. 2x2x4), got '{shape}'"
+                ))
+            })
+        })
+        .collect();
+    let [edges, cores, hosts_per_edge] = parts[..] else {
+        sprinklers_bench::cli::fail(&format!(
+            "--fabric expects ExCxH (e.g. 2x2x4), got '{shape}'"
+        ));
+    };
+    TopologySpec::FatTree2 {
+        edges,
+        cores,
+        hosts_per_edge,
+        routing: RoutingSpec::Stripe,
+        link: LinkSpec::default(),
     }
 }
 

@@ -42,6 +42,13 @@ Sidecar:
 synthetic pattern; --repeat tiles it and --scale compresses (>1) or
 stretches (<1) its timebase.
 
+A spec file may carry a \"topology\" object (kinds: fat-tree2, butterfly)
+to run a multi-switch fabric instead of one switch: the scheme is
+instantiated at every fabric node, \"routing\" picks the inter-switch path
+strategy (ecmp | random | stripe) and \"link\" sets the wire latency and
+admission gap.  Metrics are end-to-end (host to host).  See the README's
+\"Fabric topologies\" section for the schema.
+
 --batch sets how many slots each Switch::step_batch call advances (default
 64; effectively capped at n by the occupancy-sampling period).  It is a
 pure performance knob: the report is byte-identical at any value.

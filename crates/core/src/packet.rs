@@ -152,6 +152,22 @@ impl Packet {
         self.output as usize
     }
 
+    /// Readdress the packet to a different `(input, output)` port pair.
+    ///
+    /// Single switches never rewrite a packet's identity ports, but the
+    /// fabric layer in `sprinklers-sim` does at every hop: a packet crossing
+    /// a multi-switch topology is readdressed to node-local ports on entry
+    /// to each switch and restored to its global host pair at final
+    /// delivery.
+    #[inline]
+    pub fn set_ports(&mut self, input: usize, output: usize) {
+        debug_assert!(input <= u32::MAX as usize && output <= u32::MAX as usize);
+        // lint: allow(cast) — ports bounded by assert_ports_fit in every build profile
+        self.input = input as u32;
+        // lint: allow(cast) — same MAX_PORTS bound as `input` above
+        self.output = output as u32;
+    }
+
     /// Intermediate port the packet was (or will be) routed through.
     /// Meaningful once the packet has crossed the first fabric.
     #[inline]
@@ -273,6 +289,17 @@ mod tests {
         assert_eq!(p.intermediate(), 1234);
         assert_eq!(p.stripe_size(), 64);
         assert_eq!(p.stripe_index(), 63);
+    }
+
+    #[test]
+    fn set_ports_rewrites_the_voq_pair() {
+        let mut p = Packet::new(3, 7, 42, 100).with_voq_seq(5);
+        p.set_ports(1, 2);
+        assert_eq!(p.voq(), (1, 2));
+        // Only the addressing changes; identity counters are untouched.
+        assert_eq!(p.id, 42);
+        assert_eq!(p.arrival_slot, 100);
+        assert_eq!(p.voq_seq, 5);
     }
 
     #[test]

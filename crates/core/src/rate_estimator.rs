@@ -69,7 +69,16 @@ impl RateEstimator {
     }
 
     fn roll_to(&mut self, slot: u64) {
-        while slot >= self.window_start + self.window {
+        // Compare `slot - window_start >= window` instead of
+        // `slot >= window_start + window`: the sum overflows u64 once
+        // `window_start` gets within one window of u64::MAX (huge windows
+        // reach that after a single roll).  The saturating advance below is
+        // safe for the same reason it terminates: once `window_start` stops
+        // moving, `slot - window_start` can no longer reach `window`.
+        while slot
+            .checked_sub(self.window_start)
+            .is_some_and(|elapsed| elapsed >= self.window)
+        {
             let window_rate = self.count as f64 / self.window as f64;
             self.estimate = if self.windows_seen == 0 {
                 window_rate
@@ -78,7 +87,7 @@ impl RateEstimator {
             };
             self.windows_seen += 1;
             self.count = 0;
-            self.window_start += self.window;
+            self.window_start = self.window_start.saturating_add(self.window);
         }
     }
 }
@@ -144,8 +153,58 @@ mod tests {
     }
 
     #[test]
+    fn first_partial_window_reports_zero_then_the_exact_window_rate() {
+        // Exact pinned values: before the first window completes the
+        // estimate is exactly 0.0 (no division by the elapsed partial
+        // span), and the first complete window reports count/window with no
+        // startup bias.
+        let mut est = RateEstimator::new(8, 0.5);
+        for slot in 0..6 {
+            est.record_arrival(slot);
+        }
+        assert_eq!(est.current_estimate(), 0.0);
+        assert_eq!(est.rate_at(7), 0.0, "slot 7 is still inside window 0");
+        assert_eq!(est.windows_seen(), 0);
+        assert_eq!(est.rate_at(8), 0.75, "6 arrivals / 8 slots, exactly");
+        assert_eq!(est.windows_seen(), 1);
+    }
+
+    #[test]
+    fn second_window_is_an_exact_ewma_blend() {
+        // gamma = 0.25 and window rates 1.0 then 0.5 are all exactly
+        // representable, so the blend 0.25·0.5 + 0.75·1.0 = 0.875 is exact.
+        let mut est = RateEstimator::new(10, 0.25);
+        for slot in 0..10 {
+            est.record_arrival(slot);
+        }
+        for slot in (10..20).step_by(2) {
+            est.record_arrival(slot);
+        }
+        assert_eq!(est.rate_at(10), 1.0);
+        assert_eq!(est.rate_at(20), 0.875);
+        assert_eq!(est.windows_seen(), 2);
+    }
+
+    #[test]
+    fn huge_windows_do_not_overflow_the_roll() {
+        // Regression: rolling used to compute `window_start + window`, which
+        // overflows u64 (a debug-build panic) as soon as one window of
+        // length ≥ 2^63 has elapsed and a later slot is queried.
+        let mut est = RateEstimator::new(1 << 63, 1.0);
+        est.record_arrival(0);
+        let expected = 1.0 / (1u64 << 63) as f64;
+        assert_eq!(est.rate_at(u64::MAX), expected);
+        assert_eq!(est.windows_seen(), 1);
+        // Querying again (and further ahead) stays stable and panic-free.
+        assert_eq!(est.rate_at(u64::MAX), expected);
+    }
+
+    #[test]
     #[should_panic]
     fn zero_window_is_rejected() {
+        // `window = 0` is a construction error by contract: there is no
+        // meaningful rate over an empty window, so the constructor asserts
+        // (in every build profile) instead of letting rate_at divide by 0.
         let _ = RateEstimator::new(0, 0.5);
     }
 

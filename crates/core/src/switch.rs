@@ -197,6 +197,69 @@ pub trait Switch {
     fn stats(&self) -> SwitchStats;
 }
 
+/// Anything the simulation engine can drive slot by slot: a single
+/// [`Switch`] (every switch is trivially steppable through the blanket impl
+/// below) or a composite world such as a multi-switch fabric that routes
+/// packets across several internal switches before delivering them.
+///
+/// The engine only ever needs six operations — how many externally visible
+/// ports there are, a label for reports, packet injection, batched stepping,
+/// the intra-slot parallelism hint, and the occupancy counters — so this
+/// trait is exactly that surface.  The method names are deliberately
+/// distinct from [`Switch`]'s (`ports`/`inject`/`advance` instead of
+/// `n`/`arrive`/`step_batch`) so a type implementing both traits never
+/// produces ambiguous method calls.
+///
+/// Implementations must uphold the same determinism contract as [`Switch`]:
+/// `set_parallelism` is a pure performance knob, and `advance` over any
+/// batching of the same slots yields the identical delivery stream.
+pub trait Steppable {
+    /// Number of externally visible ports (hosts, for a fabric).  Injected
+    /// packets address this port space; delivered packets are reported in it.
+    fn ports(&self) -> usize;
+
+    /// Human-readable label for reports (a scheme name, a topology tag).
+    fn label(&self) -> String;
+
+    /// Inject a packet at its (external) input port.  Same contract as
+    /// [`Switch::arrive`]: nondecreasing `arrival_slot`, injected before the
+    /// call that advances past its arrival slot.
+    fn inject(&mut self, packet: Packet);
+
+    /// Advance `count` consecutive slots starting at `first_slot`, pushing
+    /// every external delivery into `sink`.  Semantically identical to
+    /// advancing one slot at a time.
+    fn advance(&mut self, first_slot: u64, count: u32, sink: &mut dyn DeliverySink);
+
+    /// Intra-slot worker-thread hint (see [`Switch::set_threads`]): any value
+    /// must yield a byte-identical delivery stream.
+    fn set_parallelism(&mut self, threads: usize);
+
+    /// Aggregate occupancy/throughput counters over the whole world.
+    fn counters(&self) -> SwitchStats;
+}
+
+impl<S: Switch> Steppable for S {
+    fn ports(&self) -> usize {
+        self.n()
+    }
+    fn label(&self) -> String {
+        self.name().to_string()
+    }
+    fn inject(&mut self, packet: Packet) {
+        self.arrive(packet)
+    }
+    fn advance(&mut self, first_slot: u64, count: u32, sink: &mut dyn DeliverySink) {
+        self.step_batch(first_slot, count, sink)
+    }
+    fn set_parallelism(&mut self, threads: usize) {
+        self.set_threads(threads)
+    }
+    fn counters(&self) -> SwitchStats {
+        self.stats()
+    }
+}
+
 impl<T: Switch + ?Sized> Switch for Box<T> {
     fn n(&self) -> usize {
         (**self).n()
@@ -413,6 +476,31 @@ mod tests {
         let slots: Vec<u64> = seen.iter().map(|&(s, _)| s).collect();
         assert_eq!(slots, vec![6, 7, 8, 9, 10], "stops after the false slot");
         step_batch_rotating(n, 0, 0, |_, _| panic!("zero-slot batch must not step"));
+    }
+
+    #[test]
+    fn every_switch_is_steppable_through_the_blanket_impl() {
+        let mut sw = SlotRecorder {
+            slots: Vec::new(),
+            threads: 1,
+        };
+        assert_eq!(sw.ports(), 2);
+        assert_eq!(sw.label(), "slot-recorder");
+        sw.set_parallelism(5);
+        assert_eq!(sw.threads, 5);
+        sw.inject(Packet::new(0, 1, 0, 0));
+        let mut sink: Vec<DeliveredPacket> = Vec::new();
+        sw.advance(2, 3, &mut sink);
+        assert_eq!(sw.slots, vec![2, 3, 4]);
+        assert_eq!(sw.counters(), SwitchStats::default());
+        // Boxed trait objects are steppable too (`Box<dyn Switch>` is a
+        // `Switch`, so the blanket impl covers it).
+        let mut boxed: Box<dyn Switch> = Box::new(SlotRecorder {
+            slots: Vec::new(),
+            threads: 1,
+        });
+        boxed.advance(0, 1, &mut NullSink);
+        assert_eq!(boxed.label(), "slot-recorder");
     }
 
     #[test]

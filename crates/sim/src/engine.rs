@@ -1,11 +1,20 @@
-//! The simulation engine: drives any switch against any traffic source and
-//! gathers metrics through the sink path.
+//! The simulation engine: drives any steppable world against any traffic
+//! source and gathers metrics through the sink path.
 //!
 //! [`Engine::run`] resolves a [`ScenarioSpec`] through the
 //! [`crate::registry`] and is the one entry point sweeps, bench binaries,
 //! examples and integration tests share.  [`Engine::run_parts`] is the
 //! lower-level form for callers that already hold a switch and a traffic
 //! generator (trace-driven tests, hand-built variants).
+//!
+//! The engine is generic over [`Steppable`] — the minimal drive surface
+//! (inject packets, advance slots, read counters).  A single switch is the
+//! trivial instance through the blanket `impl<S: Switch> Steppable for S`;
+//! a [`crate::fabric::FabricWorld`] is the multi-switch instance, selected
+//! when the scenario carries a `topology`.  Both run through the *same*
+//! batched loop below, so every determinism guarantee (byte-identical
+//! reports at any batch/thread/worker setting) holds for fabrics by
+//! construction.
 //!
 //! The engine owns one reusable arrival buffer and feeds deliveries into a
 //! [`MetricsSink`], so the steady-state loop — generate arrivals, assign
@@ -33,6 +42,7 @@
 //! slot-at-a-time loop and break byte-parity.)  Batch values above N are
 //! accepted and harmless — they simply saturate at the sampling period.
 
+use crate::fabric::FabricWorld;
 use crate::metrics::occupancy::OccupancySampler;
 use crate::metrics::sink::MetricsSink;
 use crate::metrics::window::WindowSeries;
@@ -41,8 +51,8 @@ use crate::report::SimReport;
 use crate::spec::{ScenarioSpec, SpecError};
 use crate::traffic::TrafficGenerator;
 use serde::{Deserialize, Serialize};
-use sprinklers_core::packet::Packet;
-use sprinklers_core::switch::Switch;
+use sprinklers_core::packet::{Packet, MAX_PORTS};
+use sprinklers_core::switch::{Steppable, Switch};
 
 /// Default number of slots stepped per [`Switch::step_batch`] call when no
 /// explicit batch size is configured.  Large enough to amortize the per-call
@@ -98,9 +108,39 @@ impl Engine {
         Engine::default()
     }
 
-    /// Run one scenario end to end: build the switch from the registry and
+    /// Run one scenario end to end: build the world — a single registry
+    /// switch, or a [`FabricWorld`] when the spec carries a topology — and
     /// the traffic generator from the spec, simulate, and report.
     pub fn run(&mut self, spec: &ScenarioSpec) -> Result<SimReport, SpecError> {
+        // Validate the port count before anything touches it: degenerate
+        // sizes must surface as typed spec errors, not generator panics.
+        if spec.n < 2 {
+            return Err(SpecError::new(format!(
+                "port count n must be at least 2 (got {})",
+                spec.n
+            )));
+        }
+        if spec.n > MAX_PORTS {
+            return Err(SpecError::new(format!(
+                "port count n must be at most {MAX_PORTS} (got {})",
+                spec.n
+            )));
+        }
+        if let Some(topo) = &spec.topology {
+            topo.validate(spec.n)?;
+            let traffic = spec.build_traffic()?;
+            let mut world = FabricWorld::build(
+                topo,
+                &spec.scheme,
+                &spec.sizing,
+                spec.seed,
+                spec.traffic.load(),
+            )?;
+            // Pure perf knob, applied after construction: any value yields
+            // a byte-identical report (see `ScenarioSpec::threads`).
+            world.set_parallelism(spec.threads as usize);
+            return Ok(self.run_parts_batched(world, traffic, spec.run, spec.batch));
+        }
         // Build the traffic first and size the switch from the *generator's*
         // rate matrix.  For synthetic patterns this is the identical matrix
         // `TrafficSpec::try_matrix` constructs (every generator clones the
@@ -110,46 +150,46 @@ impl Engine {
         let matrix = traffic.rate_matrix();
         let mut switch =
             registry::build_named(&spec.scheme, spec.n, &spec.sizing, &matrix, spec.seed)?;
-        // Pure perf knob, applied after construction: any value yields a
-        // byte-identical report (see `ScenarioSpec::threads`).
+        // Pure perf knob (see above).
         switch.set_threads(spec.threads as usize);
         Ok(self.run_parts_batched(switch, traffic, spec.run, spec.batch))
     }
 
-    /// Drive an explicit switch against an explicit traffic generator with
-    /// the default batch size ([`DEFAULT_BATCH`]).
+    /// Drive an explicit world (any [`Steppable`]: a bare switch, a boxed
+    /// one, or a fabric) against an explicit traffic generator with the
+    /// default batch size ([`DEFAULT_BATCH`]).
     ///
     /// # Panics
     ///
-    /// Panics if the switch and the traffic generator disagree on the number
+    /// Panics if the world and the traffic generator disagree on the number
     /// of ports.
-    pub fn run_parts<S: Switch, G: TrafficGenerator>(
+    pub fn run_parts<W: Steppable, G: TrafficGenerator>(
         &mut self,
-        switch: S,
+        world: W,
         traffic: G,
         config: RunConfig,
     ) -> SimReport {
-        self.run_parts_batched(switch, traffic, config, DEFAULT_BATCH)
+        self.run_parts_batched(world, traffic, config, DEFAULT_BATCH)
     }
 
     /// [`Engine::run_parts`] with an explicit batch size.  `batch == 1`
     /// reproduces the historical slot-at-a-time loop; any other value yields
     /// the same report byte for byte (see the module docs).
-    pub fn run_parts_batched<S: Switch, G: TrafficGenerator>(
+    pub fn run_parts_batched<W: Steppable, G: TrafficGenerator>(
         &mut self,
-        mut switch: S,
+        mut world: W,
         mut traffic: G,
         config: RunConfig,
         batch: u32,
     ) -> SimReport {
         assert_eq!(
-            switch.n(),
+            world.ports(),
             traffic.n(),
-            "switch has {} ports but the traffic generator targets {}",
-            switch.n(),
+            "world has {} ports but the traffic generator targets {}",
+            world.ports(),
             traffic.n()
         );
-        let n = switch.n();
+        let n = world.ports();
         let n_u64 = n as u64;
         let batch = u64::from(batch.max(1));
         let mut next_packet_id = 0u64;
@@ -181,7 +221,7 @@ impl Engine {
                     traffic.arrivals_into(s, &mut self.arrival_buf);
                     if !self.arrival_buf.is_empty() {
                         if run_len > 0 {
-                            switch.step_batch(run_start, run_len, &mut sink);
+                            world.advance(run_start, run_len, &mut sink);
                         }
                         run_start = s;
                         run_len = 0;
@@ -193,21 +233,21 @@ impl Engine {
                             packet.voq_seq = voq_seq[key];
                             voq_seq[key] += 1;
                             offered += 1;
-                            switch.arrive(packet);
+                            world.inject(packet);
                         }
                     }
                 }
                 run_len += 1;
             }
             if run_len > 0 {
-                switch.step_batch(run_start, run_len, &mut sink);
+                world.advance(run_start, run_len, &mut sink);
             }
 
             slot += window;
             if (slot - 1).is_multiple_of(n_u64) {
-                // One stats() snapshot feeds both the whole-run occupancy
+                // One counters() snapshot feeds both the whole-run occupancy
                 // aggregate and the windowed series, so they always agree.
-                let stats = switch.stats();
+                let stats = world.counters();
                 occupancy.sample(&stats);
                 windows.record(
                     slot,
@@ -226,12 +266,12 @@ impl Engine {
             offered,
             sink.delivered_packets(),
             sink.padding_packets(),
-            &switch.stats(),
+            &world.counters(),
         );
 
         let totals = sink.into_parts();
         SimReport {
-            switch_name: switch.name().to_string(),
+            switch_name: world.label(),
             traffic_label: traffic.label(),
             n,
             slots: config.slots,

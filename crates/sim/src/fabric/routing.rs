@@ -1,0 +1,174 @@
+//! Per-hop path selection at the fabric's edge.
+//!
+//! The [`Router`] owns all path-choice state for one fabric: it maps each
+//! freshly injected remote packet to one of the topology's
+//! [`path_choices`](super::topology::Wiring::path_choices) according to the
+//! scenario's [`RoutingSpec`]:
+//!
+//! * **ECMP hash** — a deterministic FNV-1a hash of the `(src, dst)` host
+//!   pair (salted with the fabric seed) pins every host pair to one path.
+//! * **Random per packet** — an independent uniform draw per packet.
+//! * **Sprinklers striping** — the paper's randomized variable-size stripes
+//!   lifted to the fabric: each `(src, dst)` pair sends a run ("stripe") of
+//!   packets down one random path, then re-randomizes the path *and* the
+//!   power-of-two run length — but only at a moment when the pair has no
+//!   packets in flight, so two consecutive stripes can never race each
+//!   other on different paths.  With order-preserving node schemes this
+//!   makes the whole fabric inversion-free (see the fabric fuzz tests).
+
+use crate::spec::RoutingSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Striping state for one `(src, dst)` host pair.
+#[derive(Debug, Clone, Copy, Default)]
+struct StripeState {
+    /// Path the current stripe uses.
+    choice: usize,
+    /// Packets remaining in the current stripe.
+    budget: u64,
+}
+
+/// Path chooser for one fabric.
+#[derive(Debug)]
+pub struct Router {
+    kind: RoutingSpec,
+    rng: StdRng,
+    /// Hash salt so different seeds shuffle the ECMP pinning.
+    salt: u64,
+    /// Number of selectable paths.
+    choices: usize,
+    /// Host count (stride of the per-pair stripe table).
+    hosts: usize,
+    /// Per `(src, dst)` stripe state, indexed `src * hosts + dst`.
+    stripe: Vec<StripeState>,
+}
+
+/// FNV-1a over a few words — stable, dependency-free pair hashing.
+fn fnv1a64(words: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &w in words {
+        for byte in w.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+impl Router {
+    /// Maximum stripe length the striping strategy draws (a power of two
+    /// in `1..=16`, mirroring the single-switch stripe-size bounds).
+    const MAX_STRIPE_LOG2: u32 = 5;
+
+    /// Create the router for a fabric with `hosts` hosts and `choices`
+    /// selectable paths.
+    pub fn new(kind: RoutingSpec, hosts: usize, choices: usize, seed: u64) -> Router {
+        debug_assert!(choices >= 1);
+        Router {
+            kind,
+            rng: StdRng::seed_from_u64(seed),
+            salt: seed,
+            choices,
+            hosts,
+            stripe: match kind {
+                RoutingSpec::Stripe => vec![StripeState::default(); hosts * hosts],
+                _ => Vec::new(),
+            },
+        }
+    }
+
+    /// Pick the path for a packet from host `src` to remote host `dst`.
+    ///
+    /// `in_flight` is the number of this pair's packets currently inside
+    /// the fabric; the striping strategy only re-randomizes its path when
+    /// both the stripe budget and `in_flight` are zero, which is what makes
+    /// striping inversion-free end to end.
+    pub fn choose(&mut self, src: usize, dst: usize, in_flight: u64) -> usize {
+        match self.kind {
+            RoutingSpec::EcmpHash => {
+                (fnv1a64(&[src as u64, dst as u64, self.salt]) % self.choices as u64) as usize
+            }
+            RoutingSpec::RandomPacket => self.rng.gen_range(0..self.choices),
+            RoutingSpec::Stripe => {
+                let state = &mut self.stripe[src * self.hosts + dst];
+                if state.budget == 0 && in_flight == 0 {
+                    state.choice = self.rng.gen_range(0..self.choices);
+                    state.budget = 1u64 << self.rng.gen_range(0..Self::MAX_STRIPE_LOG2);
+                }
+                if state.budget > 0 {
+                    state.budget -= 1;
+                }
+                state.choice
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecmp_is_deterministic_per_pair_and_salt() {
+        let mut a = Router::new(RoutingSpec::EcmpHash, 8, 4, 7);
+        let mut b = Router::new(RoutingSpec::EcmpHash, 8, 4, 7);
+        for (src, dst) in [(0, 5), (3, 1), (7, 2)] {
+            let first = a.choose(src, dst, 0);
+            assert!(first < 4);
+            for _ in 0..3 {
+                assert_eq!(a.choose(src, dst, 9), first, "pinned regardless of flight");
+            }
+            assert_eq!(b.choose(src, dst, 0), first, "same seed, same pinning");
+        }
+        // A different salt moves at least one of a handful of pairs.
+        let mut c = Router::new(RoutingSpec::EcmpHash, 8, 4, 8);
+        let moved = (0..8)
+            .flat_map(|s| (0..8).map(move |d| (s, d)))
+            .any(|(s, d)| c.choose(s, d, 0) != b.choose(s, d, 0));
+        assert!(moved, "salt should reshuffle some pair");
+    }
+
+    #[test]
+    fn random_routing_eventually_uses_every_path() {
+        let mut r = Router::new(RoutingSpec::RandomPacket, 4, 4, 1);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[r.choose(0, 1, 0)] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn stripe_holds_its_path_until_budget_and_flight_drain() {
+        let mut r = Router::new(RoutingSpec::Stripe, 4, 16, 3);
+        // First call opens a stripe: some path, some power-of-two budget.
+        let first = r.choose(0, 1, 0);
+        // Keep the pair busy: as long as packets are in flight the path can
+        // never change, even after the budget runs out.
+        for k in 1..200u64 {
+            assert_eq!(r.choose(0, 1, k), first, "path changed mid-flight");
+        }
+        // Budget exhausted and nothing in flight: the stripe re-randomizes
+        // (possibly onto the same path) with a fresh power-of-two budget.
+        let mut changed = false;
+        for _ in 0..64 {
+            for _ in 0..40 {
+                r.choose(0, 1, 1); // drain any current budget while busy
+            }
+            if r.choose(0, 1, 0) != first {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "16 paths: a re-randomized stripe should move");
+    }
+
+    #[test]
+    fn stripe_pairs_are_independent() {
+        let mut r = Router::new(RoutingSpec::Stripe, 4, 1024, 5);
+        let a = r.choose(0, 1, 0);
+        let _ = r.choose(2, 3, 0); // different pair draws its own stripe
+        assert_eq!(r.choose(0, 1, 1), a, "pair (0,1) keeps its own path");
+    }
+}

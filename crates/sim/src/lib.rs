@@ -43,6 +43,7 @@
 
 pub mod cache;
 pub mod engine;
+pub mod fabric;
 pub mod metrics;
 pub mod parallel;
 pub mod registry;
@@ -55,13 +56,17 @@ pub mod traffic;
 pub mod prelude {
     pub use crate::cache::{fnv1a_128, CachedRun, ExperimentCache};
     pub use crate::engine::{Engine, RunConfig};
+    pub use crate::fabric::FabricWorld;
     pub use crate::metrics::delay::DelayStats;
     pub use crate::metrics::reorder::ReorderStats;
     pub use crate::metrics::sink::MetricsSink;
     pub use crate::parallel::{default_workers, run_specs_parallel, run_specs_parallel_ok};
     pub use crate::registry;
     pub use crate::report::{merge_csv, merged_csv_header, SimReport};
-    pub use crate::spec::{ScenarioSpec, SizingSpec, SpecError, SuiteCase, SuiteSpec, TrafficSpec};
+    pub use crate::spec::{
+        LinkSpec, RoutingSpec, ScenarioSpec, SizingSpec, SpecError, SuiteCase, SuiteSpec,
+        TopologySpec, TrafficSpec,
+    };
     pub use crate::sweep::{
         grid_specs, paper_load_grid, sweep_loads, sweep_loads_with, sweep_schemes,
         sweep_schemes_with, LoadSweepPoint,

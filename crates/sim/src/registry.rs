@@ -13,6 +13,7 @@ use sprinklers_baselines::{
 };
 use sprinklers_core::config::{AlignmentMode, InputDiscipline, SizingMode, SprinklersConfig};
 use sprinklers_core::matrix::TrafficMatrix;
+use sprinklers_core::packet::MAX_PORTS;
 use sprinklers_core::sprinklers::SprinklersSwitch;
 use sprinklers_core::switch::Switch;
 
@@ -79,6 +80,13 @@ pub fn build_named(
     if n < 2 {
         return Err(SpecError::new(format!(
             "port count n must be at least 2 (got {n})"
+        )));
+    }
+    // Oversized switches would trip `assert_ports_fit` inside the
+    // constructors (a panic); reject them here as a typed spec error.
+    if n > MAX_PORTS {
+        return Err(SpecError::new(format!(
+            "port count n must be at most {MAX_PORTS} (got {n})"
         )));
     }
     let sprinklers_sizing = || -> SizingMode {
@@ -163,6 +171,17 @@ mod tests {
         let sw = build(&spec).unwrap();
         assert_eq!(sw.name(), "padded-frames");
         assert_eq!(sw.n(), 16);
+    }
+
+    #[test]
+    fn degenerate_and_oversized_port_counts_are_typed_errors() {
+        let matrix = TrafficMatrix::uniform(2, 0.5);
+        for n in [0, 1, MAX_PORTS + 1] {
+            for scheme in schemes() {
+                let result = build_named(scheme, n, &SizingSpec::Matrix, &matrix, 1);
+                assert!(result.is_err(), "scheme {scheme} accepted n={n}");
+            }
+        }
     }
 
     #[test]

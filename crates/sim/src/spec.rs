@@ -208,6 +208,247 @@ impl TrafficSpec {
     }
 }
 
+/// Inter-switch link parameters of a fabric topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Propagation latency in slots (≥ 1): a packet admitted onto the wire
+    /// at slot `t` arrives at the far switch at slot `t + latency`.
+    pub latency: u64,
+    /// Admission gap in slots (≥ 1): at most one packet enters the wire per
+    /// `gap` slots, so link capacity is `1/gap` packets per slot (1 = the
+    /// switch line rate).
+    pub gap: u64,
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec { latency: 1, gap: 1 }
+    }
+}
+
+/// How an edge switch picks the core (fat-tree) or intermediate switch
+/// (butterfly) for packets destined to a remote host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingSpec {
+    /// Deterministic hash of the `(source, destination)` host pair: every
+    /// host VOQ is pinned to one path, so order is trivially preserved but
+    /// load can clump on unlucky hash collisions (classic ECMP).
+    EcmpHash,
+    /// Independent uniform random choice per packet: ideal load spreading,
+    /// but unequal path queues reorder packets end to end.
+    RandomPacket,
+    /// Sprinklers striping at the edge: a host VOQ sticks to its current
+    /// path while any of its packets are in flight and re-randomizes (with
+    /// a fresh power-of-two stripe budget) only once the VOQ has drained
+    /// end to end — load-balanced *and* inversion-free.
+    Stripe,
+}
+
+impl RoutingSpec {
+    /// The spec-file name of this strategy.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutingSpec::EcmpHash => "ecmp",
+            RoutingSpec::RandomPacket => "random",
+            RoutingSpec::Stripe => "stripe",
+        }
+    }
+
+    fn from_name(name: &str) -> Result<Self, SpecError> {
+        Ok(match name {
+            "ecmp" => RoutingSpec::EcmpHash,
+            "random" => RoutingSpec::RandomPacket,
+            "stripe" => RoutingSpec::Stripe,
+            other => {
+                return Err(SpecError::new(format!(
+                    "unknown routing strategy '{other}' (known: ecmp, random, stripe)"
+                )))
+            }
+        })
+    }
+}
+
+/// A multi-switch fabric topology.  When a [`ScenarioSpec`] carries one, the
+/// engine builds one registry switch (of the spec's scheme) per topology
+/// node, wires them with [`LinkSpec`] links, and reports end-to-end
+/// delay/reordering over the whole network instead of a single switch.  The
+/// spec's `n` must equal the topology's total host count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// Two-level fat-tree: `edges` edge switches with `hosts_per_edge`
+    /// hosts each, every edge connected up to each of `cores` core
+    /// switches.  Edge nodes have `hosts_per_edge + cores` ports; core
+    /// nodes have `edges` ports.
+    FatTree2 {
+        /// Number of edge switches (≥ 2; each core switch has one port per
+        /// edge, and switches need at least two ports).
+        edges: usize,
+        /// Number of core switches (≥ 1); the routing strategy's path
+        /// choices.
+        cores: usize,
+        /// Hosts attached to each edge switch (≥ 1).
+        hosts_per_edge: usize,
+        /// Path-choice strategy at the edge switches.
+        routing: RoutingSpec,
+        /// Inter-switch link parameters.
+        link: LinkSpec,
+    },
+    /// Flattened butterfly: `switches` directly meshed switches with
+    /// `hosts_per_switch` hosts each.  Remote packets either take the
+    /// direct one-hop path or detour through one intermediate switch
+    /// (Valiant style), chosen by the routing strategy.
+    Butterfly {
+        /// Number of switches in the full mesh (≥ 2).
+        switches: usize,
+        /// Hosts attached to each switch (≥ 1).
+        hosts_per_switch: usize,
+        /// Intermediate-switch choice strategy at the source switch.
+        routing: RoutingSpec,
+        /// Inter-switch link parameters.
+        link: LinkSpec,
+    },
+}
+
+impl TopologySpec {
+    /// Total number of hosts (the fabric's external port space; must equal
+    /// the owning spec's `n`).
+    pub fn hosts(&self) -> usize {
+        match self {
+            TopologySpec::FatTree2 {
+                edges,
+                hosts_per_edge,
+                ..
+            } => edges * hosts_per_edge,
+            TopologySpec::Butterfly {
+                switches,
+                hosts_per_switch,
+                ..
+            } => switches * hosts_per_switch,
+        }
+    }
+
+    /// The routing strategy.
+    pub fn routing(&self) -> RoutingSpec {
+        match self {
+            TopologySpec::FatTree2 { routing, .. } | TopologySpec::Butterfly { routing, .. } => {
+                *routing
+            }
+        }
+    }
+
+    /// The inter-switch link parameters.
+    pub fn link(&self) -> LinkSpec {
+        match self {
+            TopologySpec::FatTree2 { link, .. } | TopologySpec::Butterfly { link, .. } => *link,
+        }
+    }
+
+    /// The spec-file name of the topology kind.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TopologySpec::FatTree2 { .. } => "fat-tree2",
+            TopologySpec::Butterfly { .. } => "butterfly",
+        }
+    }
+
+    /// Check the topology's shape against the owning spec's port count `n`
+    /// and the per-node switch size bounds.
+    pub fn validate(&self, n: usize) -> Result<(), SpecError> {
+        let link = self.link();
+        if link.latency == 0 {
+            return Err(SpecError::new(
+                "link latency must be at least 1 slot".to_string(),
+            ));
+        }
+        if link.gap == 0 {
+            return Err(SpecError::new(
+                "link gap must be at least 1 slot (1 = line rate)".to_string(),
+            ));
+        }
+        let node_sizes: [usize; 2] = match *self {
+            TopologySpec::FatTree2 {
+                edges,
+                cores,
+                hosts_per_edge,
+                ..
+            } => {
+                if edges < 2 {
+                    return Err(SpecError::new(format!(
+                        "fat-tree2 needs at least 2 edge switches (got {edges})"
+                    )));
+                }
+                if cores == 0 || hosts_per_edge == 0 {
+                    return Err(SpecError::new(format!(
+                        "fat-tree2 needs cores >= 1 and hosts_per_edge >= 1 \
+                         (got cores={cores}, hosts_per_edge={hosts_per_edge})"
+                    )));
+                }
+                [hosts_per_edge + cores, edges]
+            }
+            TopologySpec::Butterfly {
+                switches,
+                hosts_per_switch,
+                ..
+            } => {
+                if switches < 2 || hosts_per_switch == 0 {
+                    return Err(SpecError::new(format!(
+                        "butterfly needs switches >= 2 and hosts_per_switch >= 1 \
+                         (got switches={switches}, hosts_per_switch={hosts_per_switch})"
+                    )));
+                }
+                [
+                    hosts_per_switch + switches - 1,
+                    hosts_per_switch + switches - 1,
+                ]
+            }
+        };
+        for size in node_sizes {
+            if size > sprinklers_core::packet::MAX_PORTS {
+                return Err(SpecError::new(format!(
+                    "topology node size {size} exceeds the {}-port switch bound",
+                    sprinklers_core::packet::MAX_PORTS
+                )));
+            }
+        }
+        if self.hosts() != n {
+            return Err(SpecError::new(format!(
+                "spec n = {n} must equal the topology's host count {} \
+                 ({} topology)",
+                self.hosts(),
+                self.kind_name()
+            )));
+        }
+        Ok(())
+    }
+
+    fn to_json_inline(&self) -> String {
+        let link = self.link();
+        let tail = format!(
+            r#""routing":"{}","link":{{"latency":{},"gap":{}}}"#,
+            self.routing().name(),
+            link.latency,
+            link.gap
+        );
+        match *self {
+            TopologySpec::FatTree2 {
+                edges,
+                cores,
+                hosts_per_edge,
+                ..
+            } => format!(
+                r#"{{"kind":"fat-tree2","edges":{edges},"cores":{cores},"hosts_per_edge":{hosts_per_edge},{tail}}}"#
+            ),
+            TopologySpec::Butterfly {
+                switches,
+                hosts_per_switch,
+                ..
+            } => format!(
+                r#"{{"kind":"butterfly","switches":{switches},"hosts_per_switch":{hosts_per_switch},{tail}}}"#
+            ),
+        }
+    }
+}
+
 /// Everything needed to reproduce one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioSpec {
@@ -218,6 +459,12 @@ pub struct ScenarioSpec {
     pub n: usize,
     /// Stripe sizing policy (Sprinklers variants only).
     pub sizing: SizingSpec,
+    /// Multi-switch fabric topology, when this scenario simulates a network
+    /// of switches instead of a single one.  `None` (the default, and the
+    /// only form legacy spec files can express) is the classic single-switch
+    /// run.  When set, `n` is the topology's total host count and `scheme`
+    /// names the per-node switch every topology node is built from.
+    pub topology: Option<TopologySpec>,
     /// Offered traffic.
     pub traffic: TrafficSpec,
     /// Run length configuration.
@@ -252,6 +499,7 @@ impl ScenarioSpec {
             scheme: scheme.into(),
             n,
             sizing: SizingSpec::Matrix,
+            topology: None,
             traffic: TrafficSpec::Uniform { load: 0.6 },
             run: RunConfig::default(),
             seed: 1,
@@ -264,6 +512,13 @@ impl ScenarioSpec {
     #[must_use]
     pub fn with_sizing(mut self, sizing: SizingSpec) -> Self {
         self.sizing = sizing;
+        self
+    }
+
+    /// Set a multi-switch fabric topology (see [`TopologySpec`]).
+    #[must_use]
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = Some(topology);
         self
     }
 
@@ -373,12 +628,20 @@ impl ScenarioSpec {
                 )
             }
         };
+        // The topology line is emitted only when present, so legacy
+        // (single-switch) specs keep their exact historical JSON — and,
+        // through `scientific_identity_json`, their cache keys.
+        let topology = match &self.topology {
+            None => String::new(),
+            Some(topo) => format!("  \"topology\": {},\n", topo.to_json_inline()),
+        };
         format!(
             concat!(
                 "{{\n",
                 "  \"scheme\": \"{}\",\n",
                 "  \"n\": {},\n",
                 "  \"sizing\": {},\n",
+                "{}",
                 "  \"traffic\": {},\n",
                 "  \"run\": {{\"slots\":{},\"warmup_slots\":{},\"drain_slots\":{}}},\n",
                 "  \"seed\": {},\n",
@@ -389,6 +652,7 @@ impl ScenarioSpec {
             escape_json_string(&self.scheme),
             self.n,
             sizing,
+            topology,
             traffic,
             self.run.slots,
             self.run.warmup_slots,
@@ -450,6 +714,9 @@ impl ScenarioSpec {
                 "traffic" => {
                     spec.traffic = parse_traffic(val.as_object(key)?)?;
                 }
+                "topology" => {
+                    spec.topology = Some(parse_topology(val.as_object(key)?)?);
+                }
                 other => return Err(SpecError::new(format!("unknown key '{other}'"))),
             }
         }
@@ -458,13 +725,17 @@ impl ScenarioSpec {
 
     /// A short human-readable summary (used in logs and CSV labels).
     pub fn label(&self) -> String {
-        format!(
+        let base = format!(
             "{}/n={}/{}@{:.2}",
             self.scheme,
             self.n,
             self.traffic.pattern_name(),
             self.traffic.load()
-        )
+        );
+        match &self.topology {
+            None => base,
+            Some(topo) => format!("{base}/{}", topo.kind_name()),
+        }
     }
 }
 
@@ -549,17 +820,18 @@ impl SuiteSpec {
         self
     }
 
-    /// Read and parse every `*.json` file in the suite directory (sorted by
-    /// file name) and expand the scheme/load overrides into the full case
-    /// list.  Errors carry the offending file's path as context.
+    /// Read and parse every `*.json` file under the suite directory
+    /// (recursively; sorted by full path) and expand the scheme/load
+    /// overrides into the full case list.  Errors carry the offending
+    /// file's path as context.
+    ///
+    /// Case names are file *stems*, so two spec files with the same stem in
+    /// different subdirectories would silently share one merged-CSV case
+    /// label; that collision is detected here and reported as a typed error
+    /// naming both paths.
     pub fn load_cases(&self) -> Result<Vec<SuiteCase>, SpecError> {
-        let entries = std::fs::read_dir(&self.dir).map_err(|e| {
-            SpecError::new(format!("cannot read suite dir {}: {e}", self.dir.display()))
-        })?;
-        let mut paths: Vec<std::path::PathBuf> = entries
-            .filter_map(|entry| entry.ok().map(|e| e.path()))
-            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
-            .collect();
+        let mut paths: Vec<std::path::PathBuf> = Vec::new();
+        collect_spec_paths(&self.dir, &mut paths)?;
         paths.sort();
         if paths.is_empty() {
             return Err(SpecError::new(format!(
@@ -567,6 +839,7 @@ impl SuiteSpec {
                 self.dir.display()
             )));
         }
+        let mut stems: Vec<(String, &std::path::PathBuf)> = Vec::new();
         let mut cases = Vec::new();
         for path in &paths {
             let text = std::fs::read_to_string(path)
@@ -592,6 +865,16 @@ impl SuiteSpec {
                     path.display()
                 )));
             }
+            if let Some((_, first)) = stems.iter().find(|(s, _)| *s == stem) {
+                return Err(SpecError::new(format!(
+                    "duplicate spec file stem '{stem}': {} and {} would share \
+                     one case label in the merged CSV, making their rows \
+                     unattributable; rename one of them",
+                    first.display(),
+                    path.display()
+                )));
+            }
+            stems.push((stem.clone(), path));
             cases.extend(self.expand(&stem, &base));
         }
         Ok(cases)
@@ -640,6 +923,26 @@ impl SuiteSpec {
         }
         cases
     }
+}
+
+/// Recursively collect every `*.json` file under `dir`.  Unsorted; the
+/// caller sorts the combined list by full path so traversal order (which
+/// the OS does not guarantee) never leaks into case order.
+fn collect_spec_paths(
+    dir: &std::path::Path,
+    out: &mut Vec<std::path::PathBuf>,
+) -> Result<(), SpecError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| SpecError::new(format!("cannot read suite dir {}: {e}", dir.display())))?;
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_spec_paths(&path, out)?;
+        } else if path.extension().is_some_and(|ext| ext == "json") {
+            out.push(path);
+        }
+    }
+    Ok(())
 }
 
 /// Parse the `traffic` object of a spec.  Synthetic patterns carry a
@@ -715,6 +1018,82 @@ fn parse_traffic(traffic: &json::Object) -> Result<TrafficSpec, SpecError> {
         repeat,
         scale,
     })
+}
+
+/// Parse the `topology` object of a spec: a `"kind"` key selects the shape,
+/// the shape's dimension keys are required, and `"routing"`/`"link"` are
+/// optional (defaulting to ECMP hashing over line-rate latency-1 links).
+fn parse_topology(topo: &json::Object) -> Result<TopologySpec, SpecError> {
+    let kind = topo.get_str("kind")?;
+    let mut routing = RoutingSpec::EcmpHash;
+    let mut link = LinkSpec::default();
+    let mut edges = None;
+    let mut cores = None;
+    let mut hosts_per_edge = None;
+    let mut switches = None;
+    let mut hosts_per_switch = None;
+    for (key, val) in &topo.entries {
+        match key.as_str() {
+            "kind" => {}
+            "routing" => routing = RoutingSpec::from_name(&topo.get_str(key)?)?,
+            "link" => link = parse_link(val.as_object(key)?)?,
+            "edges" => edges = Some(val.as_u64(key)? as usize),
+            "cores" => cores = Some(val.as_u64(key)? as usize),
+            "hosts_per_edge" => hosts_per_edge = Some(val.as_u64(key)? as usize),
+            "switches" => switches = Some(val.as_u64(key)? as usize),
+            "hosts_per_switch" => hosts_per_switch = Some(val.as_u64(key)? as usize),
+            other => return Err(SpecError::new(format!("unknown topology key '{other}'"))),
+        }
+    }
+    let require = |value: Option<usize>, name: &str| {
+        value.ok_or_else(|| SpecError::new(format!("topology kind '{kind}' needs key '{name}'")))
+    };
+    let forbid = |value: Option<usize>, name: &str| match value {
+        Some(_) => Err(SpecError::new(format!(
+            "topology key '{name}' does not apply to kind '{kind}'"
+        ))),
+        None => Ok(()),
+    };
+    match kind.as_str() {
+        "fat-tree2" => {
+            forbid(switches, "switches")?;
+            forbid(hosts_per_switch, "hosts_per_switch")?;
+            Ok(TopologySpec::FatTree2 {
+                edges: require(edges, "edges")?,
+                cores: require(cores, "cores")?,
+                hosts_per_edge: require(hosts_per_edge, "hosts_per_edge")?,
+                routing,
+                link,
+            })
+        }
+        "butterfly" => {
+            forbid(edges, "edges")?;
+            forbid(cores, "cores")?;
+            forbid(hosts_per_edge, "hosts_per_edge")?;
+            Ok(TopologySpec::Butterfly {
+                switches: require(switches, "switches")?,
+                hosts_per_switch: require(hosts_per_switch, "hosts_per_switch")?,
+                routing,
+                link,
+            })
+        }
+        other => Err(SpecError::new(format!(
+            "unknown topology kind '{other}' (known: fat-tree2, butterfly)"
+        ))),
+    }
+}
+
+/// Parse the optional `link` object of a topology.
+fn parse_link(link: &json::Object) -> Result<LinkSpec, SpecError> {
+    let mut spec = LinkSpec::default();
+    for (key, val) in &link.entries {
+        match key.as_str() {
+            "latency" => spec.latency = val.as_u64(key)?,
+            "gap" => spec.gap = val.as_u64(key)?,
+            other => return Err(SpecError::new(format!("unknown link key '{other}'"))),
+        }
+    }
+    Ok(spec)
 }
 
 /// Escape a string for embedding in a JSON string literal, so
@@ -1321,6 +1700,176 @@ mod tests {
         // Clean stems still load fine once the hostile file is gone.
         std::fs::remove_file(dir.join("evil\nrow.json")).unwrap();
         assert_eq!(SuiteSpec::new(&dir).load_cases().unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn fat_tree(routing: RoutingSpec) -> TopologySpec {
+        TopologySpec::FatTree2 {
+            edges: 2,
+            cores: 4,
+            hosts_per_edge: 8,
+            routing,
+            link: LinkSpec { latency: 2, gap: 1 },
+        }
+    }
+
+    #[test]
+    fn topology_specs_round_trip_through_json() {
+        for topo in [
+            fat_tree(RoutingSpec::EcmpHash),
+            fat_tree(RoutingSpec::RandomPacket),
+            fat_tree(RoutingSpec::Stripe),
+            TopologySpec::Butterfly {
+                switches: 4,
+                hosts_per_switch: 4,
+                routing: RoutingSpec::Stripe,
+                link: LinkSpec::default(),
+            },
+        ] {
+            let spec = ScenarioSpec::new("oq", topo.hosts()).with_topology(topo);
+            let parsed = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(parsed, spec, "json was: {}", spec.to_json());
+        }
+    }
+
+    #[test]
+    fn topology_free_specs_emit_the_exact_legacy_json() {
+        // The topology line is only emitted when present, so single-switch
+        // specs keep their historical bytes — and therefore their
+        // content-addressed cache keys.
+        let spec = ScenarioSpec::new("oq", 8);
+        assert!(!spec.to_json().contains("topology"));
+        assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+    }
+
+    #[test]
+    fn topology_json_defaults_routing_and_link() {
+        let spec = ScenarioSpec::from_json(
+            r#"{"scheme": "oq", "n": 4,
+                "topology": {"kind": "fat-tree2", "edges": 2, "cores": 2, "hosts_per_edge": 2}}"#,
+        )
+        .unwrap();
+        let topo = spec.topology.unwrap();
+        assert_eq!(topo.routing(), RoutingSpec::EcmpHash);
+        assert_eq!(topo.link(), LinkSpec { latency: 1, gap: 1 });
+    }
+
+    #[test]
+    fn malformed_topology_json_is_rejected() {
+        for bad in [
+            // Unknown kind.
+            r#"{"scheme": "oq", "n": 4, "topology": {"kind": "torus", "edges": 2}}"#,
+            // Missing a dimension.
+            r#"{"scheme": "oq", "n": 4, "topology": {"kind": "fat-tree2", "edges": 2, "cores": 2}}"#,
+            // Dimension from the other kind.
+            r#"{"scheme": "oq", "n": 4,
+                "topology": {"kind": "butterfly", "switches": 2, "hosts_per_switch": 2, "edges": 2}}"#,
+            // Unknown topology key.
+            r#"{"scheme": "oq", "n": 4,
+                "topology": {"kind": "fat-tree2", "edges": 2, "cores": 2, "hosts_per_edge": 2, "bogus": 1}}"#,
+            // Unknown routing strategy.
+            r#"{"scheme": "oq", "n": 4,
+                "topology": {"kind": "fat-tree2", "edges": 2, "cores": 2, "hosts_per_edge": 2, "routing": "lava"}}"#,
+            // Unknown link key.
+            r#"{"scheme": "oq", "n": 4,
+                "topology": {"kind": "fat-tree2", "edges": 2, "cores": 2, "hosts_per_edge": 2, "link": {"mtu": 9000}}}"#,
+        ] {
+            assert!(ScenarioSpec::from_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn topology_validation_rejects_degenerate_shapes() {
+        let ok = fat_tree(RoutingSpec::EcmpHash);
+        assert!(ok.validate(16).is_ok());
+        // Host-count mismatch with the owning spec's n.
+        assert!(ok.validate(8).is_err());
+        // One edge switch would make 1-port core switches.
+        let one_edge = TopologySpec::FatTree2 {
+            edges: 1,
+            cores: 2,
+            hosts_per_edge: 4,
+            routing: RoutingSpec::EcmpHash,
+            link: LinkSpec::default(),
+        };
+        assert!(one_edge.validate(4).is_err());
+        // Zero-latency links are meaningless in slotted time.
+        let zero_latency = TopologySpec::FatTree2 {
+            edges: 2,
+            cores: 2,
+            hosts_per_edge: 2,
+            routing: RoutingSpec::EcmpHash,
+            link: LinkSpec { latency: 0, gap: 1 },
+        };
+        assert!(zero_latency.validate(4).is_err());
+        let zero_gap = TopologySpec::Butterfly {
+            switches: 2,
+            hosts_per_switch: 2,
+            routing: RoutingSpec::EcmpHash,
+            link: LinkSpec { latency: 1, gap: 0 },
+        };
+        assert!(zero_gap.validate(4).is_err());
+        let tiny_mesh = TopologySpec::Butterfly {
+            switches: 1,
+            hosts_per_switch: 4,
+            routing: RoutingSpec::EcmpHash,
+            link: LinkSpec::default(),
+        };
+        assert!(tiny_mesh.validate(4).is_err());
+    }
+
+    #[test]
+    fn topology_label_carries_the_kind() {
+        let spec = ScenarioSpec::new("oq", 16).with_topology(fat_tree(RoutingSpec::Stripe));
+        assert_eq!(spec.label(), "oq/n=16/uniform@0.60/fat-tree2");
+    }
+
+    #[test]
+    fn suite_loads_subdirectories_recursively() {
+        let dir = std::env::temp_dir().join(format!("sprinklers-rec-{}", std::process::id()));
+        let sub = dir.join("nested/deeper");
+        std::fs::create_dir_all(&sub).unwrap();
+        std::fs::write(dir.join("b_top.json"), ScenarioSpec::new("oq", 8).to_json()).unwrap();
+        std::fs::write(
+            sub.join("a_deep.json"),
+            ScenarioSpec::new("foff", 8).to_json(),
+        )
+        .unwrap();
+
+        let cases = SuiteSpec::new(&dir).load_cases().unwrap();
+        assert_eq!(cases.len(), 2);
+        // Sorted by full path: "b_top.json" < "nested/...", so the
+        // top-level file still comes first even though its stem sorts later.
+        assert_eq!(cases[0].name, "b_top");
+        assert_eq!(cases[1].name, "a_deep");
+        assert_eq!(cases[1].spec.scheme, "foff");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn suite_rejects_duplicate_stems_across_subdirectories() {
+        // Regression: two spec files with the same stem in different
+        // subdirectories used to share one merged-CSV case label, making
+        // their rows unattributable.  Now it is a typed load-time error
+        // naming both paths.
+        let dir = std::env::temp_dir().join(format!("sprinklers-dup-{}", std::process::id()));
+        let sub = dir.join("variant");
+        std::fs::create_dir_all(&sub).unwrap();
+        std::fs::write(dir.join("case.json"), ScenarioSpec::new("oq", 8).to_json()).unwrap();
+        std::fs::write(
+            sub.join("case.json"),
+            ScenarioSpec::new("foff", 8).to_json(),
+        )
+        .unwrap();
+
+        let err = SuiteSpec::new(&dir).load_cases().unwrap_err().to_string();
+        assert!(err.contains("duplicate spec file stem 'case'"), "{err}");
+        assert!(err.contains("variant"), "both paths should be named: {err}");
+
+        // Renaming one of them resolves the collision.
+        std::fs::rename(sub.join("case.json"), sub.join("case_variant.json")).unwrap();
+        let cases = SuiteSpec::new(&dir).load_cases().unwrap();
+        assert_eq!(cases.len(), 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

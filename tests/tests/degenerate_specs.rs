@@ -1,0 +1,193 @@
+//! Degenerate-input hardening: the engine must turn every pathological
+//! spec into a typed [`SpecError`] or a well-defined empty report — never a
+//! panic, never a NaN in a CSV row or metrics JSON.
+//!
+//! Covered degeneracies, each across the full scheme registry where it can
+//! differ per scheme:
+//!
+//! * `n = 0` and `n = 1` port "switches" (and `n` past the packet layout's
+//!   `MAX_PORTS` bound),
+//! * warm-up windows at least as long as the entire run (zero measured
+//!   packets),
+//! * zero-length trace replays (a valid trace file with no records).
+
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use sprinklers_core::packet::MAX_PORTS;
+use sprinklers_sim::engine::RunConfig;
+use sprinklers_sim::prelude::*;
+
+/// A report's user-facing serializations must never contain NaN/inf —
+/// they'd poison merged CSVs and the JSON sidecar downstream.
+fn assert_finite_outputs(report: &SimReport, tag: &str) {
+    let row = report.csv_row();
+    assert!(
+        !row.contains("NaN") && !row.contains("inf"),
+        "{tag}: non-finite CSV row: {row}"
+    );
+    let json = report.metrics_json();
+    assert!(
+        !json.contains("NaN") && !json.contains("inf"),
+        "{tag}: non-finite metrics JSON"
+    );
+}
+
+#[test]
+fn degenerate_port_counts_are_typed_errors_for_every_scheme() {
+    let mut engine = Engine::new();
+    for scheme in registry::schemes() {
+        for n in [0usize, 1, MAX_PORTS + 1] {
+            let spec = ScenarioSpec::new(*scheme, n)
+                .with_traffic(TrafficSpec::Uniform { load: 0.5 })
+                .with_run(RunConfig {
+                    slots: 10,
+                    warmup_slots: 0,
+                    drain_slots: 10,
+                });
+            let result = catch_unwind(AssertUnwindSafe(|| engine.run(&spec)));
+            let outcome = result.unwrap_or_else(|_| panic!("{scheme} n={n} panicked"));
+            let err = outcome.expect_err(&format!("{scheme} n={n} must not run"));
+            assert!(
+                err.to_string().contains("port count"),
+                "{scheme} n={n}: unexpected error text: {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn warmup_at_least_as_long_as_the_run_yields_a_well_defined_report() {
+    // Every packet arrives inside the warm-up window, so the delay sample
+    // is empty; the report must still be finite, conserving and ordered.
+    let mut engine = Engine::new();
+    for scheme in registry::schemes() {
+        let spec = ScenarioSpec::new(*scheme, 4)
+            .with_traffic(TrafficSpec::Uniform { load: 0.6 })
+            .with_run(RunConfig {
+                slots: 500,
+                warmup_slots: 100_000, // far beyond slots + drain
+                drain_slots: 2_000,
+            })
+            .with_seed(11);
+        let report = engine.run(&spec).unwrap();
+        assert_eq!(
+            report.delay.count(),
+            0,
+            "{scheme}: warm-up packets must not be measured"
+        );
+        assert!(report.offered_packets > 0, "{scheme}: traffic still flows");
+        // Conservation still holds (some schemes may hold partial frames
+        // past a short drain; that residual is accounted, not lost).
+        assert_eq!(
+            report.offered_packets,
+            report.delivered_packets + report.residual_packets,
+            "{scheme}: packets must be conserved"
+        );
+        assert_finite_outputs(&report, scheme);
+    }
+}
+
+#[test]
+fn zero_offered_slots_yield_an_empty_but_finite_report() {
+    // `slots = 0` means no packet is ever offered: a legal, fully empty run.
+    let mut engine = Engine::new();
+    for scheme in registry::schemes() {
+        let spec = ScenarioSpec::new(*scheme, 4)
+            .with_traffic(TrafficSpec::Uniform { load: 0.9 })
+            .with_run(RunConfig {
+                slots: 0,
+                warmup_slots: 0,
+                drain_slots: 64,
+            });
+        let report = engine.run(&spec).unwrap();
+        assert_eq!(report.offered_packets, 0, "{scheme}");
+        assert_eq!(report.delivered_packets, 0, "{scheme}");
+        assert_eq!(report.delay.count(), 0, "{scheme}");
+        assert_finite_outputs(&report, scheme);
+    }
+}
+
+#[test]
+fn zero_length_trace_replays_run_to_an_empty_report() {
+    // A syntactically valid CSV trace with metadata but no records: the
+    // replay must produce an empty report for every scheme, not a panic
+    // (schemes that size stripes from the matrix see an all-zero matrix).
+    let dir = std::env::temp_dir().join(format!("sprinklers_empty_trace_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("empty.csv");
+    {
+        let mut f = std::fs::File::create(&path).unwrap();
+        writeln!(f, "# n = 4").unwrap();
+        writeln!(f, "# label = empty").unwrap();
+    }
+    let mut engine = Engine::new();
+    for scheme in registry::schemes() {
+        let spec = ScenarioSpec::new(*scheme, 4)
+            .with_traffic(TrafficSpec::trace(path.to_string_lossy()))
+            .with_run(RunConfig {
+                slots: 100,
+                warmup_slots: 10,
+                drain_slots: 100,
+            });
+        let result = catch_unwind(AssertUnwindSafe(|| engine.run(&spec)));
+        let outcome = result.unwrap_or_else(|_| panic!("{scheme}: empty trace panicked"));
+        match outcome {
+            Ok(report) => {
+                assert_eq!(report.offered_packets, 0, "{scheme}");
+                assert_eq!(report.residual_packets, 0, "{scheme}");
+                assert_finite_outputs(&report, scheme);
+            }
+            Err(err) => panic!("{scheme}: empty trace must replay as empty, got: {err}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fabric_degenerate_shapes_are_typed_errors() {
+    // The topology validator runs before any node is built: mismatched
+    // host counts, zero-latency links and undersized shapes all surface as
+    // spec errors through the same engine entry point.
+    let mut engine = Engine::new();
+    let bad = [
+        (
+            "host mismatch",
+            TopologySpec::FatTree2 {
+                edges: 2,
+                cores: 2,
+                hosts_per_edge: 4,
+                routing: RoutingSpec::EcmpHash,
+                link: LinkSpec::default(),
+            },
+            7usize, // fabric has 8 hosts
+        ),
+        (
+            "zero latency",
+            TopologySpec::FatTree2 {
+                edges: 2,
+                cores: 2,
+                hosts_per_edge: 4,
+                routing: RoutingSpec::EcmpHash,
+                link: LinkSpec { latency: 0, gap: 1 },
+            },
+            8,
+        ),
+        (
+            "single switch butterfly",
+            TopologySpec::Butterfly {
+                switches: 1,
+                hosts_per_switch: 8,
+                routing: RoutingSpec::Stripe,
+                link: LinkSpec::default(),
+            },
+            8,
+        ),
+    ];
+    for (what, topo, n) in bad {
+        let spec = ScenarioSpec::new("oq", n)
+            .with_topology(topo)
+            .with_traffic(TrafficSpec::Uniform { load: 0.5 });
+        assert!(engine.run(&spec).is_err(), "{what} must be rejected");
+    }
+}

@@ -1,0 +1,190 @@
+//! End-to-end properties of multi-switch fabrics.
+//!
+//! Three claims from the fabric layer are pinned here:
+//!
+//! 1. **Reorder freedom** — Sprinklers-style edge striping (`stripe`
+//!    routing: per host pair, a run of packets holds one random path and
+//!    only re-randomizes when the pair has nothing in flight) combined with
+//!    order-preserving node schemes delivers every packet in VOQ order
+//!    *end to end*, across both topology kinds, many seeds and loads.
+//! 2. **The metric engages** — per-packet random routing does reorder
+//!    under the same contention, so ordered fabrics aren't vacuous.
+//! 3. **Determinism** — worker count, per-node thread count and engine
+//!    batch size are pure performance knobs for fabrics too: the CSV row
+//!    and the full metrics JSON are byte-identical at every combination.
+
+use proptest::prelude::*;
+use sprinklers_sim::engine::RunConfig;
+use sprinklers_sim::prelude::*;
+
+/// A small admissible fat-tree whose node sizes are powers of two (edge
+/// nodes 4+4 = 8 ports, cores 2), so Sprinklers can run at every node.
+/// Remote demand per edge at load 0.5 is 4·0.5·½ = 1 packet/slot against a
+/// 4-wide uplink trunk.
+fn fat_tree(routing: RoutingSpec) -> TopologySpec {
+    TopologySpec::FatTree2 {
+        edges: 2,
+        cores: 4,
+        hosts_per_edge: 4,
+        routing,
+        link: LinkSpec { latency: 2, gap: 1 },
+    }
+}
+
+/// A 4-switch flattened butterfly, 5 hosts each: 5 + 3 = 8-port nodes.
+/// Loads stay ≤ 0.35 here — Valiant-style two-hop detours double link
+/// usage, and each switch has only 3 unit-rate mesh links.
+fn butterfly(routing: RoutingSpec) -> TopologySpec {
+    TopologySpec::Butterfly {
+        switches: 4,
+        hosts_per_switch: 5,
+        routing,
+        link: LinkSpec { latency: 1, gap: 1 },
+    }
+}
+
+fn fabric_spec(topo: TopologySpec, scheme: &str, load: f64, seed: u64) -> ScenarioSpec {
+    ScenarioSpec::new(scheme, topo.hosts())
+        .with_topology(topo)
+        .with_traffic(TrafficSpec::Uniform { load })
+        .with_run(RunConfig {
+            slots: 4_000,
+            warmup_slots: 400,
+            drain_slots: 30_000,
+        })
+        .with_seed(seed)
+}
+
+#[test]
+fn striped_fabrics_are_reorder_free_end_to_end() {
+    // The tentpole ordering claim, fuzzed over topology kind, node scheme,
+    // seed and load.  `oq` and `sprinklers` nodes are both order-preserving,
+    // so any end-to-end inversion would be the *fabric's* fault: a stripe
+    // that changed path while packets were still in flight.
+    let mut engine = Engine::new();
+    for (topo, loads) in [
+        (fat_tree(RoutingSpec::Stripe), [0.3, 0.55]),
+        (butterfly(RoutingSpec::Stripe), [0.2, 0.35]),
+    ] {
+        for scheme in ["oq", "sprinklers"] {
+            for seed in [1u64, 7, 42] {
+                for load in loads {
+                    let spec = fabric_spec(topo.clone(), scheme, load, seed);
+                    let report = engine.run(&spec).unwrap();
+                    let tag = format!("{} seed={seed} load={load}", report.switch_name);
+                    assert!(
+                        report.reordering.is_ordered(),
+                        "striped fabric reordered: {tag}"
+                    );
+                    // Work-conserving OQ nodes must drain completely;
+                    // Sprinklers nodes may hold partial stripes at the end
+                    // of the drain (exactly as a single switch does), so
+                    // there we bound the leftovers instead.
+                    if scheme == "oq" {
+                        assert_eq!(report.residual_packets, 0, "packets stuck: {tag}");
+                    } else {
+                        assert!(report.delivery_ratio() > 0.9, "fabric stalled: {tag}");
+                    }
+                    assert!(report.offered_packets > 0, "no traffic: {tag}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ecmp_fabrics_are_reorder_free_too() {
+    // One path per host pair is trivially ordered; cheap cross-check that
+    // the per-hop rewrite itself never scrambles a VOQ.
+    let mut engine = Engine::new();
+    for topo in [
+        fat_tree(RoutingSpec::EcmpHash),
+        butterfly(RoutingSpec::EcmpHash),
+    ] {
+        let report = engine.run(&fabric_spec(topo, "oq", 0.4, 9)).unwrap();
+        assert!(report.reordering.is_ordered());
+        assert_eq!(report.residual_packets, 0);
+    }
+}
+
+#[test]
+fn random_routing_reorders_under_contention() {
+    // The negative control: independent per-packet path choice races the
+    // same VOQ down unequal queues, so end-to-end inversions must appear.
+    // If this ever passes ordered, the reorder metric is not measuring the
+    // fabric path.  Two cores only, so the uplinks actually queue.
+    let topo = TopologySpec::FatTree2 {
+        edges: 2,
+        cores: 2,
+        hosts_per_edge: 4,
+        routing: RoutingSpec::RandomPacket,
+        link: LinkSpec { latency: 2, gap: 1 },
+    };
+    let spec = fabric_spec(topo, "oq", 0.6, 3);
+    let report = Engine::new().run(&spec).unwrap();
+    assert!(
+        report.reordering.voq_reorder_events > 0,
+        "random per-packet routing should reorder at load 0.5"
+    );
+    assert_eq!(report.residual_packets, 0);
+}
+
+#[test]
+fn fabric_delay_includes_the_wire_latency() {
+    // Remote traffic crosses three switches and two wires of latency 2, so
+    // even the minimum end-to-end delay must exceed a single switch's.
+    let spec = fabric_spec(fat_tree(RoutingSpec::Stripe), "oq", 0.3, 5);
+    let report = Engine::new().run(&spec).unwrap();
+    // min delay over remote packets is 3 + 2·2 = 7; local pairs dilute the
+    // mean but half the uniform traffic is remote here.
+    assert!(
+        report.delay.mean() > 2.0,
+        "mean delay {} should reflect multi-hop paths",
+        report.delay.mean()
+    );
+    assert!(report.delay.count() > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Workers × threads × batch are pure perf knobs for fabric scenarios:
+    /// the merged CSV row and the full metrics JSON never move by a byte.
+    #[test]
+    fn fabric_parity_across_workers_threads_and_batch(
+        seed in 0u64..1_000,
+        stripe in 0u32..2,
+    ) {
+        let routing = if stripe == 1 { RoutingSpec::Stripe } else { RoutingSpec::RandomPacket };
+        let base = fabric_spec(fat_tree(routing), "sprinklers", 0.45, seed)
+            .with_run(RunConfig { slots: 1_500, warmup_slots: 150, drain_slots: 12_000 });
+
+        // Reference: serial, slot-at-a-time.
+        let reference = Engine::new()
+            .run(&base.clone().with_batch(1).with_threads(1))
+            .unwrap();
+        let want_row = reference.csv_row();
+        let want_json = reference.metrics_json();
+
+        for workers in [1usize, 4] {
+            for threads in [1u32, 4] {
+                for batch in [1u32, 64] {
+                    let spec = base.clone().with_batch(batch).with_threads(threads);
+                    let got = &run_specs_parallel_ok(&[spec], workers).unwrap()[0];
+                    prop_assert_eq!(
+                        got.csv_row(),
+                        want_row.clone(),
+                        "csv diverged at workers={} threads={} batch={}",
+                        workers, threads, batch
+                    );
+                    prop_assert_eq!(
+                        got.metrics_json(),
+                        want_json.clone(),
+                        "metrics diverged at workers={} threads={} batch={}",
+                        workers, threads, batch
+                    );
+                }
+            }
+        }
+    }
+}
