@@ -151,6 +151,7 @@ impl Switch for BaselineLbSwitch {
             queued_at_outputs: 0,
             total_arrivals: self.arrivals,
             total_departures: self.departures,
+            total_dropped: 0,
         }
     }
 }

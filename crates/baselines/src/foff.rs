@@ -249,6 +249,7 @@ impl Switch for FoffSwitch {
             queued_at_outputs: self.queued_outputs,
             total_arrivals: self.arrivals,
             total_departures: self.departures,
+            total_dropped: 0,
         }
     }
 }

@@ -119,6 +119,7 @@ impl Switch for OutputQueuedSwitch {
             queued_at_outputs: (self.arrivals - self.departures) as usize,
             total_arrivals: self.arrivals,
             total_departures: self.departures,
+            total_dropped: 0,
         }
     }
 }

@@ -269,6 +269,7 @@ impl Switch for PaddedFramesSwitch {
             queued_at_outputs: 0,
             total_arrivals: self.arrivals,
             total_departures: self.departures,
+            total_dropped: 0,
         }
     }
 }

@@ -202,6 +202,7 @@ impl Switch for UfsSwitch {
             queued_at_outputs: 0,
             total_arrivals: self.arrivals,
             total_departures: self.departures,
+            total_dropped: 0,
         }
     }
 }

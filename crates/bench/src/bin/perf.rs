@@ -85,7 +85,10 @@ struct CellCfg<'a> {
     batch: u64,
     threads: u32,
     /// When set, the cell times a whole fabric (n = its host count)
-    /// instead of one switch.
+    /// instead of one switch.  Perf cells always run fault-free: the
+    /// harness measures the steady-state hot path, and healthy fabrics
+    /// skip the fault machinery entirely (`FabricWorld::with_faults` is
+    /// never installed here).
     fabric: Option<&'a TopologySpec>,
 }
 

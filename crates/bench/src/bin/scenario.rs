@@ -49,6 +49,14 @@ strategy (ecmp | random | stripe) and \"link\" sets the wire latency and
 admission gap.  Metrics are end-to-end (host to host).  See the README's
 \"Fabric topologies\" section for the schema.
 
+A fabric spec may additionally carry a \"faults\" object: timed
+\"events\" ({\"slot\", \"kind\": link-down|link-up|node-down|node-up,
+\"link\"|\"node\": index}) plus an optional seeded \"random\" link-failure
+generator ({\"mtbf\", \"mttr\", \"seed\"}).  Faulted runs stay
+byte-identical at any batch/thread/worker setting; losses are typed and
+reported (with per-event reconvergence times) in the metrics sidecar.
+See the README's \"Fault injection\" section for semantics.
+
 --batch sets how many slots each Switch::step_batch call advances (default
 64; effectively capped at n by the occupancy-sampling period).  It is a
 pure performance knob: the report is byte-identical at any value.

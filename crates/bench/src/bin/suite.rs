@@ -18,6 +18,11 @@
 //! * `--metrics full` writes a JSON metrics sidecar (one
 //!   [`SimReport::metrics_json`] line per case) next to the CSV.
 //!
+//! Specs may carry fabric topologies and fault schedules (see the README's
+//! "Fabric topologies" and "Fault injection" sections); faulted runs merge
+//! byte-identically at any worker count just like healthy ones — the
+//! `fault-smoke` CI job pins this.
+//!
 //! Usage:
 //! ```text
 //! cargo run --release -p sprinklers-bench --bin suite -- --dir specs/smoke

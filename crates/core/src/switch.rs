@@ -128,6 +128,9 @@ pub struct SwitchStats {
     pub total_arrivals: u64,
     /// Total data packets delivered to outputs so far.
     pub total_departures: u64,
+    /// Total data packets dropped so far (fault-injected fabrics; always
+    /// zero for single switches, which never lose packets).
+    pub total_dropped: u64,
 }
 
 impl SwitchStats {
@@ -320,6 +323,7 @@ mod tests {
             queued_at_outputs: 2,
             total_arrivals: 100,
             total_departures: 90,
+            total_dropped: 0,
         };
         assert_eq!(s.total_queued(), 10);
     }

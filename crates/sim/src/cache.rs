@@ -255,6 +255,54 @@ mod tests {
     }
 
     #[test]
+    fn content_hash_separates_fault_schedules() {
+        // A faulted run and its fault-free twin must never collide in the
+        // experiment cache — nor may two different fault schedules.
+        use crate::spec::{
+            FaultEventSpec, FaultKind, FaultSpec, LinkSpec, RandomFaultSpec, RoutingSpec,
+            TopologySpec,
+        };
+        let topo = TopologySpec::FatTree2 {
+            edges: 2,
+            cores: 4,
+            hosts_per_edge: 8,
+            routing: RoutingSpec::Stripe,
+            link: LinkSpec { latency: 1, gap: 1 },
+        };
+        let base = ScenarioSpec::new("oq", 16).with_topology(topo);
+        let event = |slot| FaultEventSpec {
+            slot,
+            kind: FaultKind::LinkDown,
+            index: 0,
+        };
+        let faulted = |slot| {
+            base.clone().with_faults(FaultSpec {
+                events: vec![event(slot)],
+                random: None,
+            })
+        };
+        let healthy = base.content_hash();
+        assert_ne!(faulted(100).content_hash(), healthy);
+        assert_ne!(faulted(100).content_hash(), faulted(200).content_hash());
+        let random = base.clone().with_faults(FaultSpec {
+            events: vec![],
+            random: Some(RandomFaultSpec {
+                mtbf: 5_000,
+                mttr: 300,
+                seed: 5,
+            }),
+        });
+        assert_ne!(random.content_hash(), healthy);
+        // Fault fields are scientific identity, not perf knobs: they stay
+        // in the hash even as batch/threads are canonicalized away.
+        assert_eq!(
+            faulted(100).with_batch(1).with_threads(8).content_hash(),
+            faulted(100).content_hash()
+        );
+        assert!(faulted(100).scientific_identity_json().contains("faults"));
+    }
+
+    #[test]
     fn entries_round_trip_exactly_including_f64_bits() {
         let cache = ExperimentCache::open(tmp_dir("roundtrip")).unwrap();
         let run = CachedRun {

@@ -126,9 +126,19 @@ impl Engine {
                 spec.n
             )));
         }
+        if spec.faults.is_some() && spec.topology.is_none() {
+            return Err(SpecError::new(
+                "fault injection requires a fabric topology (single switches \
+                 have no links or nodes to fail)"
+                    .to_string(),
+            ));
+        }
         if let Some(topo) = &spec.topology {
             topo.validate(spec.n)?;
-            let traffic = spec.build_traffic()?;
+            if let Some(faults) = &spec.faults {
+                faults.validate(topo, &spec.run)?;
+            }
+            let mut traffic = spec.build_traffic()?;
             let mut world = FabricWorld::build(
                 topo,
                 &spec.scheme,
@@ -139,7 +149,12 @@ impl Engine {
             // Pure perf knob, applied after construction: any value yields
             // a byte-identical report (see `ScenarioSpec::threads`).
             world.set_parallelism(spec.threads as usize);
-            return Ok(self.run_parts_batched(world, traffic, spec.run, spec.batch));
+            if let Some(faults) = spec.faults.as_ref().filter(|f| !f.is_empty()) {
+                world = world.with_faults(faults, &spec.run);
+            }
+            let mut report = self.run_loop(&mut world, &mut traffic, spec.run, spec.batch);
+            report.faults = world.fault_summary();
+            return Ok(report);
         }
         // Build the traffic first and size the switch from the *generator's*
         // rate matrix.  For synthetic patterns this is the identical matrix
@@ -179,6 +194,19 @@ impl Engine {
         &mut self,
         mut world: W,
         mut traffic: G,
+        config: RunConfig,
+        batch: u32,
+    ) -> SimReport {
+        self.run_loop(&mut world, &mut traffic, config, batch)
+    }
+
+    /// The batched driving loop shared by every entry point.  Borrows the
+    /// world so callers (the faulted-fabric path) can read world state —
+    /// the fault summary — after the run.
+    fn run_loop<W: Steppable, G: TrafficGenerator>(
+        &mut self,
+        world: &mut W,
+        traffic: &mut G,
         config: RunConfig,
         batch: u32,
     ) -> SimReport {
@@ -261,13 +289,15 @@ impl Engine {
         // A run whose length is not a multiple of the sampling period ends
         // between boundaries; capture the active remainder so window sums
         // equal the run totals.
+        let final_stats = world.counters();
         windows.finish(
             total_slots,
             offered,
             sink.delivered_packets(),
             sink.padding_packets(),
-            &world.counters(),
+            &final_stats,
         );
+        let dropped = final_stats.total_dropped;
 
         let totals = sink.into_parts();
         SimReport {
@@ -279,12 +309,14 @@ impl Engine {
             offered_packets: offered,
             delivered_packets: totals.delivered,
             padding_packets: totals.padding,
-            residual_packets: offered - totals.delivered,
+            residual_packets: offered - totals.delivered - dropped,
+            dropped_packets: dropped,
             delay: totals.delay,
             reordering: totals.reordering,
             occupancy: occupancy.stats(),
             per_output_delivered: totals.per_output_delivered,
             windows,
+            faults: None,
         }
     }
 }

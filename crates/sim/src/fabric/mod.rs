@@ -15,26 +15,47 @@
 //!
 //! # Determinism
 //!
-//! The fabric advances strictly slot by slot in a fixed phase order — link
+//! The fabric advances strictly slot by slot in a fixed phase order — fault
+//! events and parked-traffic release (faulted runs only), then link
 //! arrivals (ascending link index), node steps (ascending node index),
 //! link admissions (ascending link index) — and draws randomness from a
 //! single seed-derived RNG in the router plus one derived seed per node.
 //! [`Steppable::advance`] ignores batching internally, so batch size,
 //! per-node thread counts and suite worker counts are pure performance
 //! knobs: the delivered packet stream is byte-identical at any setting.
+//!
+//! # Fault injection
+//!
+//! A [`FaultSpec`] (installed with [`FabricWorld::with_faults`]) expands to
+//! a deterministic event timeline applied at the *start* of each event's
+//! slot — after that slot's injections (the engine injects slot-`s` packets
+//! before the advance covering slot `s`), before the wire-arrival phase.
+//! Losses are typed, never silent: packets flushed off a failing link or
+//! node, packets arriving at an already-dead link or node, and injections
+//! at a dead source node all decrement the pair's in-flight count and tick
+//! a per-cause drop counter.  A down node's switch is rebuilt fresh from
+//! its derived seed (a rebooted switch keeps no state).  Striped traffic
+//! whose current path dies is *parked* at the source host until the pair's
+//! in-flight packets drain (or the path recovers), so the re-randomized
+//! path can never overtake surviving packets — reconvergence preserves the
+//! fabric's reorder-freedom guarantee.
 
+mod faults;
 pub mod routing;
 pub mod topology;
 
 use std::collections::VecDeque;
 use std::mem;
 
+use crate::engine::RunConfig;
 use crate::registry;
-use crate::spec::{SizingSpec, SpecError, TopologySpec};
+use crate::report::{FaultEventReport, FaultSummary};
+use crate::spec::{FaultKind, FaultSpec, SizingSpec, SpecError, TopologySpec};
 use sprinklers_core::matrix::TrafficMatrix;
 use sprinklers_core::packet::{DeliveredPacket, Packet};
 use sprinklers_core::switch::{DeliverySink, Steppable, Switch, SwitchStats};
 
+use faults::{FaultEvent, FaultSchedule};
 use routing::Router;
 use topology::{PortTarget, Wiring};
 
@@ -76,6 +97,78 @@ struct Link {
     next_free: u64,
 }
 
+/// The reconvergence record of one applied fault event: which pairs lost
+/// packets when it hit, and when the last of them delivered again.
+struct EventTracker {
+    slot: u64,
+    kind: FaultKind,
+    index: usize,
+    dropped: u64,
+    /// Affected pairs still awaiting their first post-event delivery
+    /// (sorted; drained by [`FaultState::note_delivery`]).
+    waiting: Vec<usize>,
+    affected_pairs: usize,
+    reconverged_slot: Option<u64>,
+}
+
+/// All fault machinery of one faulted run.  Absent (`None`) on healthy
+/// fabrics, which therefore pay nothing and keep their exact legacy RNG
+/// draw sequence.
+struct FaultState {
+    schedule: FaultSchedule,
+    /// Current state per directed link / per node.
+    link_up: Vec<bool>,
+    node_up: Vec<bool>,
+    /// Per node: data packets currently buffered inside it, per `(src,
+    /// dst)` host pair — the node-down loss accounting
+    /// (`node_pair_count[node][src * hosts + dst]`).
+    node_pair_count: Vec<Vec<u64>>,
+    /// Typed loss counters (see [`FaultSummary`]).
+    dropped_link_failure: u64,
+    dropped_node_failure: u64,
+    dropped_dead_link: u64,
+    dropped_dead_node: u64,
+    /// Striped traffic parked at the source host per pair: filled while the
+    /// pair's current path is dead with packets still in flight, drained —
+    /// FIFO, ascending pair order — once the pair drains or the path
+    /// recovers.
+    parked: Vec<VecDeque<Packet>>,
+    /// Pairs with a non-empty parked queue, kept sorted.
+    parked_pairs: Vec<usize>,
+    parked_count: u64,
+    /// Reusable scratch: live-path mask, due events, affected pairs.
+    live: Vec<bool>,
+    due: Vec<FaultEvent>,
+    affected: Vec<usize>,
+    /// One tracker per applied event, in application order.
+    trackers: Vec<EventTracker>,
+}
+
+impl FaultState {
+    fn total_dropped(&self) -> u64 {
+        self.dropped_link_failure
+            + self.dropped_node_failure
+            + self.dropped_dead_link
+            + self.dropped_dead_node
+    }
+
+    /// A pair delivered a packet at `slot`: strike it from every event
+    /// still waiting on it; an event whose last waiting pair resumes marks
+    /// its reconvergence slot.
+    fn note_delivery(&mut self, pair: usize, slot: u64) {
+        for tracker in &mut self.trackers {
+            if tracker.reconverged_slot.is_none() {
+                if let Ok(pos) = tracker.waiting.binary_search(&pair) {
+                    tracker.waiting.remove(pos);
+                    if tracker.waiting.is_empty() {
+                        tracker.reconverged_slot = Some(slot);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// A multi-switch fabric the engine drives through [`Steppable`].
 pub struct FabricWorld {
     wiring: Wiring,
@@ -94,6 +187,15 @@ pub struct FabricWorld {
     delivered: u64,
     /// Reusable per-node delivery buffer (no steady-state allocation).
     scratch: Vec<DeliveredPacket>,
+    /// Node-rebuild parameters, kept so a `node-up` after a `node-down`
+    /// can reconstruct the switch exactly as [`FabricWorld::build`] did.
+    scheme: String,
+    sizing: SizingSpec,
+    node_load: f64,
+    seed: u64,
+    threads: usize,
+    /// Fault machinery; `None` for failure-free runs (the legacy path).
+    faults: Option<FaultState>,
 }
 
 impl FabricWorld {
@@ -170,7 +272,79 @@ impl FabricWorld {
             injected: 0,
             delivered: 0,
             scratch: Vec::new(),
+            scheme: scheme.to_string(),
+            sizing: *sizing,
+            node_load,
+            seed,
+            threads: 1,
+            faults: None,
         })
+    }
+
+    /// Install a fault schedule (validated against this fabric's topology
+    /// via [`FaultSpec::validate`]).  The schedule expands here — explicit
+    /// events plus the seeded random generator — so the whole faulted run
+    /// is a pure function of the spec.
+    pub fn with_faults(mut self, faults: &FaultSpec, run: &RunConfig) -> Self {
+        let pairs = self.hosts * self.hosts;
+        self.faults = Some(FaultState {
+            schedule: FaultSchedule::expand(faults, self.links.len(), run),
+            link_up: vec![true; self.links.len()],
+            node_up: vec![true; self.nodes.len()],
+            node_pair_count: self.nodes.iter().map(|_| vec![0; pairs]).collect(),
+            dropped_link_failure: 0,
+            dropped_node_failure: 0,
+            dropped_dead_link: 0,
+            dropped_dead_node: 0,
+            parked: (0..pairs).map(|_| VecDeque::new()).collect(),
+            parked_pairs: Vec::new(),
+            parked_count: 0,
+            live: Vec::new(),
+            due: Vec::new(),
+            affected: Vec::new(),
+            trackers: Vec::new(),
+        });
+        self
+    }
+
+    /// The fault-injection summary of this run (`None` when the world was
+    /// built without faults).
+    pub fn fault_summary(&self) -> Option<FaultSummary> {
+        self.faults.as_ref().map(|f| FaultSummary {
+            dropped_link_failure: f.dropped_link_failure,
+            dropped_node_failure: f.dropped_node_failure,
+            dropped_dead_link: f.dropped_dead_link,
+            dropped_dead_node: f.dropped_dead_node,
+            events: f
+                .trackers
+                .iter()
+                .map(|t| FaultEventReport {
+                    slot: t.slot,
+                    kind: t.kind,
+                    index: t.index,
+                    dropped: t.dropped,
+                    affected_pairs: t.affected_pairs,
+                    reconverged_slot: t.reconverged_slot,
+                })
+                .collect(),
+        })
+    }
+
+    /// Fill the fault scratch mask with, per path choice, whether the whole
+    /// path from `src` to `dst` is alive beyond the source node.
+    fn fill_live_mask(&mut self, src: usize, dst: usize) {
+        let choices = self.wiring.path_choices();
+        let f = self.faults.as_mut().expect("fault path");
+        let FaultState {
+            live,
+            link_up,
+            node_up,
+            ..
+        } = f;
+        live.clear();
+        for choice in 0..choices {
+            live.push(self.wiring.path_is_live(src, dst, choice, link_up, node_up));
+        }
     }
 
     /// Rewrite `packet` to node-local identity and hand it to `node`'s
@@ -178,6 +352,10 @@ impl FabricWorld {
     /// cleared single-switch routing fields (each hop stripes afresh).
     /// The caller has already set `arrival_slot` to the hop-entry slot.
     fn enqueue_at(&mut self, node_idx: usize, in_port: usize, out_port: usize, mut packet: Packet) {
+        if let Some(f) = &mut self.faults {
+            let m = &self.meta[packet.id as usize];
+            f.node_pair_count[node_idx][m.src * self.hosts + m.dst] += 1;
+        }
         let node = &mut self.nodes[node_idx];
         packet.set_ports(in_port, out_port);
         packet.set_intermediate(0);
@@ -198,6 +376,12 @@ impl FabricWorld {
         sink: &mut dyn DeliverySink,
     ) {
         let out_port = delivered.packet.output();
+        if !delivered.packet.is_padding() {
+            if let Some(f) = &mut self.faults {
+                let m = &self.meta[delivered.packet.id as usize];
+                f.node_pair_count[node_idx][m.src * self.hosts + m.dst] -= 1;
+            }
+        }
         match self.wiring.nodes[node_idx].ports[out_port] {
             PortTarget::Host(host) => {
                 if delivered.packet.is_padding() {
@@ -212,22 +396,42 @@ impl FabricWorld {
                 packet.set_ports(meta.src, meta.dst);
                 packet.voq_seq = meta.voq_seq;
                 packet.arrival_slot = meta.arrival_slot;
-                self.in_flight[meta.src * self.hosts + meta.dst] -= 1;
+                let pair = meta.src * self.hosts + meta.dst;
+                self.in_flight[pair] -= 1;
                 self.delivered += 1;
+                if let Some(f) = &mut self.faults {
+                    f.note_delivery(pair, delivered.departure_slot);
+                }
                 sink.deliver(DeliveredPacket::new(packet, delivered.departure_slot));
             }
             PortTarget::Link(link_idx) => {
                 // Padding never crosses links: it has no destination.
-                if !delivered.packet.is_padding() {
-                    self.links[link_idx].ingress.push_back(delivered.packet);
+                if delivered.packet.is_padding() {
+                    return;
                 }
+                if self.faults.as_ref().is_some_and(|f| !f.link_up[link_idx]) {
+                    // The node committed this packet to a link that is down:
+                    // a typed loss, not a silent drop.
+                    let m = self.meta[delivered.packet.id as usize];
+                    self.in_flight[m.src * self.hosts + m.dst] -= 1;
+                    self.faults.as_mut().expect("fault path").dropped_dead_link += 1;
+                    return;
+                }
+                self.links[link_idx].ingress.push_back(delivered.packet);
             }
         }
     }
 
     /// One slot of fabric time, in the fixed deterministic phase order:
-    /// wire arrivals, node steps, wire admissions.
+    /// fault events and parked release (faulted runs only), then wire
+    /// arrivals, node steps, wire admissions.
     fn step_slot(&mut self, slot: u64, sink: &mut dyn DeliverySink) {
+        // Phase 0 (faulted runs only): apply due fault events, then try to
+        // release parked pairs whose path drained or recovered.
+        if self.faults.is_some() {
+            self.apply_due_faults(slot);
+            self.release_parked();
+        }
         // Phase 1: packets whose wire latency elapsed enter the far node.
         for link_idx in 0..self.links.len() {
             while let Some(&(due, _)) = self.links[link_idx].wire.front() {
@@ -240,14 +444,27 @@ impl FabricWorld {
                     let link = &self.links[link_idx];
                     (link.to_node, link.to_port)
                 };
+                if self.faults.as_ref().is_some_and(|f| !f.node_up[to_node]) {
+                    // The wire delivered into a dead node: typed loss.
+                    let m = self.meta[packet.id as usize];
+                    self.in_flight[m.src * self.hosts + m.dst] -= 1;
+                    self.faults.as_mut().expect("fault path").dropped_dead_node += 1;
+                    continue;
+                }
                 let dst = self.meta[packet.id as usize].dst;
                 let out = self.wiring.transit_port(to_node, dst);
                 self.enqueue_at(to_node, to_port, out, packet);
             }
         }
         // Phase 2: every node switches one slot; classify its deliveries.
+        // Down nodes are skipped entirely: every scheme derives its phase
+        // from the slot value itself (not from a step count), so a rebuilt
+        // switch resumes correctly from any slot after `node-up`.
         let mut scratch = mem::take(&mut self.scratch);
         for node_idx in 0..self.nodes.len() {
+            if self.faults.as_ref().is_some_and(|f| !f.node_up[node_idx]) {
+                continue;
+            }
             debug_assert!(scratch.is_empty());
             self.nodes[node_idx].switch.step(slot, &mut scratch);
             for delivered in scratch.drain(..) {
@@ -256,7 +473,13 @@ impl FabricWorld {
         }
         self.scratch = scratch;
         // Phase 3: links admit at most one queued packet per `gap` slots.
-        for link in &mut self.links {
+        // Down links admit nothing (their queues were flushed at the event;
+        // dispatch keeps them empty while down).
+        let link_up = self.faults.as_ref().map(|f| f.link_up.as_slice());
+        for (link_idx, link) in self.links.iter_mut().enumerate() {
+            if link_up.is_some_and(|up| !up[link_idx]) {
+                continue;
+            }
             if slot >= link.next_free {
                 if let Some(packet) = link.ingress.pop_front() {
                     link.wire.push_back((slot + link.latency, packet));
@@ -264,6 +487,174 @@ impl FabricWorld {
                 }
             }
         }
+    }
+
+    /// Apply every fault event due at `slot` (phase 0a).
+    fn apply_due_faults(&mut self, slot: u64) {
+        {
+            let f = self.faults.as_mut().expect("fault path");
+            let FaultState { schedule, due, .. } = f;
+            due.clear();
+            due.extend_from_slice(schedule.due(slot));
+            if due.is_empty() {
+                return;
+            }
+        }
+        // Steal the buffer so the events can borrow `self` mutably.
+        let events = mem::take(&mut self.faults.as_mut().expect("fault path").due);
+        for event in &events {
+            self.apply_fault_event(*event);
+        }
+        self.faults.as_mut().expect("fault path").due = events;
+    }
+
+    /// Apply one fault event: flip the link/node state, flush in-flight
+    /// packets off the failing element as typed losses, and open a
+    /// reconvergence tracker over the pairs that lost packets.
+    fn apply_fault_event(&mut self, event: FaultEvent) {
+        let hosts = self.hosts;
+        {
+            let f = self.faults.as_mut().expect("fault path");
+            f.affected.clear();
+        }
+        let mut dropped = 0u64;
+        match event.kind {
+            FaultKind::LinkDown => {
+                let f = self.faults.as_mut().expect("fault path");
+                f.link_up[event.index] = false;
+                let link = &mut self.links[event.index];
+                for packet in link
+                    .ingress
+                    .drain(..)
+                    .chain(link.wire.drain(..).map(|(_, p)| p))
+                {
+                    let m = self.meta[packet.id as usize];
+                    let pair = m.src * hosts + m.dst;
+                    self.in_flight[pair] -= 1;
+                    f.affected.push(pair);
+                    dropped += 1;
+                }
+                f.dropped_link_failure += dropped;
+            }
+            FaultKind::LinkUp => {
+                let f = self.faults.as_mut().expect("fault path");
+                f.link_up[event.index] = true;
+            }
+            FaultKind::NodeDown => {
+                {
+                    let f = self.faults.as_mut().expect("fault path");
+                    f.node_up[event.index] = false;
+                    // Everything buffered inside the node is lost; the
+                    // per-node pair counts say exactly what that was.
+                    for (pair, count) in f.node_pair_count[event.index].iter_mut().enumerate() {
+                        if *count > 0 {
+                            self.in_flight[pair] -= *count;
+                            dropped += *count;
+                            f.affected.push(pair);
+                            *count = 0;
+                        }
+                    }
+                    f.dropped_node_failure += dropped;
+                }
+                // Rebuild the switch fresh from its derived seed: a
+                // rebooted switch keeps no state.  `node-up` just flips the
+                // flag back; the rebuilt switch has been idle since.
+                let idx = event.index;
+                let n = self.nodes[idx].n;
+                let node_seed = self
+                    .seed
+                    .wrapping_add(SEED_MIX.wrapping_mul(idx as u64 + 1));
+                let matrix = TrafficMatrix::uniform(n, self.node_load);
+                let mut switch =
+                    registry::build_named(&self.scheme, n, &self.sizing, &matrix, node_seed)
+                        .expect("node scheme built once at construction");
+                switch.set_threads(self.threads);
+                self.nodes[idx].switch = switch;
+                self.nodes[idx].voq_seq.fill(0);
+            }
+            FaultKind::NodeUp => {
+                let f = self.faults.as_mut().expect("fault path");
+                f.node_up[event.index] = true;
+            }
+        }
+        let f = self.faults.as_mut().expect("fault path");
+        f.affected.sort_unstable();
+        f.affected.dedup();
+        // Events that cost nothing reconverge trivially at their own slot.
+        let reconverged = if f.affected.is_empty() {
+            Some(event.slot)
+        } else {
+            None
+        };
+        f.trackers.push(EventTracker {
+            slot: event.slot,
+            kind: event.kind,
+            index: event.index,
+            dropped,
+            waiting: f.affected.clone(),
+            affected_pairs: f.affected.len(),
+            reconverged_slot: reconverged,
+        });
+    }
+
+    /// Phase 0b: re-inject parked packets for every pair whose stripe can
+    /// now move (nothing in flight, or the old path recovered), in
+    /// ascending pair order.
+    fn release_parked(&mut self) {
+        if self
+            .faults
+            .as_ref()
+            .expect("fault path")
+            .parked_pairs
+            .is_empty()
+        {
+            return;
+        }
+        let mut pairs = mem::take(&mut self.faults.as_mut().expect("fault path").parked_pairs);
+        pairs.retain(|&pair| !self.try_release_pair(pair));
+        self.faults.as_mut().expect("fault path").parked_pairs = pairs;
+    }
+
+    /// Try to drain one pair's parked queue.  Returns `true` when the queue
+    /// emptied (the pair leaves the parked set).
+    fn try_release_pair(&mut self, pair: usize) -> bool {
+        let (src, dst) = (pair / self.hosts, pair % self.hosts);
+        let current = self
+            .router
+            .current_choice(src, dst)
+            .expect("parking is stripe-only");
+        {
+            let f = self.faults.as_ref().expect("fault path");
+            let live_now = self
+                .wiring
+                .path_is_live(src, dst, current, &f.link_up, &f.node_up);
+            if self.in_flight[pair] > 0 && !live_now {
+                return false; // still draining onto a dead path
+            }
+        }
+        loop {
+            let f = self.faults.as_mut().expect("fault path");
+            let Some(packet) = f.parked[pair].pop_front() else {
+                break;
+            };
+            f.parked_count -= 1;
+            let (src_node, in_port) = self.wiring.hosts[src];
+            if !f.node_up[src_node] {
+                // The source node died while the packet was parked.
+                f.dropped_dead_node += 1;
+                continue;
+            }
+            self.fill_live_mask(src, dst);
+            let mask = mem::take(&mut self.faults.as_mut().expect("fault path").live);
+            let choice = self
+                .router
+                .choose(src, dst, self.in_flight[pair], Some(&mask));
+            self.faults.as_mut().expect("fault path").live = mask;
+            let out = self.wiring.first_hop_port(src, dst, choice);
+            self.in_flight[pair] += 1;
+            self.enqueue_at(src_node, in_port, out, packet);
+        }
+        true
     }
 }
 
@@ -291,18 +682,57 @@ impl Steppable for FabricWorld {
             voq_seq: packet.voq_seq,
             arrival_slot: packet.arrival_slot,
         };
+        self.injected += 1;
         let (src_node, in_port) = self.wiring.hosts[src];
+        if let Some(f) = &mut self.faults {
+            if !f.node_up[src_node] {
+                // Injection at a dead source node: the host's NIC has
+                // nowhere to hand the packet.  Typed loss, never in flight.
+                f.dropped_dead_node += 1;
+                return;
+            }
+        }
         let dst_node = self.wiring.host_node(dst);
+        let pair = src * self.hosts + dst;
         let out = if src_node == dst_node {
             // Same-node traffic never leaves the switch: no path choice.
             self.wiring.transit_port(src_node, dst)
+        } else if self.faults.is_some() {
+            // Striped pairs whose current path died must not re-randomize
+            // while packets are in flight: park the packet at the source
+            // host until the pair drains or the path recovers.  A non-empty
+            // parked queue parks unconditionally (FIFO order).
+            if let Some(current) = self.router.current_choice(src, dst) {
+                let in_flight = self.in_flight[pair];
+                let f = self.faults.as_ref().expect("fault path");
+                let must_park = !f.parked[pair].is_empty()
+                    || (in_flight > 0
+                        && !self
+                            .wiring
+                            .path_is_live(src, dst, current, &f.link_up, &f.node_up));
+                if must_park {
+                    let f = self.faults.as_mut().expect("fault path");
+                    if f.parked[pair].is_empty() {
+                        let pos = f.parked_pairs.binary_search(&pair).unwrap_err();
+                        f.parked_pairs.insert(pos, pair);
+                    }
+                    f.parked[pair].push_back(packet);
+                    f.parked_count += 1;
+                    return;
+                }
+            }
+            self.fill_live_mask(src, dst);
+            let mask = mem::take(&mut self.faults.as_mut().expect("fault path").live);
+            let choice = self
+                .router
+                .choose(src, dst, self.in_flight[pair], Some(&mask));
+            self.faults.as_mut().expect("fault path").live = mask;
+            self.wiring.first_hop_port(src, dst, choice)
         } else {
-            let in_flight = self.in_flight[src * self.hosts + dst];
-            let choice = self.router.choose(src, dst, in_flight);
+            let choice = self.router.choose(src, dst, self.in_flight[pair], None);
             self.wiring.first_hop_port(src, dst, choice)
         };
-        self.in_flight[src * self.hosts + dst] += 1;
-        self.injected += 1;
+        self.in_flight[pair] += 1;
         self.enqueue_at(src_node, in_port, out, packet);
     }
 
@@ -315,6 +745,7 @@ impl Steppable for FabricWorld {
     }
 
     fn set_parallelism(&mut self, threads: usize) {
+        self.threads = threads;
         for node in &mut self.nodes {
             node.switch.set_threads(threads);
         }
@@ -334,6 +765,12 @@ impl Steppable for FabricWorld {
         }
         for link in &self.links {
             stats.queued_at_intermediates += link.ingress.len() + link.wire.len();
+        }
+        if let Some(f) = &self.faults {
+            stats.total_dropped = f.total_dropped();
+            // Parked packets wait at the source host, i.e. at the fabric's
+            // input edge.
+            stats.queued_at_inputs += f.parked_count as usize;
         }
         stats
     }
@@ -420,5 +857,215 @@ mod tests {
         assert_eq!(stats.total_departures, stats.total_arrivals);
         assert_eq!(stats.total_queued(), 0, "fully drained");
         assert!(world.in_flight.iter().all(|&f| f == 0));
+    }
+
+    use crate::spec::{FaultEventSpec, FaultSpec};
+
+    fn faulted_world(topo: &TopologySpec, events: Vec<FaultEventSpec>, seed: u64) -> FabricWorld {
+        let spec = FaultSpec {
+            events,
+            random: None,
+        };
+        let run = RunConfig {
+            slots: 4_000,
+            warmup_slots: 0,
+            drain_slots: 4_000,
+        };
+        FabricWorld::build(topo, "oq", &SizingSpec::Matrix, seed, 0.5)
+            .unwrap()
+            .with_faults(&spec, &run)
+    }
+
+    fn event(slot: u64, kind: FaultKind, index: usize) -> FaultEventSpec {
+        FaultEventSpec { slot, kind, index }
+    }
+
+    /// Per-slot conservation canary: every injected packet is delivered,
+    /// dropped (typed), in flight, or parked — at every single slot.
+    fn assert_conserved(world: &FabricWorld) {
+        let f = world.faults.as_ref().expect("faulted world");
+        let in_flight: u64 = world.in_flight.iter().sum();
+        assert_eq!(
+            world.injected,
+            world.delivered + f.total_dropped() + in_flight + f.parked_count,
+            "conservation violated: injected {} delivered {} dropped {} in_flight {} parked {}",
+            world.injected,
+            world.delivered,
+            f.total_dropped(),
+            in_flight,
+            f.parked_count
+        );
+    }
+
+    #[test]
+    fn a_link_down_flushes_in_flight_packets_as_typed_losses() {
+        let topo = fat_tree(RoutingSpec::EcmpHash, 4);
+        // ECMP pins pair (0, 6) to one core; find its uplink and cut it
+        // right after injection, while the packet rides the wire.
+        let mut world = faulted_world(&topo, vec![], 7);
+        world.inject(Packet::new(0, 6, 0, 0));
+        drive(&mut world, 0..3); // through the edge switch, onto the wire
+        let live_links: Vec<usize> = (0..world.links.len())
+            .filter(|&l| world.links[l].ingress.len() + world.links[l].wire.len() > 0)
+            .collect();
+        assert_eq!(live_links.len(), 1, "one packet on one uplink");
+        let cut = live_links[0];
+
+        let mut world = faulted_world(&topo, vec![event(3, FaultKind::LinkDown, cut)], 7);
+        world.inject(Packet::new(0, 6, 0, 0));
+        let out = drive(&mut world, 0..64);
+        assert!(out.is_empty(), "the only packet died on the cut link");
+        let f = world.faults.as_ref().unwrap();
+        assert_eq!(f.dropped_link_failure, 1);
+        assert_eq!(world.counters().total_dropped, 1);
+        assert_conserved(&world);
+        let summary = world.fault_summary().unwrap();
+        assert_eq!(summary.events.len(), 1);
+        assert_eq!(summary.events[0].dropped, 1);
+        assert_eq!(summary.events[0].affected_pairs, 1);
+        assert_eq!(
+            summary.events[0].reconverged_slot, None,
+            "no later delivery for the pair: never reconverged"
+        );
+    }
+
+    #[test]
+    fn a_node_down_drops_buffered_packets_and_blocks_injection() {
+        let topo = fat_tree(RoutingSpec::EcmpHash, 2);
+        // Node 0 is the edge switch of hosts 0..4.  Kill it with a packet
+        // buffered inside, then inject at a dead host.
+        let mut world = faulted_world(&topo, vec![event(1, FaultKind::NodeDown, 0)], 7);
+        world.inject(Packet::new(0, 2, 0, 0)); // local pair, buffered in node 0
+        world.step_slot(0, &mut Vec::new());
+        let out = drive(&mut world, 1..8);
+        assert!(out.is_empty());
+        let f = world.faults.as_ref().unwrap();
+        assert_eq!(
+            f.dropped_node_failure, 1,
+            "buffered packet lost at node-down"
+        );
+        // An injection at a host of the dead node is a typed dead-node loss.
+        world.inject(Packet::new(1, 2, 1, 8));
+        let f = world.faults.as_ref().unwrap();
+        assert_eq!(f.dropped_dead_node, 1);
+        assert_conserved(&world);
+    }
+
+    #[test]
+    fn a_recovered_node_carries_traffic_again() {
+        let topo = fat_tree(RoutingSpec::EcmpHash, 1);
+        let mut world = faulted_world(
+            &topo,
+            vec![
+                event(1, FaultKind::NodeDown, 0),
+                event(10, FaultKind::NodeUp, 0),
+            ],
+            7,
+        );
+        drive(&mut world, 0..12); // apply down + up with nothing in flight
+        world.inject(Packet::new(1, 2, 0, 12));
+        let out = drive(&mut world, 12..20);
+        assert_eq!(out.len(), 1, "rebuilt switch forwards again");
+        assert_eq!(out[0].packet.output(), 2);
+        assert_conserved(&world);
+        let summary = world.fault_summary().unwrap();
+        assert_eq!(summary.events.len(), 2);
+        assert_eq!(
+            summary.events[0].reconverged_slot,
+            Some(1),
+            "nothing was in flight: the down event reconverges trivially"
+        );
+    }
+
+    #[test]
+    fn a_flushed_link_drains_the_pair_immediately() {
+        let topo = fat_tree(RoutingSpec::Stripe, 6);
+        let mut world = faulted_world(&topo, vec![], 3);
+        // Open the stripe for pair (0, 6) and put the packet on its uplink
+        // wire, then cut that uplink: the packet is flushed as a typed
+        // loss and the pair is fully drained again.
+        world.inject(Packet::new(0, 6, 0, 0));
+        let current = world.router.current_choice(0, 6).unwrap();
+        drive(&mut world, 0..2); // edge forwards at slot 1, wire admits
+        let uplink = world.wiring.link_between(0, 2 + current).unwrap();
+        world.apply_fault_event(FaultEvent {
+            slot: 2,
+            kind: FaultKind::LinkDown,
+            index: uplink,
+        });
+        assert_eq!(world.in_flight[6], 0, "flushed off the cut wire");
+        assert_eq!(world.faults.as_ref().unwrap().dropped_link_failure, 1);
+        assert_conserved(&world);
+    }
+
+    #[test]
+    fn striped_pairs_park_on_a_dead_path_and_release_after_drain() {
+        let topo = fat_tree(RoutingSpec::Stripe, 6);
+        let mut world = faulted_world(&topo, vec![], 3);
+        // Put pair (0, 6)'s first packet on its uplink wire, then cut the
+        // *downlink* of the same path: the packet survives (it has not
+        // reached the downlink yet) but the path is now dead.
+        world.inject(Packet::new(0, 6, 0, 0));
+        let current = world.router.current_choice(0, 6).unwrap();
+        drive(&mut world, 0..3); // on the uplink wire, due at slot 7
+        let downlink = world.wiring.link_between(2 + current, 1).unwrap();
+        world.apply_fault_event(FaultEvent {
+            slot: 3,
+            kind: FaultKind::LinkDown,
+            index: downlink,
+        });
+        assert_eq!(world.in_flight[6], 1, "the survivor is still in flight");
+        // A new injection for the pair must park: re-randomizing now could
+        // overtake the survivor.
+        world.inject(Packet::new(0, 6, 1, 3));
+        let f = world.faults.as_ref().unwrap();
+        assert_eq!(f.parked_count, 1, "injection parked behind the survivor");
+        assert_eq!(f.parked_pairs, vec![6]);
+        assert_conserved(&world);
+        // The survivor eventually hits the dead downlink and becomes a
+        // typed loss; the pair drains, the parked packet releases onto the
+        // other (live) core and delivers.
+        let out = drive(&mut world, 3..128);
+        assert_eq!(out.len(), 1, "only the released packet lands");
+        assert_eq!(out[0].packet.output(), 6);
+        let f = world.faults.as_ref().unwrap();
+        assert_eq!(f.dropped_dead_link, 1, "survivor died at the dead hop");
+        assert_eq!(f.parked_count, 0);
+        assert!(f.parked_pairs.is_empty());
+        assert_eq!(
+            world.router.current_choice(0, 6),
+            Some(1 - current),
+            "the released stripe re-randomized onto the surviving core"
+        );
+        assert_conserved(&world);
+    }
+
+    #[test]
+    fn faulted_counters_include_drops_and_parked_traffic() {
+        let topo = fat_tree(RoutingSpec::Stripe, 2);
+        let mut world = faulted_world(&topo, vec![event(2, FaultKind::NodeDown, 2)], 9);
+        let mut id = 0;
+        for slot in 0..64u64 {
+            for src in 0..8usize {
+                let dst = (src + 4) % 8; // all remote: every pair crosses a core
+                let mut p = Packet::new(src, dst, id, slot);
+                p.voq_seq = slot;
+                world.inject(p);
+                id += 1;
+            }
+            world.step_slot(slot, &mut Vec::new());
+            assert_conserved(&world);
+        }
+        drive(&mut world, 64..4_000);
+        assert_conserved(&world);
+        let stats = world.counters();
+        let f = world.faults.as_ref().unwrap();
+        assert_eq!(stats.total_dropped, f.total_dropped());
+        assert!(stats.total_dropped > 0, "a dead core must cost packets");
+        assert_eq!(
+            stats.total_arrivals,
+            stats.total_departures + stats.total_dropped,
+            "after a full drain: delivered + dropped == injected"
+        );
     }
 }

@@ -84,16 +84,48 @@ impl Router {
     /// the fabric; the striping strategy only re-randomizes its path when
     /// both the stripe budget and `in_flight` are zero, which is what makes
     /// striping inversion-free end to end.
-    pub fn choose(&mut self, src: usize, dst: usize, in_flight: u64) -> usize {
+    ///
+    /// `live` is the failure mask over path choices (`None` on healthy
+    /// fabrics — the legacy draw sequence, byte-for-byte).  With a mask,
+    /// every strategy selects among live paths only: ECMP hashes onto the
+    /// live subset, random draws from it, and a stripe additionally
+    /// re-randomizes — still only with nothing in flight — when its current
+    /// path has died, so reconvergence cannot invert surviving traffic.
+    /// When *no* path is live the mask is ignored (the packet must go
+    /// somewhere; it becomes a typed loss at the dead hop).
+    pub fn choose(
+        &mut self,
+        src: usize,
+        dst: usize,
+        in_flight: u64,
+        live: Option<&[bool]>,
+    ) -> usize {
+        let live = live.filter(|mask| {
+            debug_assert_eq!(mask.len(), self.choices);
+            mask.iter().any(|&up| up)
+        });
+        let live_count = live.map_or(self.choices, |mask| mask.iter().filter(|&&up| up).count());
+        // The k-th live choice (identity when no mask applies).
+        let nth_live = |k: usize| match live {
+            None => k,
+            Some(mask) => mask
+                .iter()
+                .enumerate()
+                .filter(|(_, &up)| up)
+                .nth(k)
+                .map(|(i, _)| i)
+                .expect("k < live_count"),
+        };
         match self.kind {
-            RoutingSpec::EcmpHash => {
-                (fnv1a64(&[src as u64, dst as u64, self.salt]) % self.choices as u64) as usize
-            }
-            RoutingSpec::RandomPacket => self.rng.gen_range(0..self.choices),
+            RoutingSpec::EcmpHash => nth_live(
+                (fnv1a64(&[src as u64, dst as u64, self.salt]) % live_count as u64) as usize,
+            ),
+            RoutingSpec::RandomPacket => nth_live(self.rng.gen_range(0..live_count)),
             RoutingSpec::Stripe => {
                 let state = &mut self.stripe[src * self.hosts + dst];
-                if state.budget == 0 && in_flight == 0 {
-                    state.choice = self.rng.gen_range(0..self.choices);
+                let choice_dead = live.is_some_and(|mask| !mask[state.choice]);
+                if in_flight == 0 && (state.budget == 0 || choice_dead) {
+                    state.choice = nth_live(self.rng.gen_range(0..live_count));
                     state.budget = 1u64 << self.rng.gen_range(0..Self::MAX_STRIPE_LOG2);
                 }
                 if state.budget > 0 {
@@ -101,6 +133,17 @@ impl Router {
                 }
                 state.choice
             }
+        }
+    }
+
+    /// The striping strategy's current path for a pair (what the next
+    /// packet would ride if the stripe holds).  `None` for non-stripe
+    /// routers.  Used by the fabric's failure handling to decide whether a
+    /// pair's traffic must be parked until its path drains or recovers.
+    pub fn current_choice(&self, src: usize, dst: usize) -> Option<usize> {
+        match self.kind {
+            RoutingSpec::Stripe => Some(self.stripe[src * self.hosts + dst].choice),
+            _ => None,
         }
     }
 }
@@ -114,18 +157,26 @@ mod tests {
         let mut a = Router::new(RoutingSpec::EcmpHash, 8, 4, 7);
         let mut b = Router::new(RoutingSpec::EcmpHash, 8, 4, 7);
         for (src, dst) in [(0, 5), (3, 1), (7, 2)] {
-            let first = a.choose(src, dst, 0);
+            let first = a.choose(src, dst, 0, None);
             assert!(first < 4);
             for _ in 0..3 {
-                assert_eq!(a.choose(src, dst, 9), first, "pinned regardless of flight");
+                assert_eq!(
+                    a.choose(src, dst, 9, None),
+                    first,
+                    "pinned regardless of flight"
+                );
             }
-            assert_eq!(b.choose(src, dst, 0), first, "same seed, same pinning");
+            assert_eq!(
+                b.choose(src, dst, 0, None),
+                first,
+                "same seed, same pinning"
+            );
         }
         // A different salt moves at least one of a handful of pairs.
         let mut c = Router::new(RoutingSpec::EcmpHash, 8, 4, 8);
         let moved = (0..8)
             .flat_map(|s| (0..8).map(move |d| (s, d)))
-            .any(|(s, d)| c.choose(s, d, 0) != b.choose(s, d, 0));
+            .any(|(s, d)| c.choose(s, d, 0, None) != b.choose(s, d, 0, None));
         assert!(moved, "salt should reshuffle some pair");
     }
 
@@ -134,7 +185,7 @@ mod tests {
         let mut r = Router::new(RoutingSpec::RandomPacket, 4, 4, 1);
         let mut seen = [false; 4];
         for _ in 0..256 {
-            seen[r.choose(0, 1, 0)] = true;
+            seen[r.choose(0, 1, 0, None)] = true;
         }
         assert_eq!(seen, [true; 4]);
     }
@@ -143,20 +194,20 @@ mod tests {
     fn stripe_holds_its_path_until_budget_and_flight_drain() {
         let mut r = Router::new(RoutingSpec::Stripe, 4, 16, 3);
         // First call opens a stripe: some path, some power-of-two budget.
-        let first = r.choose(0, 1, 0);
+        let first = r.choose(0, 1, 0, None);
         // Keep the pair busy: as long as packets are in flight the path can
         // never change, even after the budget runs out.
         for k in 1..200u64 {
-            assert_eq!(r.choose(0, 1, k), first, "path changed mid-flight");
+            assert_eq!(r.choose(0, 1, k, None), first, "path changed mid-flight");
         }
         // Budget exhausted and nothing in flight: the stripe re-randomizes
         // (possibly onto the same path) with a fresh power-of-two budget.
         let mut changed = false;
         for _ in 0..64 {
             for _ in 0..40 {
-                r.choose(0, 1, 1); // drain any current budget while busy
+                r.choose(0, 1, 1, None); // drain any current budget while busy
             }
-            if r.choose(0, 1, 0) != first {
+            if r.choose(0, 1, 0, None) != first {
                 changed = true;
                 break;
             }
@@ -165,10 +216,60 @@ mod tests {
     }
 
     #[test]
+    fn masked_strategies_only_pick_live_paths() {
+        // Only path 2 is alive: every strategy must land on it.
+        let mask = [false, false, true, false];
+        let mut ecmp = Router::new(RoutingSpec::EcmpHash, 4, 4, 7);
+        assert_eq!(ecmp.choose(0, 1, 0, Some(&mask)), 2);
+        let mut random = Router::new(RoutingSpec::RandomPacket, 4, 4, 1);
+        for _ in 0..32 {
+            assert_eq!(random.choose(0, 1, 0, Some(&mask)), 2);
+        }
+        let mut stripe = Router::new(RoutingSpec::Stripe, 4, 4, 3);
+        assert_eq!(stripe.choose(0, 1, 0, Some(&mask)), 2);
+
+        // With two live paths, random routing eventually uses both and
+        // never a dead one.
+        let mask = [true, false, true, false];
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[random.choose(0, 1, 0, Some(&mask))] = true;
+        }
+        assert_eq!(seen, [true, false, true, false]);
+    }
+
+    #[test]
+    fn stripe_rerandomizes_off_a_dead_path_only_when_drained() {
+        let mut r = Router::new(RoutingSpec::Stripe, 4, 4, 3);
+        let first = r.choose(0, 1, 0, None);
+        let mut mask = [true; 4];
+        mask[first] = false;
+        // Packets still in flight: the pair must hold its (dead) path —
+        // moving now could overtake them on the new path.
+        assert_eq!(r.choose(0, 1, 5, Some(&mask)), first, "moved mid-flight");
+        assert_eq!(r.current_choice(0, 1), Some(first));
+        // Drained: the stripe abandons the dead path mid-budget.
+        let moved = r.choose(0, 1, 0, Some(&mask));
+        assert_ne!(moved, first, "dead path kept after drain");
+        assert!(mask[moved], "re-randomized onto a dead path");
+    }
+
+    #[test]
+    fn an_all_dead_mask_falls_back_to_the_full_path_set() {
+        // Total blackout: the router still returns a valid index (the
+        // packet becomes a typed loss at the dead hop, not a panic here).
+        let mask = [false; 4];
+        let mut r = Router::new(RoutingSpec::EcmpHash, 4, 4, 7);
+        assert!(r.choose(0, 1, 0, Some(&mask)) < 4);
+        let mut r = Router::new(RoutingSpec::Stripe, 4, 4, 3);
+        assert!(r.choose(0, 1, 0, Some(&mask)) < 4);
+    }
+
+    #[test]
     fn stripe_pairs_are_independent() {
         let mut r = Router::new(RoutingSpec::Stripe, 4, 1024, 5);
-        let a = r.choose(0, 1, 0);
-        let _ = r.choose(2, 3, 0); // different pair draws its own stripe
-        assert_eq!(r.choose(0, 1, 1), a, "pair (0,1) keeps its own path");
+        let a = r.choose(0, 1, 0, None);
+        let _ = r.choose(2, 3, 0, None); // different pair draws its own stripe
+        assert_eq!(r.choose(0, 1, 1, None), a, "pair (0,1) keeps its own path");
     }
 }

@@ -219,6 +219,83 @@ impl Wiring {
         }
     }
 
+    /// Directed link index from switch `from` to switch `to`, where the two
+    /// are directly wired (`None` otherwise).  Link indices follow creation
+    /// order: fat-tree uplink `(e, c)` is `e·C + c`, downlink `(c, e)` is
+    /// `E·C + c·E + e`; butterfly `s → w` is `s·(S−1) + (w < s ? w : w−1)`.
+    pub fn link_between(&self, from: usize, to: usize) -> Option<usize> {
+        match self.shape {
+            Shape::FatTree2 { edges, cores, .. } => {
+                if from < edges && to >= edges && to < edges + cores {
+                    Some(from * cores + (to - edges))
+                } else if from >= edges && from < edges + cores && to < edges {
+                    Some(edges * cores + (from - edges) * edges + to)
+                } else {
+                    None
+                }
+            }
+            Shape::Butterfly { switches, .. } => {
+                if from < switches && to < switches && from != to {
+                    Some(from * (switches - 1) + if to < from { to } else { to - 1 })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Whether the remote path `choice` from `src` to `dst` is fully alive
+    /// *beyond the source node*: every link and every intermediate/egress
+    /// node the packet would traverse is up.  The source node itself is the
+    /// injection point and is checked separately by the caller.
+    pub fn path_is_live(
+        &self,
+        src: usize,
+        dst: usize,
+        choice: usize,
+        link_up: &[bool],
+        node_up: &[bool],
+    ) -> bool {
+        match self.shape {
+            Shape::FatTree2 {
+                edges,
+                cores,
+                hosts_per_edge,
+            } => {
+                let src_edge = src / hosts_per_edge;
+                let dst_edge = dst / hosts_per_edge;
+                debug_assert_ne!(src_edge, dst_edge);
+                debug_assert!(choice < cores);
+                let core = edges + choice;
+                link_up[src_edge * cores + choice]
+                    && node_up[core]
+                    && link_up[edges * cores + choice * edges + dst_edge]
+                    && node_up[dst_edge]
+            }
+            Shape::Butterfly {
+                switches,
+                hosts_per_switch,
+            } => {
+                let s = src / hosts_per_switch;
+                let d = dst / hosts_per_switch;
+                debug_assert_ne!(s, d);
+                let hop = |from: usize, to: usize| {
+                    link_up[from * (switches - 1) + if to < from { to } else { to - 1 }]
+                };
+                let via = if choice == s || choice == d {
+                    d
+                } else {
+                    choice
+                };
+                if via == d {
+                    hop(s, d) && node_up[d]
+                } else {
+                    hop(s, via) && node_up[via] && hop(via, d) && node_up[d]
+                }
+            }
+        }
+    }
+
     /// Local output port at `node` for a packet destined to host `dst`:
     /// the host port when `dst` attaches here, else the (deterministic)
     /// next hop toward `dst`'s node.
@@ -344,6 +421,60 @@ mod tests {
         assert_eq!(w.transit_port(2, 7), 2 + 2);
         // At switch 3, deliver to the local host port.
         assert_eq!(w.transit_port(3, 7), 1);
+    }
+
+    #[test]
+    fn link_between_matches_the_wired_port_targets() {
+        for w in [ft(2, 4, 8), bf(4, 2)] {
+            // Every Link port's index must agree with the closed-form
+            // `link_between` of its (source node, destination node) pair,
+            // and every link must be reachable that way.
+            let mut seen = vec![false; w.links.len()];
+            for (ni, node) in w.nodes.iter().enumerate() {
+                for target in &node.ports {
+                    if let PortTarget::Link(li) = target {
+                        assert_eq!(w.link_between(ni, w.links[*li].to_node), Some(*li));
+                        seen[*li] = true;
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "every link reachable");
+        }
+        // Unwired pairs have no link.
+        let w = ft(2, 4, 8);
+        assert_eq!(w.link_between(0, 1), None, "edge-edge is not wired");
+        assert_eq!(w.link_between(2, 3), None, "core-core is not wired");
+    }
+
+    #[test]
+    fn path_is_live_tracks_each_hop() {
+        let w = ft(2, 4, 8);
+        let mut link_up = vec![true; w.links.len()];
+        let mut node_up = vec![true; w.nodes.len()];
+        // Host 1 (edge 0) -> host 9 (edge 1) via core 2 (node 4).
+        assert!(w.path_is_live(1, 9, 2, &link_up, &node_up));
+        let uplink = w.link_between(0, 4).unwrap();
+        link_up[uplink] = false;
+        assert!(!w.path_is_live(1, 9, 2, &link_up, &node_up));
+        assert!(w.path_is_live(1, 9, 3, &link_up, &node_up), "other core ok");
+        link_up[uplink] = true;
+        node_up[4] = false;
+        assert!(!w.path_is_live(1, 9, 2, &link_up, &node_up));
+        node_up[4] = true;
+        link_up[w.link_between(4, 1).unwrap()] = false;
+        assert!(!w.path_is_live(1, 9, 2, &link_up, &node_up));
+
+        let w = bf(4, 2);
+        let link_up = vec![true; w.links.len()];
+        let mut node_up = vec![true; w.nodes.len()];
+        // Host 0 (switch 0) -> host 7 (switch 3) via switch 2: two hops.
+        assert!(w.path_is_live(0, 7, 2, &link_up, &node_up));
+        node_up[2] = false;
+        assert!(!w.path_is_live(0, 7, 2, &link_up, &node_up));
+        // Choices equal to src or dst collapse to the direct one-hop path,
+        // which does not cross switch 2.
+        assert!(w.path_is_live(0, 7, 0, &link_up, &node_up));
+        assert!(w.path_is_live(0, 7, 3, &link_up, &node_up));
     }
 
     #[test]

@@ -64,8 +64,8 @@ pub mod prelude {
     pub use crate::registry;
     pub use crate::report::{merge_csv, merged_csv_header, SimReport};
     pub use crate::spec::{
-        LinkSpec, RoutingSpec, ScenarioSpec, SizingSpec, SpecError, SuiteCase, SuiteSpec,
-        TopologySpec, TrafficSpec,
+        FaultEventSpec, FaultKind, FaultSpec, LinkSpec, RandomFaultSpec, RoutingSpec, ScenarioSpec,
+        SizingSpec, SpecError, SuiteCase, SuiteSpec, TopologySpec, TrafficSpec,
     };
     pub use crate::sweep::{
         grid_specs, paper_load_grid, sweep_loads, sweep_loads_with, sweep_schemes,

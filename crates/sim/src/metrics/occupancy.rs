@@ -82,6 +82,7 @@ mod tests {
             queued_at_outputs: out,
             total_arrivals: 0,
             total_departures: 0,
+            total_dropped: 0,
         }
     }
 

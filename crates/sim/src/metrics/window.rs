@@ -4,9 +4,10 @@
 //! stage for a thousand slots and drains for ten thousand looks identical to
 //! a steady trickle.  `WindowSeries` records, at every occupancy sampling
 //! boundary the engine already honors (once per frame of N slots), how many
-//! packets were offered and delivered *in that window* and the queue
-//! occupancy at its end — so phase changes, bursts and drain behavior are
-//! visible in the `--metrics full` sidecar without touching the CSV schema.
+//! packets were offered, delivered and dropped *in that window* and the
+//! queue occupancy at its end — so phase changes, bursts, drain behavior and
+//! fault-induced delivery dips are visible in the `--metrics full` sidecar
+//! without touching the CSV schema.
 //!
 //! Samples are taken at the same slots in slot-at-a-time and batched
 //! stepping, so the series — like every other report field — is
@@ -27,6 +28,9 @@ pub struct WindowSample {
     pub delivered: u64,
     /// Padding packets delivered during the window.
     pub padding: u64,
+    /// Packets dropped by fault injection during the window (always zero
+    /// for single switches and healthy fabrics).
+    pub dropped: u64,
     /// Packets buffered at input ports at the window's end.
     pub queued_at_inputs: usize,
     /// Packets buffered at intermediate ports at the window's end.
@@ -48,6 +52,7 @@ pub struct WindowSeries {
     last_offered: u64,
     last_delivered: u64,
     last_padding: u64,
+    last_dropped: u64,
 }
 
 impl WindowSeries {
@@ -71,7 +76,8 @@ impl WindowSeries {
     }
 
     /// Record the window ending at `end_slot` (exclusive) from *cumulative*
-    /// run counters; the series keeps the deltas.
+    /// run counters; the series keeps the deltas.  The drop counter rides in
+    /// on `stats.total_dropped`, which is already cumulative.
     pub fn record(
         &mut self,
         end_slot: u64,
@@ -85,6 +91,7 @@ impl WindowSeries {
             offered: offered_total - self.last_offered,
             delivered: delivered_total - self.last_delivered,
             padding: padding_total - self.last_padding,
+            dropped: stats.total_dropped - self.last_dropped,
             queued_at_inputs: stats.queued_at_inputs,
             queued_at_intermediates: stats.queued_at_intermediates,
             queued_at_outputs: stats.queued_at_outputs,
@@ -93,6 +100,7 @@ impl WindowSeries {
         self.last_offered = offered_total;
         self.last_delivered = delivered_total;
         self.last_padding = padding_total;
+        self.last_dropped = stats.total_dropped;
     }
 
     /// Record the partial tail window at the end of a run, if it holds any
@@ -111,7 +119,8 @@ impl WindowSeries {
     ) {
         let moved = offered_total != self.last_offered
             || delivered_total != self.last_delivered
-            || padding_total != self.last_padding;
+            || padding_total != self.last_padding
+            || stats.total_dropped != self.last_dropped;
         if end_slot > self.last_end_slot && moved {
             self.record(
                 end_slot,
@@ -138,6 +147,11 @@ impl WindowSeries {
     pub fn total_padding(&self) -> u64 {
         self.samples.iter().map(|s| s.padding).sum()
     }
+
+    /// Sum of per-window dropped counts.
+    pub fn total_dropped(&self) -> u64 {
+        self.samples.iter().map(|s| s.dropped).sum()
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +165,7 @@ mod tests {
             queued_at_outputs: out,
             total_arrivals: 0,
             total_departures: 0,
+            total_dropped: 0,
         }
     }
 
@@ -166,6 +181,24 @@ mod tests {
         assert_eq!(w.samples()[1].padding, 2);
         assert_eq!(w.total_offered(), 25);
         assert_eq!(w.total_delivered(), 20);
+    }
+
+    #[test]
+    fn dropped_deltas_follow_the_cumulative_counter() {
+        let mut w = WindowSeries::new(8);
+        let mut s = stats(0, 0, 0);
+        s.total_dropped = 3;
+        w.record(8, 10, 5, 0, &s);
+        s.total_dropped = 7;
+        w.record(16, 20, 10, 0, &s);
+        assert_eq!(w.samples()[0].dropped, 3);
+        assert_eq!(w.samples()[1].dropped, 4);
+        assert_eq!(w.total_dropped(), 7);
+        // A tail where only drops moved is still captured.
+        s.total_dropped = 9;
+        w.finish(19, 20, 10, 0, &s);
+        assert_eq!(w.samples().len(), 3);
+        assert_eq!(w.samples()[2].dropped, 2);
     }
 
     #[test]

@@ -12,9 +12,58 @@ use crate::metrics::fairness::jain_index;
 use crate::metrics::occupancy::OccupancyStats;
 use crate::metrics::reorder::ReorderStats;
 use crate::metrics::window::WindowSeries;
-use crate::spec::escape_json_string;
+use crate::spec::{escape_json_string, FaultKind};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
+
+/// Per-kind breakdown of fault-injected packet losses plus the per-event
+/// reconvergence record.  Produced by faulted fabric runs only; `None` on
+/// the report means the run was failure-free (and therefore zero-drop).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Packets flushed off a link (ingress + wire) when it went down.
+    pub dropped_link_failure: u64,
+    /// Packets flushed out of a switch node when it went down.
+    pub dropped_node_failure: u64,
+    /// Packets that arrived at a link whose state was already down.
+    pub dropped_dead_link: u64,
+    /// Packets that arrived at (or were injected at) a node whose state was
+    /// already down.
+    pub dropped_dead_node: u64,
+    /// Every applied fault event, in application order.
+    pub events: Vec<FaultEventReport>,
+}
+
+impl FaultSummary {
+    /// Total packets lost to fault injection, across every cause.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped_link_failure
+            + self.dropped_node_failure
+            + self.dropped_dead_link
+            + self.dropped_dead_node
+    }
+}
+
+/// One applied fault event and how the fabric reconverged after it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEventReport {
+    /// Slot the event was applied at.
+    pub slot: u64,
+    /// What happened.
+    pub kind: FaultKind,
+    /// Link or node index (per the kind's entity class).
+    pub index: usize,
+    /// Packets dropped at the moment the event applied (in-flight losses).
+    pub dropped: u64,
+    /// Distinct host pairs that lost at least one packet to this event.
+    pub affected_pairs: usize,
+    /// Slot at which the last affected pair resumed delivery — the
+    /// reconvergence metric is `reconverged_slot - slot`.  `None` while any
+    /// affected pair has not delivered again (including "never", when the
+    /// run ends first).  Up events and events that drop nothing reconverge
+    /// immediately (`reconverged_slot == slot`).
+    pub reconverged_slot: Option<u64>,
+}
 
 /// The result of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -35,8 +84,11 @@ pub struct SimReport {
     pub delivered_packets: u64,
     /// Padding (fake) packets delivered, for padding-based schemes.
     pub padding_packets: u64,
-    /// Packets still inside the switch when the run ended.
+    /// Packets still inside the switch when the run ended (offered minus
+    /// delivered minus dropped).
     pub residual_packets: u64,
+    /// Packets lost to fault injection (always zero without a fault spec).
+    pub dropped_packets: u64,
     /// Delay statistics over delivered packets that arrived after warm-up.
     pub delay: DelayStats,
     /// Reordering statistics over every delivered data packet.
@@ -47,6 +99,9 @@ pub struct SimReport {
     pub per_output_delivered: Vec<u64>,
     /// Windowed activity series, sampled at the occupancy boundaries.
     pub windows: WindowSeries,
+    /// Fault-injection summary (loss breakdown and per-event reconvergence);
+    /// `None` for failure-free runs.
+    pub faults: Option<FaultSummary>,
 }
 
 impl SimReport {
@@ -142,11 +197,12 @@ impl SimReport {
         );
         let _ = write!(
             out,
-            ",\"offered\":{},\"delivered\":{},\"padding\":{},\"residual\":{}",
+            ",\"offered\":{},\"delivered\":{},\"padding\":{},\"residual\":{},\"dropped\":{}",
             self.offered_packets,
             self.delivered_packets,
             self.padding_packets,
             self.residual_packets,
+            self.dropped_packets,
         );
         let _ = write!(
             out,
@@ -214,8 +270,8 @@ impl SimReport {
         let _ = write!(
             out,
             ",\"windows\":{{\"stride_slots\":{},\"columns\":[\"end_slot\",\"offered\",\
-             \"delivered\",\"padding\",\"queued_at_inputs\",\"queued_at_intermediates\",\
-             \"queued_at_outputs\"],\"samples\":[",
+             \"delivered\",\"padding\",\"dropped\",\"queued_at_inputs\",\
+             \"queued_at_intermediates\",\"queued_at_outputs\"],\"samples\":[",
             self.windows.stride(),
         );
         for (i, s) in self.windows.samples().iter().enumerate() {
@@ -224,17 +280,51 @@ impl SimReport {
             }
             let _ = write!(
                 out,
-                "[{},{},{},{},{},{},{}]",
+                "[{},{},{},{},{},{},{},{}]",
                 s.end_slot,
                 s.offered,
                 s.delivered,
                 s.padding,
+                s.dropped,
                 s.queued_at_inputs,
                 s.queued_at_intermediates,
                 s.queued_at_outputs,
             );
         }
-        out.push_str("]}}");
+        out.push_str("]}");
+        if let Some(faults) = &self.faults {
+            let _ = write!(
+                out,
+                ",\"faults\":{{\"dropped_by_cause\":{{\"link_failure\":{},\
+                 \"node_failure\":{},\"dead_link\":{},\"dead_node\":{}}},\"events\":[",
+                faults.dropped_link_failure,
+                faults.dropped_node_failure,
+                faults.dropped_dead_link,
+                faults.dropped_dead_node,
+            );
+            for (i, e) in faults.events.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let reconvergence = match e.reconverged_slot {
+                    Some(s) => (s - e.slot).to_string(),
+                    None => "null".to_string(),
+                };
+                let _ = write!(
+                    out,
+                    "{{\"slot\":{},\"kind\":\"{}\",\"index\":{},\"dropped\":{},\
+                     \"affected_pairs\":{},\"reconvergence_slots\":{}}}",
+                    e.slot,
+                    e.kind.name(),
+                    e.index,
+                    e.dropped,
+                    e.affected_pairs,
+                    reconvergence,
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
         out
     }
 }
@@ -324,11 +414,13 @@ mod tests {
             delivered_packets: 190,
             padding_packets: 0,
             residual_packets: 10,
+            dropped_packets: 0,
             delay,
             reordering: ReorderStats::default(),
             occupancy: OccupancyStats::default(),
             per_output_delivered: vec![24, 24, 24, 24, 24, 24, 23, 23],
             windows: WindowSeries::default(),
+            faults: None,
         }
     }
 
@@ -420,6 +512,61 @@ mod tests {
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         // And it never leaks into the frozen CSV surface.
         assert_eq!(SimReport::csv_header().split(',').count(), 14);
+    }
+
+    #[test]
+    fn fault_free_reports_omit_the_faults_block() {
+        let json = dummy().metrics_json();
+        assert!(json.contains("\"dropped\":0"), "{json}");
+        assert!(!json.contains("\"faults\""), "{json}");
+    }
+
+    #[test]
+    fn faulted_reports_carry_the_loss_breakdown_and_reconvergence() {
+        let mut r = dummy();
+        r.dropped_packets = 7;
+        r.faults = Some(FaultSummary {
+            dropped_link_failure: 4,
+            dropped_node_failure: 2,
+            dropped_dead_link: 1,
+            dropped_dead_node: 0,
+            events: vec![
+                FaultEventReport {
+                    slot: 40,
+                    kind: FaultKind::LinkDown,
+                    index: 3,
+                    dropped: 4,
+                    affected_pairs: 2,
+                    reconverged_slot: Some(55),
+                },
+                FaultEventReport {
+                    slot: 80,
+                    kind: FaultKind::NodeDown,
+                    index: 1,
+                    dropped: 3,
+                    affected_pairs: 1,
+                    reconverged_slot: None,
+                },
+            ],
+        });
+        assert_eq!(r.faults.as_ref().unwrap().total_dropped(), 7);
+        let json = r.metrics_json();
+        for key in [
+            "\"dropped\":7",
+            "\"faults\":{\"dropped_by_cause\":{\"link_failure\":4,\"node_failure\":2,\
+             \"dead_link\":1,\"dead_node\":0}",
+            "{\"slot\":40,\"kind\":\"link-down\",\"index\":3,\"dropped\":4,\
+             \"affected_pairs\":2,\"reconvergence_slots\":15}",
+            "\"reconvergence_slots\":null",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(!json.contains('\n'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // The frozen CSV surface is untouched by fault data.
+        assert_eq!(SimReport::csv_header().split(',').count(), 14);
+        assert_eq!(r.csv_row().split(',').count(), 14);
     }
 
     #[test]

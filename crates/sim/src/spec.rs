@@ -23,6 +23,7 @@ use crate::traffic::TrafficGenerator;
 use serde::{Deserialize, Serialize};
 use sprinklers_core::matrix::TrafficMatrix;
 use std::fmt;
+use std::fmt::Write as _;
 use std::path::Path;
 
 /// How the Sprinklers switch chooses stripe sizes in this scenario
@@ -220,6 +221,17 @@ pub struct LinkSpec {
     pub gap: u64,
 }
 
+impl LinkSpec {
+    /// Upper bound on `latency` and `gap` (2³² slots).  Far beyond any
+    /// meaningful configuration, and it makes the fabric's arrival-slot
+    /// arithmetic (`slot + latency`, `slot + gap`) documented-safe: with
+    /// both bounded by 2³², a `u64` addition could only overflow after
+    /// ~1.8·10¹⁹ simulated slots, which no realizable run reaches.
+    /// Values above the bound are typed [`SpecError`]s at validation time
+    /// ([`TopologySpec::validate`]), never silent wraparound.
+    pub const MAX_LINK_SLOTS: u64 = 1 << 32;
+}
+
 impl Default for LinkSpec {
     fn default() -> Self {
         LinkSpec { latency: 1, gap: 1 }
@@ -351,6 +363,27 @@ impl TopologySpec {
         }
     }
 
+    /// Number of switch nodes in the wired fabric, in the node-index space
+    /// fault events address (edge switches first, then cores, for the
+    /// fat-tree; mesh switches in order for the butterfly — see
+    /// `fabric::topology::Wiring`).
+    pub fn node_count(&self) -> usize {
+        match *self {
+            TopologySpec::FatTree2 { edges, cores, .. } => edges + cores,
+            TopologySpec::Butterfly { switches, .. } => switches,
+        }
+    }
+
+    /// Number of directed inter-switch links, in the link-index space fault
+    /// events address (ascending source node, then ascending source port —
+    /// the same creation order `fabric::topology::Wiring` walks each slot).
+    pub fn link_count(&self) -> usize {
+        match *self {
+            TopologySpec::FatTree2 { edges, cores, .. } => 2 * edges * cores,
+            TopologySpec::Butterfly { switches, .. } => switches * (switches - 1),
+        }
+    }
+
     /// Check the topology's shape against the owning spec's port count `n`
     /// and the per-node switch size bounds.
     pub fn validate(&self, n: usize) -> Result<(), SpecError> {
@@ -364,6 +397,22 @@ impl TopologySpec {
             return Err(SpecError::new(
                 "link gap must be at least 1 slot (1 = line rate)".to_string(),
             ));
+        }
+        if link.latency > LinkSpec::MAX_LINK_SLOTS {
+            return Err(SpecError::new(format!(
+                "link latency {} exceeds the {} slot bound (arrival-slot \
+                 arithmetic must never overflow)",
+                link.latency,
+                LinkSpec::MAX_LINK_SLOTS
+            )));
+        }
+        if link.gap > LinkSpec::MAX_LINK_SLOTS {
+            return Err(SpecError::new(format!(
+                "link gap {} exceeds the {} slot bound (admission-slot \
+                 arithmetic must never overflow)",
+                link.gap,
+                LinkSpec::MAX_LINK_SLOTS
+            )));
         }
         let node_sizes: [usize; 2] = match *self {
             TopologySpec::FatTree2 {
@@ -449,6 +498,232 @@ impl TopologySpec {
     }
 }
 
+/// What a timed fault event does, and to which entity class.
+///
+/// Link indices address the directed inter-switch links in wiring order
+/// ([`TopologySpec::link_count`]); node indices address switch nodes
+/// ([`TopologySpec::node_count`]).  Host attachment points never fail —
+/// faults model the fabric, not the end hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Take a directed link down: packets on its wire and in its ingress
+    /// queue are dropped (typed losses) and nothing is admitted until the
+    /// matching `link-up`.
+    LinkDown,
+    /// Restore a previously failed link.
+    LinkUp,
+    /// Take a switch node down: every packet buffered inside it is dropped
+    /// and the node discards all traffic until the matching `node-up`, at
+    /// which point it resumes empty (a rebooted switch keeps no state).
+    NodeDown,
+    /// Restore a previously failed node.
+    NodeUp,
+}
+
+impl FaultKind {
+    /// The spec-file name of this event kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::LinkDown => "link-down",
+            FaultKind::LinkUp => "link-up",
+            FaultKind::NodeDown => "node-down",
+            FaultKind::NodeUp => "node-up",
+        }
+    }
+
+    /// True for the link-targeting kinds.
+    pub fn is_link(&self) -> bool {
+        matches!(self, FaultKind::LinkDown | FaultKind::LinkUp)
+    }
+
+    /// True for the recovery kinds.
+    pub fn is_up(&self) -> bool {
+        matches!(self, FaultKind::LinkUp | FaultKind::NodeUp)
+    }
+
+    fn from_name(name: &str) -> Result<Self, SpecError> {
+        Ok(match name {
+            "link-down" => FaultKind::LinkDown,
+            "link-up" => FaultKind::LinkUp,
+            "node-down" => FaultKind::NodeDown,
+            "node-up" => FaultKind::NodeUp,
+            other => {
+                return Err(SpecError::new(format!(
+                    "unknown fault kind '{other}' (known: link-down, link-up, \
+                     node-down, node-up)"
+                )))
+            }
+        })
+    }
+}
+
+/// One timed fault event: at the start of `slot` (after that slot's
+/// injections, before the fabric's wire-arrival phase), apply `kind` to the
+/// link or node `index` addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEventSpec {
+    /// Absolute slot the event fires at (must precede the run end,
+    /// `slots + drain_slots`).
+    pub slot: u64,
+    /// What happens.
+    pub kind: FaultKind,
+    /// Link index for link events, node index for node events.
+    pub index: usize,
+}
+
+/// Seeded random link-failure generator: each link (except those already
+/// scripted by explicit events) alternates up/down phases with durations
+/// drawn uniformly from `1..=2·mean − 1` slots — integer-uniform with the
+/// requested mean — from its own seed-derived RNG, so the schedule is a
+/// pure function of the spec.  Nodes never fail randomly; script those
+/// explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RandomFaultSpec {
+    /// Mean slots between failures (mean up-phase length, ≥ 1).
+    pub mtbf: u64,
+    /// Mean slots to repair (mean down-phase length, ≥ 1).
+    pub mttr: u64,
+    /// Generator seed (independent of the scenario seed, so failure
+    /// schedules can be varied without moving traffic or routing draws).
+    pub seed: u64,
+}
+
+/// Deterministic fault schedule of a fabric scenario: explicit timed
+/// events, an optional random link-failure generator, or both.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Explicit timed events, applied in deterministic order regardless of
+    /// how they are listed here.
+    pub events: Vec<FaultEventSpec>,
+    /// Optional seeded random link-failure generator.
+    pub random: Option<RandomFaultSpec>,
+}
+
+impl FaultSpec {
+    /// True when the spec describes no fault activity at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.random.is_none()
+    }
+
+    /// Check the schedule against the topology it applies to and the run
+    /// length.  Every degenerate shape is a typed error: events addressing
+    /// nonexistent links/nodes, events at or past the run end, duplicate
+    /// events for one entity at one slot, an `up` with no prior `down`
+    /// (or `down`/`up` repeated without alternation), and zero MTBF/MTTR.
+    pub fn validate(&self, topo: &TopologySpec, run: &RunConfig) -> Result<(), SpecError> {
+        let total_slots = run.slots.saturating_add(run.drain_slots);
+        let links = topo.link_count();
+        let nodes = topo.node_count();
+        for event in &self.events {
+            let (space, count) = if event.kind.is_link() {
+                ("link", links)
+            } else {
+                ("node", nodes)
+            };
+            if event.index >= count {
+                return Err(SpecError::new(format!(
+                    "fault event '{}' at slot {} references {space} {} but the \
+                     {} topology has only {count} {space}s",
+                    event.kind.name(),
+                    event.slot,
+                    event.index,
+                    topo.kind_name()
+                )));
+            }
+            if event.slot >= total_slots {
+                return Err(SpecError::new(format!(
+                    "fault event '{}' on {space} {} at slot {} is at or past \
+                     the run end (slots + drain_slots = {total_slots})",
+                    event.kind.name(),
+                    event.index,
+                    event.slot
+                )));
+            }
+        }
+        // Per-entity timeline: `(is_link, index)` identifies the entity, so
+        // sorting groups each entity's events in slot order.
+        let mut timeline: Vec<(bool, usize, u64, bool)> = self
+            .events
+            .iter()
+            .map(|e| (e.kind.is_link(), e.index, e.slot, e.kind.is_up()))
+            .collect();
+        timeline.sort_unstable();
+        for pair in timeline.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if (a.0, a.1, a.2) == (b.0, b.1, b.2) {
+                let space = if a.0 { "link" } else { "node" };
+                return Err(SpecError::new(format!(
+                    "duplicate fault events for {space} {} at slot {} \
+                     (at most one event per entity per slot)",
+                    a.1, a.2
+                )));
+            }
+        }
+        let mut prev: Option<(bool, usize, bool)> = None;
+        for &(is_link, index, slot, is_up) in &timeline {
+            let space = if is_link { "link" } else { "node" };
+            let same_entity = prev.is_some_and(|(pl, pi, _)| (pl, pi) == (is_link, index));
+            // An entity's first event must be a down; after that the states
+            // strictly alternate.
+            let expected_up = same_entity && !prev.unwrap().2;
+            if is_up != expected_up {
+                if is_up && !same_entity {
+                    return Err(SpecError::new(format!(
+                        "fault event '{space}-up' on {space} {index} at slot \
+                         {slot} has no prior '{space}-down'"
+                    )));
+                }
+                return Err(SpecError::new(format!(
+                    "fault events on {space} {index} must alternate down/up \
+                     (the event at slot {slot} repeats the '{}' state)",
+                    if is_up { "up" } else { "down" }
+                )));
+            }
+            prev = Some((is_link, index, is_up));
+        }
+        if let Some(random) = &self.random {
+            if random.mtbf == 0 {
+                return Err(SpecError::new(
+                    "random fault mtbf must be at least 1 slot".to_string(),
+                ));
+            }
+            if random.mttr == 0 {
+                return Err(SpecError::new(
+                    "random fault mttr must be at least 1 slot".to_string(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn to_json_inline(&self) -> String {
+        let mut out = String::from(r#"{"events":["#);
+        for (i, event) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let target = if event.kind.is_link() { "link" } else { "node" };
+            let _ = write!(
+                out,
+                r#"{{"slot":{},"kind":"{}","{target}":{}}}"#,
+                event.slot,
+                event.kind.name(),
+                event.index
+            );
+        }
+        out.push(']');
+        if let Some(random) = &self.random {
+            let _ = write!(
+                out,
+                r#","random":{{"mtbf":{},"mttr":{},"seed":{}}}"#,
+                random.mtbf, random.mttr, random.seed
+            );
+        }
+        out.push('}');
+        out
+    }
+}
+
 /// Everything needed to reproduce one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioSpec {
@@ -465,6 +740,14 @@ pub struct ScenarioSpec {
     /// run.  When set, `n` is the topology's total host count and `scheme`
     /// names the per-node switch every topology node is built from.
     pub topology: Option<TopologySpec>,
+    /// Deterministic fault schedule, only meaningful together with a
+    /// `topology` (single switches have no links or nodes to fail; the
+    /// engine rejects faults without one).  `None` — the default, and the
+    /// only form legacy spec files can express — is the failure-free run.
+    /// Faults are part of the scenario's scientific identity: a faulted
+    /// spec hashes differently from a healthy one, so the experiment cache
+    /// can never serve a healthy result for a faulted run.
+    pub faults: Option<FaultSpec>,
     /// Offered traffic.
     pub traffic: TrafficSpec,
     /// Run length configuration.
@@ -500,6 +783,7 @@ impl ScenarioSpec {
             n,
             sizing: SizingSpec::Matrix,
             topology: None,
+            faults: None,
             traffic: TrafficSpec::Uniform { load: 0.6 },
             run: RunConfig::default(),
             seed: 1,
@@ -519,6 +803,14 @@ impl ScenarioSpec {
     #[must_use]
     pub fn with_topology(mut self, topology: TopologySpec) -> Self {
         self.topology = Some(topology);
+        self
+    }
+
+    /// Set a deterministic fault schedule (see [`FaultSpec`]; requires a
+    /// topology to be meaningful).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -635,12 +927,21 @@ impl ScenarioSpec {
             None => String::new(),
             Some(topo) => format!("  \"topology\": {},\n", topo.to_json_inline()),
         };
+        // Like topology: emitted only when present, so fault-free specs keep
+        // their exact historical JSON — and, through
+        // `scientific_identity_json`, their cache keys — while faulted specs
+        // hash differently by construction.
+        let faults = match &self.faults {
+            None => String::new(),
+            Some(faults) => format!("  \"faults\": {},\n", faults.to_json_inline()),
+        };
         format!(
             concat!(
                 "{{\n",
                 "  \"scheme\": \"{}\",\n",
                 "  \"n\": {},\n",
                 "  \"sizing\": {},\n",
+                "{}",
                 "{}",
                 "  \"traffic\": {},\n",
                 "  \"run\": {{\"slots\":{},\"warmup_slots\":{},\"drain_slots\":{}}},\n",
@@ -653,6 +954,7 @@ impl ScenarioSpec {
             self.n,
             sizing,
             topology,
+            faults,
             traffic,
             self.run.slots,
             self.run.warmup_slots,
@@ -716,6 +1018,9 @@ impl ScenarioSpec {
                 }
                 "topology" => {
                     spec.topology = Some(parse_topology(val.as_object(key)?)?);
+                }
+                "faults" => {
+                    spec.faults = Some(parse_faults(val.as_object(key)?)?);
                 }
                 other => return Err(SpecError::new(format!("unknown key '{other}'"))),
             }
@@ -1096,6 +1401,77 @@ fn parse_link(link: &json::Object) -> Result<LinkSpec, SpecError> {
     Ok(spec)
 }
 
+/// Parse the `faults` object of a spec: an `"events"` array of timed
+/// events, an optional `"random"` MTBF/MTTR generator block, or both.
+fn parse_faults(faults: &json::Object) -> Result<FaultSpec, SpecError> {
+    let mut spec = FaultSpec::default();
+    for (key, val) in &faults.entries {
+        match key.as_str() {
+            "events" => {
+                for (i, item) in val.as_array(key)?.iter().enumerate() {
+                    let event = item.as_object(&format!("faults event #{i}"))?;
+                    spec.events.push(
+                        parse_fault_event(event).map_err(|e| e.context(format!("event #{i}")))?,
+                    );
+                }
+            }
+            "random" => {
+                let random = val.as_object(key)?;
+                for (rkey, _) in &random.entries {
+                    match rkey.as_str() {
+                        "mtbf" | "mttr" | "seed" => {}
+                        other => {
+                            return Err(SpecError::new(format!(
+                                "unknown random-fault key '{other}'"
+                            )))
+                        }
+                    }
+                }
+                spec.random = Some(RandomFaultSpec {
+                    mtbf: random.get_u64("mtbf")?,
+                    mttr: random.get_u64("mttr")?,
+                    seed: match random.maybe("seed") {
+                        None => 0,
+                        Some(value) => value.as_u64("seed")?,
+                    },
+                });
+            }
+            other => return Err(SpecError::new(format!("unknown faults key '{other}'"))),
+        }
+    }
+    Ok(spec)
+}
+
+/// Parse one fault event: `{"slot": S, "kind": "link-down", "link": L}` —
+/// the index key must match the kind's entity class (`"link"` for link
+/// events, `"node"` for node events).
+fn parse_fault_event(event: &json::Object) -> Result<FaultEventSpec, SpecError> {
+    let kind = FaultKind::from_name(&event.get_str("kind")?)?;
+    let (want, wrong) = if kind.is_link() {
+        ("link", "node")
+    } else {
+        ("node", "link")
+    };
+    for (key, _) in &event.entries {
+        match key.as_str() {
+            "slot" | "kind" => {}
+            k if k == want => {}
+            k if k == wrong => {
+                return Err(SpecError::new(format!(
+                    "fault kind '{}' targets a {want}, not a {wrong}",
+                    kind.name()
+                )))
+            }
+            other => return Err(SpecError::new(format!("unknown fault event key '{other}'"))),
+        }
+    }
+    Ok(FaultEventSpec {
+        slot: event.get_u64("slot")?,
+        kind,
+        index: event.get_u64(want)? as usize,
+    })
+}
+
 /// Escape a string for embedding in a JSON string literal, so
 /// [`ScenarioSpec::to_json`] round-trips through [`ScenarioSpec::from_json`]
 /// even when the (unvalidated-at-spec-level) scheme name contains quotes,
@@ -1152,14 +1528,15 @@ impl std::error::Error for SpecError {}
 mod json {
     use super::SpecError;
 
-    // The spec format only needs objects, numbers and strings; booleans,
-    // null and arrays are rejected at parse time.  Numbers carry the exact
+    // The spec format only needs objects, arrays, numbers and strings;
+    // booleans and null are rejected at parse time.  Numbers carry the exact
     // u64 alongside the f64 when the literal is a plain non-negative
     // integer, because seeds and slot counts exceed f64's 2^53 exact-integer
     // range (a round-trip through f64 alone silently corrupts large seeds).
     #[derive(Debug, Clone)]
     pub(super) enum Value {
         Object(Object),
+        Array(Vec<Value>),
         Number { value: f64, integer: Option<u64> },
         String(String),
     }
@@ -1204,6 +1581,15 @@ mod json {
                 Value::Object(o) => Ok(o),
                 other => Err(SpecError::new(format!(
                     "{what} should be an object, got {other:?}"
+                ))),
+            }
+        }
+
+        pub(super) fn as_array(&self, what: &str) -> Result<&[Value], SpecError> {
+            match self {
+                Value::Array(items) => Ok(items),
+                other => Err(SpecError::new(format!(
+                    "{what} should be an array, got {other:?}"
                 ))),
             }
         }
@@ -1273,6 +1659,7 @@ mod json {
             self.skip_ws();
             match self.chars.peek().copied() {
                 Some((_, '{')) => self.object(),
+                Some((_, '[')) => self.array(),
                 Some((_, '"')) => Ok(Value::String(self.string()?)),
                 Some((_, c)) if c == '-' || c.is_ascii_digit() => self.number(),
                 Some((i, c)) => Err(SpecError::new(format!(
@@ -1303,6 +1690,29 @@ mod json {
                     other => {
                         return Err(SpecError::new(format!(
                             "expected ',' or '}}' in object, got {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, SpecError> {
+            self.expect('[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if matches!(self.chars.peek(), Some((_, ']'))) {
+                self.chars.next();
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.chars.next() {
+                    Some((_, ',')) => continue,
+                    Some((_, ']')) => return Ok(Value::Array(items)),
+                    other => {
+                        return Err(SpecError::new(format!(
+                            "expected ',' or ']' in array, got {other:?}"
                         )))
                     }
                 }
@@ -1985,5 +2395,253 @@ mod tests {
         let err = SuiteSpec::new(&dir).load_cases().unwrap_err().to_string();
         assert!(err.contains("no *.json"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn event(slot: u64, kind: FaultKind, index: usize) -> FaultEventSpec {
+        FaultEventSpec { slot, kind, index }
+    }
+
+    fn faulted_spec(faults: FaultSpec) -> ScenarioSpec {
+        ScenarioSpec::new("oq", 16)
+            .with_topology(fat_tree(RoutingSpec::Stripe))
+            .with_faults(faults)
+    }
+
+    #[test]
+    fn fault_specs_round_trip_through_json() {
+        let faults = FaultSpec {
+            events: vec![
+                event(100, FaultKind::LinkDown, 3),
+                event(200, FaultKind::LinkUp, 3),
+                event(150, FaultKind::NodeDown, 5),
+                event(400, FaultKind::NodeUp, 5),
+            ],
+            random: Some(RandomFaultSpec {
+                mtbf: 5_000,
+                mttr: 300,
+                seed: u64::MAX, // exercises the exact-u64 path
+            }),
+        };
+        let spec = faulted_spec(faults);
+        let parsed = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(parsed, spec, "json was: {}", spec.to_json());
+
+        // Events-only and random-only forms round-trip too.
+        let events_only = faulted_spec(FaultSpec {
+            events: vec![event(1, FaultKind::LinkDown, 0)],
+            random: None,
+        });
+        assert_eq!(
+            ScenarioSpec::from_json(&events_only.to_json()).unwrap(),
+            events_only
+        );
+        let random_only = faulted_spec(FaultSpec {
+            events: vec![],
+            random: Some(RandomFaultSpec {
+                mtbf: 10,
+                mttr: 2,
+                seed: 0,
+            }),
+        });
+        assert_eq!(
+            ScenarioSpec::from_json(&random_only.to_json()).unwrap(),
+            random_only
+        );
+    }
+
+    #[test]
+    fn fault_free_specs_emit_the_exact_legacy_json() {
+        // Like the topology line, the faults line is only emitted when
+        // present, so pre-fault spec files keep their historical bytes and
+        // their content-addressed cache keys.
+        let spec = ScenarioSpec::new("oq", 16).with_topology(fat_tree(RoutingSpec::Stripe));
+        assert!(!spec.to_json().contains("faults"));
+        assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+    }
+
+    #[test]
+    fn fault_validation_rejects_degenerate_schedules() {
+        let topo = fat_tree(RoutingSpec::Stripe); // 16 links, 6 nodes
+        let run = RunConfig {
+            slots: 1_000,
+            warmup_slots: 100,
+            drain_slots: 500,
+        };
+        let check = |faults: FaultSpec| faults.validate(&topo, &run);
+
+        // A clean schedule passes.
+        assert!(check(FaultSpec {
+            events: vec![
+                event(10, FaultKind::LinkDown, 0),
+                event(20, FaultKind::LinkUp, 0),
+                event(30, FaultKind::NodeDown, 5),
+            ],
+            random: Some(RandomFaultSpec {
+                mtbf: 100,
+                mttr: 10,
+                seed: 1
+            }),
+        })
+        .is_ok());
+
+        // Nonexistent link.
+        let err = check(FaultSpec {
+            events: vec![event(10, FaultKind::LinkDown, 16)],
+            random: None,
+        })
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("only 16 links"), "{err}");
+
+        // Nonexistent node.
+        let err = check(FaultSpec {
+            events: vec![event(10, FaultKind::NodeDown, 6)],
+            random: None,
+        })
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("only 6 nodes"), "{err}");
+
+        // Event at the run end (slots + drain_slots = 1500).
+        let err = check(FaultSpec {
+            events: vec![event(1_500, FaultKind::LinkDown, 0)],
+            random: None,
+        })
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("run end"), "{err}");
+
+        // Duplicate events for one entity at one slot.
+        let err = check(FaultSpec {
+            events: vec![
+                event(10, FaultKind::LinkDown, 2),
+                event(10, FaultKind::LinkUp, 2),
+            ],
+            random: None,
+        })
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("duplicate fault events"), "{err}");
+
+        // Up with no prior down.
+        let err = check(FaultSpec {
+            events: vec![event(10, FaultKind::LinkUp, 0)],
+            random: None,
+        })
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("no prior 'link-down'"), "{err}");
+        let err = check(FaultSpec {
+            events: vec![event(10, FaultKind::NodeUp, 0)],
+            random: None,
+        })
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("no prior 'node-down'"), "{err}");
+
+        // Down repeated without an intervening up.
+        let err = check(FaultSpec {
+            events: vec![
+                event(10, FaultKind::LinkDown, 0),
+                event(20, FaultKind::LinkDown, 0),
+            ],
+            random: None,
+        })
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("must alternate"), "{err}");
+
+        // Zero MTBF / MTTR.
+        for (mtbf, mttr) in [(0, 10), (10, 0)] {
+            let err = check(FaultSpec {
+                events: vec![],
+                random: Some(RandomFaultSpec {
+                    mtbf,
+                    mttr,
+                    seed: 0,
+                }),
+            })
+            .unwrap_err()
+            .to_string();
+            assert!(err.contains("at least 1 slot"), "{err}");
+        }
+
+        // The same entity index in the other space is fine: link 0 and
+        // node 0 are different entities.
+        assert!(check(FaultSpec {
+            events: vec![
+                event(10, FaultKind::LinkDown, 0),
+                event(10, FaultKind::NodeDown, 0),
+            ],
+            random: None,
+        })
+        .is_ok());
+    }
+
+    #[test]
+    fn link_spec_bounds_reject_overflowing_latency_and_gap() {
+        // Arrival-slot arithmetic adds latency (and gap backlog) to absolute
+        // slot numbers; values near u64::MAX would overflow, so they are
+        // typed errors at validation time.
+        let huge_latency = TopologySpec::FatTree2 {
+            edges: 2,
+            cores: 2,
+            hosts_per_edge: 2,
+            routing: RoutingSpec::EcmpHash,
+            link: LinkSpec {
+                latency: u64::MAX,
+                gap: 1,
+            },
+        };
+        let err = huge_latency.validate(4).unwrap_err().to_string();
+        assert!(err.contains("latency"), "{err}");
+        let huge_gap = TopologySpec::FatTree2 {
+            edges: 2,
+            cores: 2,
+            hosts_per_edge: 2,
+            routing: RoutingSpec::EcmpHash,
+            link: LinkSpec {
+                latency: 1,
+                gap: LinkSpec::MAX_LINK_SLOTS + 1,
+            },
+        };
+        let err = huge_gap.validate(4).unwrap_err().to_string();
+        assert!(err.contains("gap"), "{err}");
+        // The bound itself is inclusive-safe.
+        let at_bound = TopologySpec::FatTree2 {
+            edges: 2,
+            cores: 2,
+            hosts_per_edge: 2,
+            routing: RoutingSpec::EcmpHash,
+            link: LinkSpec {
+                latency: LinkSpec::MAX_LINK_SLOTS,
+                gap: 1,
+            },
+        };
+        assert!(at_bound.validate(4).is_ok());
+    }
+
+    #[test]
+    fn malformed_fault_json_is_rejected() {
+        for bad in [
+            // Link event targeting a node.
+            r#"{"scheme": "oq", "n": 4, "faults": {"events": [{"slot": 1, "kind": "link-down", "node": 0}]}}"#,
+            // Node event targeting a link.
+            r#"{"scheme": "oq", "n": 4, "faults": {"events": [{"slot": 1, "kind": "node-down", "link": 0}]}}"#,
+            // Unknown kind.
+            r#"{"scheme": "oq", "n": 4, "faults": {"events": [{"slot": 1, "kind": "cable-cut", "link": 0}]}}"#,
+            // Unknown event key.
+            r#"{"scheme": "oq", "n": 4, "faults": {"events": [{"slot": 1, "kind": "link-down", "link": 0, "x": 1}]}}"#,
+            // Unknown faults key.
+            r#"{"scheme": "oq", "n": 4, "faults": {"evnts": []}}"#,
+            // Events must be an array.
+            r#"{"scheme": "oq", "n": 4, "faults": {"events": {"slot": 1}}}"#,
+            // Random block missing mttr.
+            r#"{"scheme": "oq", "n": 4, "faults": {"random": {"mtbf": 100}}}"#,
+            // Unknown random key.
+            r#"{"scheme": "oq", "n": 4, "faults": {"random": {"mtbf": 100, "mttr": 10, "jitter": 3}}}"#,
+        ] {
+            assert!(ScenarioSpec::from_json(bad).is_err(), "accepted: {bad}");
+        }
     }
 }

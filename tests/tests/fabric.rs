@@ -12,6 +12,11 @@
 //! 3. **Determinism** — worker count, per-node thread count and engine
 //!    batch size are pure performance knobs for fabrics too: the CSV row
 //!    and the full metrics JSON are byte-identical at every combination.
+//! 4. **Reconvergence safety** — claims 1 and 3 survive fault injection:
+//!    striped fabrics stay reorder-free under random link-failure
+//!    schedules (survivor traffic is never inverted by a path change),
+//!    every loss is typed (delivered + dropped + residual == offered), and
+//!    faulted runs stay byte-identical across workers/threads/batch.
 
 use proptest::prelude::*;
 use sprinklers_sim::engine::RunConfig;
@@ -143,6 +148,195 @@ fn fabric_delay_includes_the_wire_latency() {
         report.delay.mean()
     );
     assert!(report.delay.count() > 0);
+}
+
+/// A random link-failure schedule whose recovery time is short against the
+/// drain, so every down link comes back well before the run ends.
+fn random_faults(seed: u64) -> FaultSpec {
+    FaultSpec {
+        events: vec![],
+        random: Some(RandomFaultSpec {
+            mtbf: 1_200,
+            mttr: 60,
+            seed,
+        }),
+    }
+}
+
+#[test]
+fn striped_fabrics_stay_reorder_free_under_random_failures() {
+    // The tentpole reconvergence claim: random link failures force stripes
+    // off dead paths mid-run, and the park-until-drained discipline must
+    // keep every *surviving* packet in VOQ order end to end.  Fuzzed over
+    // both topology kinds, both order-preserving node schemes and several
+    // fault seeds.
+    let mut engine = Engine::new();
+    for (topo, load) in [
+        (fat_tree(RoutingSpec::Stripe), 0.4),
+        (butterfly(RoutingSpec::Stripe), 0.25),
+    ] {
+        for scheme in ["oq", "sprinklers"] {
+            for fault_seed in [1u64, 9, 77] {
+                let spec = fabric_spec(topo.clone(), scheme, load, 42)
+                    .with_faults(random_faults(fault_seed));
+                let report = engine.run(&spec).unwrap();
+                let tag = format!("{} fault_seed={fault_seed}", report.switch_name);
+                assert!(
+                    report.reordering.is_ordered(),
+                    "faulted striped fabric reordered survivors: {tag}"
+                );
+                assert!(
+                    report.dropped_packets > 0,
+                    "mtbf 1200 over 4000 slots must cost packets: {tag}"
+                );
+                // Conservation: every offered packet is delivered, typed-
+                // dropped, or residual (parked/queued at run end) — never
+                // silently lost.
+                assert_eq!(
+                    report.offered_packets,
+                    report.delivered_packets + report.dropped_packets + report.residual_packets,
+                    "conservation violated: {tag}"
+                );
+                if scheme == "oq" {
+                    // Links recover fast (mttr 60 « drain 30k), so work-
+                    // conserving nodes still drain every survivor.
+                    assert_eq!(report.residual_packets, 0, "survivors stuck: {tag}");
+                }
+                let faults = report.faults.as_ref().expect("faulted report");
+                assert_eq!(faults.total_dropped(), report.dropped_packets, "{tag}");
+                assert!(!faults.events.is_empty(), "{tag}");
+            }
+        }
+    }
+}
+
+#[test]
+fn random_routing_still_reorders_under_failures() {
+    // Negative control for the faulted fuzz: per-packet random routing
+    // reorders with or without failures, so the ordered faulted runs above
+    // aren't vacuous (the reorder metric still engages on faulted fabrics).
+    let topo = TopologySpec::FatTree2 {
+        edges: 2,
+        cores: 2,
+        hosts_per_edge: 4,
+        routing: RoutingSpec::RandomPacket,
+        link: LinkSpec { latency: 2, gap: 1 },
+    };
+    let spec = fabric_spec(topo, "oq", 0.6, 3).with_faults(random_faults(5));
+    let report = Engine::new().run(&spec).unwrap();
+    assert!(
+        report.reordering.voq_reorder_events > 0,
+        "random per-packet routing should reorder under failures too"
+    );
+}
+
+#[test]
+fn scripted_faults_report_typed_losses_and_reconvergence() {
+    // A deterministic scripted schedule on the fat-tree: cut one core
+    // uplink mid-run, heal it, then bounce a core switch.  The report must
+    // carry one tracker per event and only typed losses.
+    let spec = fabric_spec(fat_tree(RoutingSpec::Stripe), "oq", 0.4, 11).with_faults(FaultSpec {
+        events: vec![
+            FaultEventSpec {
+                slot: 500,
+                kind: FaultKind::LinkDown,
+                index: 0,
+            },
+            FaultEventSpec {
+                slot: 1_500,
+                kind: FaultKind::LinkUp,
+                index: 0,
+            },
+            FaultEventSpec {
+                slot: 2_000,
+                kind: FaultKind::NodeDown,
+                index: 2,
+            },
+            FaultEventSpec {
+                slot: 2_600,
+                kind: FaultKind::NodeUp,
+                index: 2,
+            },
+        ],
+        random: None,
+    });
+    let report = Engine::new().run(&spec).unwrap();
+    assert!(report.reordering.is_ordered());
+    let faults = report.faults.as_ref().expect("faulted report");
+    assert_eq!(faults.events.len(), 4);
+    assert_eq!(
+        report.offered_packets,
+        report.delivered_packets + report.dropped_packets + report.residual_packets
+    );
+    // The link-down flushes wire traffic at load 0.4; its victims must
+    // resume within the run (the metric is slots *after* the event).
+    let cut = &faults.events[0];
+    assert_eq!(cut.slot, 500);
+    assert!(cut.dropped > 0, "a loaded uplink holds packets at slot 500");
+    let reconverged = cut.reconverged_slot.expect("survivor pairs resume");
+    assert!(
+        reconverged >= cut.slot && reconverged < 4_000,
+        "reconvergence at {reconverged} should land inside the run"
+    );
+    // Both up events cost nothing and reconverge trivially.
+    assert_eq!(faults.events[1].dropped, 0);
+    assert_eq!(faults.events[1].reconverged_slot, Some(1_500));
+    // The metrics sidecar carries the whole block.
+    let json = report.metrics_json();
+    assert!(json.contains("\"faults\":{\"dropped_by_cause\""));
+    assert!(json.contains("\"reconvergence_slots\""));
+}
+
+#[test]
+fn faulted_fabrics_are_byte_identical_across_workers_threads_and_batch() {
+    // Determinism is the whole point of *deterministic* fault injection:
+    // a faulted run is as byte-stable as a healthy one at every perf-knob
+    // combination, including the full metrics JSON (fault block included).
+    let base = fabric_spec(fat_tree(RoutingSpec::Stripe), "sprinklers", 0.45, 7)
+        .with_run(RunConfig {
+            slots: 1_500,
+            warmup_slots: 150,
+            drain_slots: 12_000,
+        })
+        .with_faults(FaultSpec {
+            events: vec![FaultEventSpec {
+                slot: 400,
+                kind: FaultKind::NodeDown,
+                index: 2,
+            }],
+            random: Some(RandomFaultSpec {
+                mtbf: 700,
+                mttr: 50,
+                seed: 3,
+            }),
+        });
+    let reference = Engine::new()
+        .run(&base.clone().with_batch(1).with_threads(1))
+        .unwrap();
+    assert!(
+        reference.dropped_packets > 0,
+        "the schedule must actually bite"
+    );
+    let want_row = reference.csv_row();
+    let want_json = reference.metrics_json();
+    for workers in [1usize, 4] {
+        for threads in [1u32, 4] {
+            for batch in [1u32, 64] {
+                let spec = base.clone().with_batch(batch).with_threads(threads);
+                let got = &run_specs_parallel_ok(&[spec], workers).unwrap()[0];
+                assert_eq!(
+                    got.csv_row(),
+                    want_row,
+                    "csv diverged at workers={workers} threads={threads} batch={batch}"
+                );
+                assert_eq!(
+                    got.metrics_json(),
+                    want_json,
+                    "metrics diverged at workers={workers} threads={threads} batch={batch}"
+                );
+            }
+        }
+    }
 }
 
 proptest! {
